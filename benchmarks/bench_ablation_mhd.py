@@ -1,0 +1,119 @@
+"""Ablations of MHD's design choices (DESIGN.md §7's call-outs).
+
+* **EdgeHash** — with the hysteresis entry disabled, repeated arrivals
+  of the same duplicate slice re-trigger HHR byte reloads.
+* **Bloom filter** — disabling it sends every never-seen hash to the
+  on-disk hook store (Table II's "without Bloom Filter" column).
+* **Manifest cache size** — a smaller LRU forces more manifest loads
+  (locality loss).
+"""
+
+import pytest
+
+from conftest import ALGORITHMS, DEVICE, SD_MAIN, write_report
+from repro.analysis import evaluate, format_table
+from repro.core import DedupConfig
+from repro.storage import DiskModel
+
+ECS = 1024
+
+
+def _run(corpus_files, **kw):
+    cfg_kw = {k[4:]: v for k, v in kw.items() if k.startswith("cfg_")}
+    ctor_kw = {k: v for k, v in kw.items() if not k.startswith("cfg_")}
+    cfg_kw.setdefault("bloom_bytes", 1 << 20)
+    cfg_kw.setdefault("cache_manifests", 64)
+    dedup = ALGORITHMS["bf-mhd"](DedupConfig(ecs=ECS, sd=SD_MAIN, **cfg_kw), **ctor_kw)
+    run = evaluate(dedup, corpus_files, DEVICE)
+    return dedup, run
+
+
+def test_ablation_edge_hash(benchmark, corpus_files):
+    def build():
+        with_edge, run_with = _run(corpus_files, edge_hash=True)
+        without, run_without = _run(corpus_files, edge_hash=False)
+        return (with_edge, run_with), (without, run_without)
+
+    (d_on, r_on), (d_off, r_off) = benchmark.pedantic(build, rounds=1, iterations=1)
+    report = format_table(
+        ["variant", "HHR reads", "HHR splits", "real DER", "manifest bytes"],
+        [
+            ["edge-hash ON", d_on.hhr_reads, d_on.hhr_splits, f"{r_on.real_der:.3f}", r_on.stats.manifest_bytes],
+            ["edge-hash OFF", d_off.hhr_reads, d_off.hhr_splits, f"{r_off.real_der:.3f}", r_off.stats.manifest_bytes],
+        ],
+        title=f"EdgeHash ablation (ECS={ECS}, SD={SD_MAIN})",
+    )
+    write_report("ablation_edge_hash", report)
+    # Hysteresis must not *increase* byte reloads.
+    assert d_on.hhr_reads <= d_off.hhr_reads * 1.05
+
+
+def test_ablation_bloom_filter(benchmark, corpus_files):
+    def build():
+        return _run(corpus_files, cfg_bloom_bytes=1 << 20), _run(
+            corpus_files, cfg_bloom_bytes=0
+        )
+
+    (d_on, r_on), (d_off, r_off) = benchmark.pedantic(build, rounds=1, iterations=1)
+    q_on = r_on.stats.io.count(DiskModel.HOOK, "query")
+    q_off = r_off.stats.io.count(DiskModel.HOOK, "query")
+    report = format_table(
+        ["variant", "hook queries", "total IOs", "throughput ratio"],
+        [
+            ["bloom ON", q_on, r_on.stats.io.count(), f"{r_on.throughput_ratio:.3f}"],
+            ["bloom OFF", q_off, r_off.stats.io.count(), f"{r_off.throughput_ratio:.3f}"],
+        ],
+        title=f"Bloom filter ablation (ECS={ECS}, SD={SD_MAIN})",
+    )
+    write_report("ablation_bloom", report)
+    assert q_on < q_off
+    assert r_on.throughput_ratio >= r_off.throughput_ratio
+
+
+def test_ablation_cache_size(benchmark, corpus_files):
+    def build():
+        out = {}
+        for cap in (4, 16, 64):
+            dedup, run = _run(corpus_files, cfg_cache_manifests=cap)
+            out[cap] = (dedup.cache.loads, dedup.cache.hits, run)
+        return out
+
+    out = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = [
+        [cap, loads, hits, f"{run.real_der:.3f}"]
+        for cap, (loads, hits, run) in sorted(out.items())
+    ]
+    report = format_table(
+        ["cache capacity", "manifest loads", "cache hits", "real DER"],
+        rows,
+        title=f"Manifest-cache ablation (ECS={ECS}, SD={SD_MAIN})",
+    )
+    write_report("ablation_cache", report)
+    # Bigger cache -> no more disk loads than smaller cache.
+    loads = [out[c][0] for c in (4, 16, 64)]
+    assert loads[2] <= loads[0]
+
+
+def test_ablation_contiguous_shm(benchmark, corpus_files):
+    """The paper's alternative SHM strategy: per-slice hooks vs the
+    buffer-driven default."""
+
+    def build():
+        return _run(corpus_files), _run(corpus_files, contiguous_shm=True)
+
+    (d_buf, r_buf), (d_slice, r_slice) = benchmark.pedantic(build, rounds=1, iterations=1)
+    report = format_table(
+        ["SHM strategy", "hooks", "manifest bytes", "data DER", "real DER"],
+        [
+            ["buffer-driven (default)", r_buf.stats.hook_inodes,
+             r_buf.stats.manifest_bytes, f"{r_buf.stats.data_only_der:.3f}",
+             f"{r_buf.real_der:.3f}"],
+            ["stream-contiguous", r_slice.stats.hook_inodes,
+             r_slice.stats.manifest_bytes, f"{r_slice.stats.data_only_der:.3f}",
+             f"{r_slice.real_der:.3f}"],
+        ],
+        title=f"SHM strategy ablation (ECS={ECS}, SD={SD_MAIN})",
+    )
+    write_report("ablation_shm_strategy", report)
+    # Per-slice hooks can only add hooks, never remove them.
+    assert r_slice.stats.hook_inodes >= r_buf.stats.hook_inodes

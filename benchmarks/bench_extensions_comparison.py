@@ -1,0 +1,101 @@
+"""Extension comparison — all nine algorithms on one corpus.
+
+Beyond the paper's four evaluated algorithms, this bench adds the
+three related-work systems its Section II discusses (Fingerdiff, FBC,
+Extreme Binning) and the paper's named-but-unevaluated SI-MHD variant,
+on the same corpus and granularity.  Columns mirror the Fig. 8 summary
+plus the RAM column the paper's Fingerdiff critique is about.
+"""
+
+import pytest
+
+from conftest import DEVICE, SD_MAIN, corpus_files, write_report
+from repro.analysis import evaluate, format_table
+from repro.baselines import (
+    BimodalDeduplicator,
+    CDCDeduplicator,
+    ExtremeBinningDeduplicator,
+    FBCDeduplicator,
+    FingerdiffDeduplicator,
+    SparseIndexingDeduplicator,
+    SubChunkDeduplicator,
+)
+from repro.core import DedupConfig, MHDDeduplicator, SIMHDDeduplicator
+
+ECS = 1024
+
+ALL = [
+    CDCDeduplicator,
+    BimodalDeduplicator,
+    SubChunkDeduplicator,
+    SparseIndexingDeduplicator,
+    FingerdiffDeduplicator,
+    FBCDeduplicator,
+    ExtremeBinningDeduplicator,
+    MHDDeduplicator,
+    SIMHDDeduplicator,
+]
+
+
+@pytest.fixture(scope="module")
+def runs(corpus_files):
+    out = {}
+    for cls in ALL:
+        dedup = cls(DedupConfig(ecs=ECS, sd=SD_MAIN))
+        out[cls.name] = (dedup, evaluate(dedup, corpus_files, DEVICE))
+    return out
+
+
+def test_extensions_comparison(benchmark, runs):
+    def build() -> str:
+        rows = []
+        for name, (dedup, run) in runs.items():
+            s = run.stats
+            rows.append(
+                [
+                    name,
+                    f"{s.data_only_der:.3f}",
+                    f"{s.real_der:.3f}",
+                    f"{s.metadata_ratio:.2%}",
+                    f"{s.io.count():,}",
+                    f"{run.throughput_ratio:.3f}",
+                    f"{s.peak_ram_bytes / 1024:.0f} KB",
+                ]
+            )
+        return format_table(
+            ["algorithm", "data DER", "real DER", "metadata", "disk IOs",
+             "tput ratio", "peak RAM"],
+            rows,
+            title=f"nine-algorithm comparison (ECS={ECS}, SD={SD_MAIN})",
+        )
+
+    report = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_report("extensions_comparison", report)
+
+
+def test_si_mhd_fewer_ios_same_dedup(runs):
+    """SI-MHD trades hook RAM for the BF-MHD hook-query disk traffic."""
+    bf_run, si_run = runs["bf-mhd"][1], runs["si-mhd"][1]
+    assert si_run.stats.stored_chunk_bytes == bf_run.stats.stored_chunk_bytes
+    assert si_run.stats.io.count() < bf_run.stats.io.count()
+    assert si_run.throughput_ratio >= bf_run.throughput_ratio
+
+
+def test_fingerdiff_ram_exceeds_mhd(runs):
+    """The ICPP paper's critique: Fingerdiff's per-subchunk database
+    cannot stay small; MHD's bloom+cache budget can."""
+    fd = runs["fingerdiff"][0]
+    assert fd.database_bytes() > 0
+    # RAM grows ~linearly with unique chunks; MHD's is a fixed budget.
+    mhd_stats = runs["bf-mhd"][1].stats
+    fd_stats = runs["fingerdiff"][1].stats
+    per_chunk_fd = fd.database_bytes() / max(1, fd_stats.unique_chunks)
+    assert per_chunk_fd > 20  # at least the digest itself, per chunk
+
+
+def test_extreme_binning_min_manifest_reads(runs):
+    """Extreme Binning's one-disk-access-per-file design."""
+    from repro.storage import DiskModel
+
+    eb = runs["extreme-binning"][1].stats
+    assert eb.io.count(DiskModel.MANIFEST, "read") <= eb.input_files

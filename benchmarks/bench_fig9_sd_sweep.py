@@ -1,0 +1,83 @@
+"""Fig. 9 — BF-MHD at different SD values.
+
+Real DER vs MetaDataRatio (a) and vs ThroughputRatio (b) for SD in the
+scaled stand-ins for the paper's {1000, 500, 250}, with ECS as the
+curve parameter.  Checked claim: smaller SD improves the trade-off —
+at equal ECS it finds more duplicates (better real DER) for a modest
+metadata increase.
+"""
+
+import pytest
+
+from conftest import ECS_VALUES, SD_VALUES, write_report
+from repro.analysis import ascii_chart, format_series, format_table
+
+
+@pytest.fixture(scope="module")
+def grid(run_grid):
+    return {
+        sd: [run_grid("bf-mhd", ecs, sd) for ecs in ECS_VALUES] for sd in SD_VALUES
+    }
+
+
+def test_fig9_sd_tradeoffs(benchmark, grid):
+    def build() -> str:
+        parts = [f"Fig. 9 reproduction (BF-MHD; SD in {SD_VALUES}, ECS {ECS_VALUES})"]
+        for title, x_attr in (
+            ("(a) real DER vs MetaDataRatio", "metadata_ratio"),
+            ("(b) real DER vs ThroughputRatio", "throughput_ratio"),
+        ):
+            lines = [
+                format_series(
+                    f"BF-MHD-SD-{sd}",
+                    [round(getattr(r, x_attr), 4) for r in grid[sd]],
+                    [round(r.real_der, 4) for r in grid[sd]],
+                    x_attr,
+                    "real DER",
+                )
+                for sd in SD_VALUES
+            ]
+            chart = ascii_chart(
+                {
+                    f"SD-{sd}": [
+                        (getattr(r, x_attr), r.real_der) for r in grid[sd]
+                    ]
+                    for sd in SD_VALUES
+                },
+                x_label=x_attr,
+                y_label="real DER",
+            )
+            parts.append(title + "\n" + "\n".join(lines) + "\n\n" + chart)
+        rows = [
+            [sd]
+            + [f"{r.real_der:.3f} @ {r.metadata_ratio * 100:.2f}%" for r in grid[sd]]
+            for sd in SD_VALUES
+        ]
+        parts.append(
+            format_table(
+                ["SD \\ ECS"] + [str(e) for e in ECS_VALUES],
+                rows,
+                title="real DER @ MetaDataRatio",
+            )
+        )
+        return "\n\n".join(parts)
+
+    report = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_report("fig9_sd_sweep", report)
+    # Smaller SD -> equal-or-better real DER at every ECS point.
+    for i, _ecs in enumerate(ECS_VALUES):
+        ders = [grid[sd][i].real_der for sd in SD_VALUES]  # SD descending
+        assert ders[-1] >= ders[0] * 0.98  # smallest SD at least matches largest
+
+
+def test_fig9_smaller_sd_finds_more_duplicates(grid):
+    for i, _ecs in enumerate(ECS_VALUES):
+        dup = [grid[sd][i].stats.duplicate_chunks for sd in SD_VALUES]
+        assert dup[-1] >= dup[0]  # smallest SD >= largest SD
+
+
+def test_fig9_smaller_sd_more_metadata(grid):
+    """More hooks per chunk -> more metadata bytes at smaller SD."""
+    for i, _ecs in enumerate(ECS_VALUES):
+        hooks = [grid[sd][i].stats.hook_inodes for sd in SD_VALUES]
+        assert hooks[-1] >= hooks[0]

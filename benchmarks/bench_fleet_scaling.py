@@ -1,0 +1,76 @@
+"""Fleet scaling — sharded deduplication vs one global node.
+
+Quantifies the distributed-backup trade the paper's introduction
+motivates: sharding the fleet across nodes (one deduplicator per
+machine) cuts the makespan by ~the shard count, but duplicates shared
+*across* machines (the common OS image) are no longer found.
+"""
+
+import pytest
+
+from conftest import DEVICE, SD_MAIN, write_report
+from repro.analysis import evaluate, format_table
+from repro.core import DedupConfig, MHDDeduplicator
+from repro.parallel import dedup_sharded, shard_by_machine
+
+ECS = 1024
+
+
+@pytest.fixture(scope="module")
+def results(corpus_files):
+    config = DedupConfig(ecs=ECS, sd=SD_MAIN)
+    global_run = evaluate(MHDDeduplicator(config), corpus_files, DEVICE)
+    fleet = dedup_sharded(
+        corpus_files, algo="bf-mhd", config=config, workers=1, device=DEVICE
+    )
+    return global_run, fleet
+
+
+def test_fleet_scaling(benchmark, results):
+    def build() -> str:
+        global_run, fleet = results
+        rows = [
+            [
+                "global (1 node)",
+                f"{global_run.data_only_der:.3f}",
+                f"{global_run.real_der:.3f}",
+                f"{global_run.dedup_seconds:.2f}s",
+                f"{global_run.dedup_seconds:.2f}s",
+                "1.00x",
+            ],
+            [
+                f"sharded ({len(fleet.shards)} nodes)",
+                f"{fleet.data_only_der:.3f}",
+                f"{fleet.real_der:.3f}",
+                f"{fleet.aggregate_seconds:.2f}s",
+                f"{fleet.makespan_seconds:.2f}s",
+                f"{fleet.speedup():.2f}x",
+            ],
+        ]
+        per_shard = [
+            [s.shard, f"{s.stats.data_only_der:.3f}", f"{s.dedup_seconds:.2f}s"]
+            for s in fleet.shards
+        ]
+        return (
+            format_table(
+                ["deployment", "data DER", "real DER", "node-seconds",
+                 "makespan", "speedup"],
+                rows,
+                title=f"fleet scaling (BF-MHD, ECS={ECS}, SD={SD_MAIN})",
+            )
+            + "\n\n"
+            + format_table(["shard", "data DER", "time"], per_shard, title="per shard")
+        )
+
+    report = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_report("fleet_scaling", report)
+    global_run, fleet = results
+    # The trade: faster makespan, lower DER.
+    assert fleet.makespan_seconds < global_run.dedup_seconds
+    assert fleet.data_only_der <= global_run.data_only_der
+    assert fleet.speedup() > 1.5
+
+
+def test_shard_count_matches_machines(results, corpus_files):
+    _global_run, fleet = results
+    assert len(fleet.shards) == len(shard_by_machine(corpus_files))

@@ -1,0 +1,91 @@
+"""Paper-scale projection — the scale-gap closure exhibit.
+
+EXPERIMENTS.md deviation #1 says our absolute MetaDataRatios run ~8×
+above the paper's because the corpus is ~25,000× smaller.  This bench
+closes the loop: it evaluates the Table I closed forms (validated
+against our measured implementations at small scale by
+``bench_table1_metadata_formulas.py``) at the paper's own corpus
+characteristics (1 TB, DER 4.15, DAD 90–220 KB, 196 streams, SD=1000)
+and compares the projected MetaDataRatio against the values the
+paper's Fig. 8(a) reports.
+
+Bimodal's closed form is a worst case (every re-chunked small chunk
+assumed non-duplicate); at L·SD ≈ 5·10⁹ it explodes far past the
+paper's measured ~1%, so it is reported but not asserted.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from conftest import write_report
+from repro.analysis import (
+    PAPER_CORPUS,
+    format_table,
+    project,
+    projected_metadata_ratios,
+)
+
+#: Fig. 8(a): max MetaDataRatio each algorithm reached on the paper's corpus.
+PAPER_OBSERVED = {"bf-mhd": 0.002, "subchunk": 0.017, "bimodal": 0.01}
+
+
+def test_paper_scale_projection(benchmark):
+    def build() -> str:
+        parts = []
+        rows = []
+        for dad_kb, label in ((90, "DAD=90KB"), (150, "DAD=150KB"), (220, "DAD=220KB")):
+            desc = replace(PAPER_CORPUS, dad_bytes=dad_kb * 1024)
+            params = project(desc)
+            ratios = projected_metadata_ratios(desc)
+            rows.append(
+                [
+                    label,
+                    f"{params.l:,}",
+                    f"{ratios['bf-mhd']:.4%}",
+                    f"{ratios['subchunk']:.4%}",
+                    f"{ratios['cdc']:.4%}",
+                    f"{ratios['bimodal']:.2%}",
+                ]
+            )
+        parts.append(
+            format_table(
+                ["corpus", "projected L", "BF-MHD", "SubChunk", "CDC", "Bimodal (worst case)"],
+                rows,
+                title="Table I evaluated at the paper's 1 TB corpus (SD=1000, ECS=1024)",
+            )
+        )
+        parts.append(
+            "paper's observed maxima (Fig. 8a): BF-MHD ~0.2%, SubChunk ~1.7%, "
+            "Bimodal ~1%, SparseIndexing ~3.8%"
+        )
+        return "\n\n".join(parts)
+
+    report = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_report("paper_scale_projection", report)
+
+    ratios = projected_metadata_ratios(PAPER_CORPUS)
+    # Projections land within 4x of the paper's observed values.
+    for algo, observed in PAPER_OBSERVED.items():
+        if algo == "bimodal":
+            continue  # worst-case bound, not predictive at this L*SD
+        assert observed / 4 < ratios[algo] < observed * 4, (algo, ratios[algo])
+    # And the headline ordering holds at scale.
+    assert ratios["bf-mhd"] < ratios["subchunk"] < ratios["cdc"]
+
+
+def test_projection_scale_invariance(benchmark):
+    """MetaDataRatio is scale-free in the formulas once F is negligible:
+    projecting a 10x larger corpus with identical characteristics moves
+    the ratio by <1%."""
+
+    def build():
+        small = projected_metadata_ratios(PAPER_CORPUS)
+        big = projected_metadata_ratios(
+            replace(PAPER_CORPUS, total_bytes=10**13, files=1960)
+        )
+        return small, big
+
+    small, big = benchmark.pedantic(build, rounds=1, iterations=1)
+    for algo in ("bf-mhd", "subchunk", "cdc"):
+        assert big[algo] == pytest.approx(small[algo], rel=0.01), algo

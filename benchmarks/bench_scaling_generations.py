@@ -1,0 +1,97 @@
+"""Scaling study — how the MHD advantage evolves with backup history.
+
+Not a paper exhibit, but the natural question its evaluation raises:
+the paper measured a fixed two-week corpus; here we grow the history
+(number of backup generations) and track real DER and MetaDataRatio
+for BF-MHD against the full-index CDC baseline.  CDC's metadata grows
+with every unique chunk (``312·N`` in Table I); MHD's with ``N/SD`` —
+so the metadata gap must widen as history accumulates.
+"""
+
+import pytest
+
+from conftest import DEVICE, SD_MAIN, write_report
+from repro.analysis import evaluate, format_table
+from repro.baselines import CDCDeduplicator
+from repro.core import DedupConfig, MHDDeduplicator
+from repro.workloads import BackupCorpus, CorpusConfig
+
+GENERATIONS = [2, 4, 6]
+ECS = 1024
+
+
+def _corpus(generations: int):
+    return BackupCorpus(
+        CorpusConfig(
+            machines=3,
+            generations=generations,
+            os_count=2,
+            os_bytes=1 << 20,
+            app_bytes=1 << 18,
+            user_bytes=1 << 19,
+            mean_file=1 << 16,
+        )
+    ).files()
+
+
+@pytest.fixture(scope="module")
+def grid():
+    out = {}
+    for g in GENERATIONS:
+        files = _corpus(g)
+        config = DedupConfig(ecs=ECS, sd=SD_MAIN)
+        out[g] = {
+            "bf-mhd": evaluate(MHDDeduplicator(config), files, DEVICE),
+            "cdc": evaluate(CDCDeduplicator(config), files, DEVICE),
+        }
+    return out
+
+
+def test_scaling_generations(benchmark, grid):
+    def build() -> str:
+        rows = []
+        for g in GENERATIONS:
+            mhd, cdc = grid[g]["bf-mhd"], grid[g]["cdc"]
+            rows.append(
+                [
+                    g,
+                    f"{mhd.stats.input_bytes / 1e6:.0f} MB",
+                    f"{mhd.real_der:.3f}",
+                    f"{cdc.real_der:.3f}",
+                    f"{mhd.metadata_ratio:.2%}",
+                    f"{cdc.metadata_ratio:.2%}",
+                    f"{cdc.stats.metadata_bytes / max(1, mhd.stats.metadata_bytes):.2f}x",
+                ]
+            )
+        return format_table(
+            ["generations", "input", "MHD real DER", "CDC real DER",
+             "MHD metadata", "CDC metadata", "CDC/MHD metadata"],
+            rows,
+            title=f"history scaling (ECS={ECS}, SD={SD_MAIN})",
+        )
+
+    report = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_report("scaling_generations", report)
+    # Both DERs grow with history.
+    for algo in ("bf-mhd", "cdc"):
+        ders = [grid[g][algo].real_der for g in GENERATIONS]
+        assert ders == sorted(ders), algo
+    # CDC pays a multiple of MHD's metadata at every history length.
+    # (The multiple *narrows* with history on this corpus: CDC's
+    # metadata tracks unique chunks N, which dedup slows down, while
+    # MHD's per-file fixed costs track F, which grows linearly — an
+    # instructive inversion of the naive expectation.)
+    for g in GENERATIONS:
+        gap = (
+            grid[g]["cdc"].stats.metadata_bytes
+            / grid[g]["bf-mhd"].stats.metadata_bytes
+        )
+        assert gap > 2.0, g
+
+
+def test_mhd_metadata_ratio_flat_in_history(grid):
+    """MHD's MetaDataRatio stays essentially constant as history grows:
+    duplicate data adds at most HHR split entries, never hooks, and the
+    per-file costs scale with the input itself."""
+    ratios = [grid[g]["bf-mhd"].metadata_ratio for g in GENERATIONS]
+    assert max(ratios) / min(ratios) < 1.15

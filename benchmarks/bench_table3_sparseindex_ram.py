@@ -1,0 +1,55 @@
+"""Table III — RAM used for the sparse index in SparseIndexing.
+
+The paper reports ~0.01% of input size at SD=1000 across ECS 1024-8192
+(about 100 MB on 1 TB, dominated by the fixed structure).  We report
+the measured in-RAM sparse-index size and its ratio to the input at
+the scaled SD, over the same ECS sweep.
+"""
+
+import pytest
+
+from conftest import ALGORITHMS, DEVICE, ECS_VALUES, SD_MAIN, write_report
+from repro.analysis import evaluate, format_table
+from repro.core import DedupConfig
+
+TABLE_ECS = [e for e in ECS_VALUES if e >= 1024]  # the paper's Table III columns
+
+
+@pytest.fixture(scope="module")
+def runs(corpus_files):
+    out = {}
+    for ecs in TABLE_ECS:
+        dedup = ALGORITHMS["sparse-indexing"](DedupConfig(ecs=ecs, sd=SD_MAIN))
+        run = evaluate(dedup, corpus_files, DEVICE)
+        out[ecs] = (run, dedup.sparse_index_bytes())
+    return out
+
+
+def test_table3_sparse_index_ram(benchmark, runs):
+    def build() -> str:
+        header = ["ECS (bytes)"] + [str(e) for e in TABLE_ECS]
+        ram_row = ["sparse index RAM (KB)"] + [
+            f"{runs[e][1] / 1024:.1f}" for e in TABLE_ECS
+        ]
+        ratio_row = ["RAM / input"] + [
+            f"{runs[e][1] / runs[e][0].stats.input_bytes:.5%}" for e in TABLE_ECS
+        ]
+        return format_table(
+            header,
+            [ram_row, ratio_row],
+            title=f"Table III reproduction (SD={SD_MAIN} standing in for 1000)",
+        )
+
+    report = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_report("table3_sparseindex_ram", report)
+    # RAM shrinks (or stays flat) as ECS grows: fewer chunks -> fewer hooks.
+    sizes = [runs[e][1] for e in TABLE_ECS]
+    assert sizes == sorted(sizes, reverse=True)
+
+
+def test_table3_ram_small_fraction_of_input(runs):
+    """The sparse index must stay a tiny fraction of the input (the
+    design goal of sampling; paper: ~0.01% at SD=1000)."""
+    for ecs in TABLE_ECS:
+        run, ram = runs[ecs]
+        assert ram / run.stats.input_bytes < 0.01, ecs

@@ -1,0 +1,69 @@
+"""Table IV — byte size of all Hooks and Manifests in BF-MHD.
+
+The paper reports the combined Hook + Manifest footprint across
+ECS ∈ {1024 … 8192} × SD ∈ {1000, 500, 250} and observes it is small
+enough (0.007%-0.02% of input) to keep entirely in RAM.  We reproduce
+the grid at the scaled SD values and check both trends: the footprint
+shrinks as ECS grows and as SD grows.
+"""
+
+import pytest
+
+from conftest import ECS_VALUES, SD_VALUES, write_report
+from repro.analysis import format_table
+
+TABLE_ECS = [e for e in ECS_VALUES if e >= 1024]
+
+
+@pytest.fixture(scope="module")
+def grid(run_grid):
+    return {
+        (ecs, sd): run_grid("bf-mhd", ecs, sd)
+        for sd in SD_VALUES
+        for ecs in TABLE_ECS
+    }
+
+
+def _footprint(run) -> int:
+    s = run.stats
+    return s.hook_bytes + s.manifest_bytes
+
+
+def test_table4_hooks_manifest_bytes(benchmark, grid):
+    def build() -> str:
+        rows = []
+        for sd in SD_VALUES:
+            rows.append(
+                [f"SD={sd} size (KB)"]
+                + [f"{_footprint(grid[(e, sd)]) / 1024:.1f}" for e in TABLE_ECS]
+            )
+            rows.append(
+                [f"SD={sd} /input"]
+                + [
+                    f"{_footprint(grid[(e, sd)]) / grid[(e, sd)].stats.input_bytes:.4%}"
+                    for e in TABLE_ECS
+                ]
+            )
+        return format_table(
+            ["ECS (bytes)"] + [str(e) for e in TABLE_ECS],
+            rows,
+            title=f"Table IV reproduction (SD {SD_VALUES} standing in for 1000/500/250)",
+        )
+
+    report = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_report("table4_hooks_manifests", report)
+    # Trend 1: footprint shrinks with ECS at every SD.
+    for sd in SD_VALUES:
+        sizes = [_footprint(grid[(e, sd)]) for e in TABLE_ECS]
+        assert sizes == sorted(sizes, reverse=True), sd
+    # Trend 2: smaller SD -> more hooks -> larger footprint.
+    for ecs in TABLE_ECS:
+        by_sd = [_footprint(grid[(ecs, sd)]) for sd in SD_VALUES]  # descending SD
+        assert by_sd[-1] >= by_sd[0], ecs
+
+
+def test_table4_fits_in_ram(grid):
+    """The paper's conclusion: hooks+manifests are small enough for RAM
+    (well under 1% of the input at every grid point)."""
+    for (ecs, sd), run in grid.items():
+        assert _footprint(run) / run.stats.input_bytes < 0.01, (ecs, sd)

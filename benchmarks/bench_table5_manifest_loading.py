@@ -1,0 +1,66 @@
+"""Table V — disk accesses for Manifest loading in BF-MHD.
+
+The paper counts how many times manifests are read from disk into the
+cache across ECS × SD, noting the count falls with larger ECS (fewer,
+longer-lived manifests in cache) and rises with smaller SD.  The
+measured quantity here is the manifest-cache's disk-load counter plus
+the metered manifest reads.
+"""
+
+import pytest
+
+from conftest import ALGORITHMS, DEVICE, ECS_VALUES, SD_VALUES, write_report
+from repro.analysis import evaluate, format_table
+from repro.core import DedupConfig
+from repro.storage import DiskModel
+
+TABLE_ECS = [e for e in ECS_VALUES if e >= 1024]
+
+
+@pytest.fixture(scope="module")
+def grid(corpus_files):
+    out = {}
+    for sd in SD_VALUES:
+        for ecs in TABLE_ECS:
+            dedup = ALGORITHMS["bf-mhd"](DedupConfig(ecs=ecs, sd=sd))
+            run = evaluate(dedup, corpus_files, DEVICE)
+            out[(ecs, sd)] = (run, dedup.cache.loads, dedup.cache.hits)
+    return out
+
+
+def test_table5_manifest_loads(benchmark, grid):
+    def build() -> str:
+        rows = []
+        for sd in SD_VALUES:
+            rows.append(
+                [f"SD={sd} loads"] + [grid[(e, sd)][1] for e in TABLE_ECS]
+            )
+            rows.append(
+                [f"SD={sd} manifest reads"]
+                + [
+                    grid[(e, sd)][0].stats.io.count(DiskModel.MANIFEST, "read")
+                    for e in TABLE_ECS
+                ]
+            )
+            rows.append(
+                [f"SD={sd} cache hits"] + [grid[(e, sd)][2] for e in TABLE_ECS]
+            )
+        return format_table(
+            ["ECS (bytes)"] + [str(e) for e in TABLE_ECS],
+            rows,
+            title=f"Table V reproduction (SD {SD_VALUES} standing in for 1000/500/250)",
+        )
+
+    report = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_report("table5_manifest_loading", report)
+    # The paper's trend: manifest loads fall as ECS grows, at every SD.
+    for sd in SD_VALUES:
+        loads = [grid[(e, sd)][1] for e in TABLE_ECS]
+        assert loads[-1] <= loads[0], sd
+
+
+def test_table5_loads_match_metered_reads(grid):
+    """Every cache load is a metered manifest read."""
+    for (ecs, sd), (run, loads, _hits) in grid.items():
+        reads = run.stats.io.count(DiskModel.MANIFEST, "read")
+        assert loads == reads, (ecs, sd)

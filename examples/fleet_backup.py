@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Fleet backup — the paper's motivating workload, scaled down.
+
+Simulates the paper's test dataset (disk-image backups of a PC fleet
+over a period of days; theirs was 14 PCs / two weeks / 1 TB) and runs
+BF-MHD over it generation by generation, reporting how the duplicate-
+elimination ratio grows as backup history accumulates — exactly why
+in-line dedup pays off for backup storage.
+
+Run:  python examples/fleet_backup.py [--machines N] [--generations G]
+"""
+
+import argparse
+
+from repro import DedupConfig, MHDDeduplicator
+from repro.analysis import DeviceModel
+from repro.workloads import BackupCorpus, CorpusConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--machines", type=int, default=4)
+    parser.add_argument("--generations", type=int, default=5)
+    parser.add_argument("--ecs", type=int, default=2048)
+    parser.add_argument("--sd", type=int, default=16)
+    args = parser.parse_args()
+
+    corpus = BackupCorpus(
+        CorpusConfig(
+            machines=args.machines,
+            generations=args.generations,
+            os_count=2,
+            os_bytes=1 << 20,
+            app_bytes=1 << 18,
+            user_bytes=1 << 19,
+            mean_file=1 << 16,
+        )
+    )
+    dedup = MHDDeduplicator(DedupConfig(ecs=args.ecs, sd=args.sd))
+    device = DeviceModel()
+
+    print(f"fleet: {args.machines} machines x {args.generations} nightly backups "
+          f"(ECS={args.ecs}, SD={args.sd})\n")
+    print(f"{'generation':>10} {'input MB':>10} {'stored MB':>10} "
+          f"{'data DER':>9} {'real DER':>9} {'tput ratio':>10}")
+
+    current_gen = None
+    for f in corpus:
+        gen = int(f.file_id.split("/")[1][3:])
+        if current_gen is not None and gen != current_gen:
+            _report(dedup, device, current_gen)
+        current_gen = gen
+        dedup.ingest(f)
+    stats = dedup.finalize()
+    _report(dedup, device, current_gen, final=stats)
+
+    print(f"\nhysteresis re-chunking: {dedup.hhr_splits} splits, "
+          f"{dedup.hhr_reads} byte reloads "
+          f"(worst-case bound 3L = {3 * stats.duplicate_slices})")
+    print(f"metadata footprint: {stats.metadata_ratio:.2%} of input; "
+          f"hooks+manifests = {(stats.hook_bytes + stats.manifest_bytes) / 1024:.0f} KB "
+          f"(fits in RAM)")
+
+
+def _report(dedup, device, gen, final=None):
+    stats = final if final is not None else dedup.snapshot_stats()
+    print(f"{gen:>10} {stats.input_bytes / 1e6:>10.1f} "
+          f"{stats.stored_chunk_bytes / 1e6:>10.1f} "
+          f"{stats.data_only_der:>9.2f} {stats.real_der:>9.2f} "
+          f"{device.throughput_ratio(stats):>10.3f}")
+
+
+if __name__ == "__main__":
+    main()

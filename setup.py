@@ -1,0 +1,4 @@
+"""Shim for offline legacy editable installs (`pip install -e . --no-use-pep517`)."""
+from setuptools import setup
+
+setup()

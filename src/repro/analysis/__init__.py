@@ -1,0 +1,38 @@
+"""Analysis: closed-form models, the timing model, and reporting."""
+
+from .comparison import dominates, pareto_front, rank_by
+from .formulas import ALGORITHMS, CorpusParams, table1_metadata, table2_disk_accesses
+from .metrics import AlgorithmRun, evaluate, sweep_ecs
+from .projection import (
+    PAPER_CORPUS,
+    ScaleDescription,
+    project,
+    projected_metadata_ratios,
+)
+from .report import ascii_chart, fmt, format_series, format_table
+from .restore_cost import RestoreCost, measure_restore_cost
+from .timing import DeviceModel
+
+__all__ = [
+    "dominates",
+    "pareto_front",
+    "rank_by",
+    "ALGORITHMS",
+    "CorpusParams",
+    "table1_metadata",
+    "table2_disk_accesses",
+    "AlgorithmRun",
+    "evaluate",
+    "sweep_ecs",
+    "PAPER_CORPUS",
+    "ScaleDescription",
+    "project",
+    "projected_metadata_ratios",
+    "ascii_chart",
+    "fmt",
+    "format_series",
+    "format_table",
+    "DeviceModel",
+    "RestoreCost",
+    "measure_restore_cost",
+]

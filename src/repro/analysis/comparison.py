@@ -1,0 +1,67 @@
+"""Multi-run comparison helpers: rankings and Pareto frontiers.
+
+The paper's Fig. 8 is a Pareto story — each algorithm traces a curve
+in (overhead, DER) space and the reader judges who dominates whom.
+These helpers make that judgement programmatic: benches and users can
+ask which runs are Pareto-optimal for a chosen overhead/benefit pair
+and how algorithms rank on a single metric.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from .metrics import AlgorithmRun
+
+__all__ = ["rank_by", "pareto_front", "dominates"]
+
+
+def rank_by(
+    runs: Iterable[AlgorithmRun],
+    metric: str | Callable[[AlgorithmRun], float],
+    descending: bool = True,
+) -> list[AlgorithmRun]:
+    """Sort runs by a metric (attribute name or callable).
+
+    ``descending=True`` puts the best-is-biggest metrics (DER,
+    throughput ratio) first; pass ``False`` for cost metrics.
+    """
+    key = metric if callable(metric) else (lambda r: getattr(r, metric))
+    return sorted(runs, key=key, reverse=descending)
+
+
+def dominates(
+    a: AlgorithmRun,
+    b: AlgorithmRun,
+    cost: Callable[[AlgorithmRun], float],
+    benefit: Callable[[AlgorithmRun], float],
+) -> bool:
+    """True when ``a`` is at least as good as ``b`` on both axes and
+    strictly better on one (lower cost, higher benefit)."""
+    ca, cb = cost(a), cost(b)
+    ba, bb = benefit(a), benefit(b)
+    return ca <= cb and ba >= bb and (ca < cb or ba > bb)
+
+
+def pareto_front(
+    runs: Sequence[AlgorithmRun],
+    cost: str | Callable[[AlgorithmRun], float] = "metadata_ratio",
+    benefit: str | Callable[[AlgorithmRun], float] = "real_der",
+) -> list[AlgorithmRun]:
+    """Runs not dominated by any other run, sorted by ascending cost.
+
+    Defaults answer the paper's Fig. 8(b) question: which (algorithm,
+    ECS) settings are efficient in metadata-vs-real-DER space?
+    """
+    cost_fn = cost if callable(cost) else (lambda r: getattr(r, cost))
+    benefit_fn = benefit if callable(benefit) else (lambda r: getattr(r, benefit))
+    front = [
+        run
+        for run in runs
+        if not any(
+            dominates(other, run, cost_fn, benefit_fn)
+            for other in runs
+            if other is not run
+        )
+    ]
+    return sorted(front, key=cost_fn)

@@ -1,0 +1,95 @@
+"""Experiment-level evaluation helpers.
+
+Bundles one deduplication run's :class:`DedupStats` with the derived
+timing metrics into an :class:`AlgorithmRun`, and provides the sweep
+helpers the benches use to regenerate the paper's figures (one run per
+algorithm per ECS point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..core.base import DedupStats, Deduplicator
+from ..core.config import DedupConfig
+from ..workloads.machine import BackupFile
+from .timing import DeviceModel
+
+__all__ = ["AlgorithmRun", "evaluate", "sweep_ecs"]
+
+
+@dataclass(frozen=True)
+class AlgorithmRun:
+    """One (algorithm, config) point of an experiment grid."""
+
+    stats: DedupStats
+    throughput_ratio: float
+    dedup_seconds: float
+
+    @property
+    def name(self) -> str:
+        """The algorithm's display name."""
+        return self.stats.algorithm
+
+    @property
+    def ecs(self) -> int:
+        """Expected chunk size of this run."""
+        return self.stats.config.ecs
+
+    @property
+    def sd(self) -> int:
+        """Sampling distance of this run."""
+        return self.stats.config.sd
+
+    # Pass-throughs used by the benches when printing figure series.
+    @property
+    def data_only_der(self) -> float:
+        """Pass-through of :attr:`DedupStats.data_only_der`."""
+        return self.stats.data_only_der
+
+    @property
+    def real_der(self) -> float:
+        """Pass-through of :attr:`DedupStats.real_der`."""
+        return self.stats.real_der
+
+    @property
+    def metadata_ratio(self) -> float:
+        """Pass-through of :attr:`DedupStats.metadata_ratio`."""
+        return self.stats.metadata_ratio
+
+    @property
+    def inodes_per_mb(self) -> float:
+        """Pass-through of :attr:`DedupStats.inodes_per_mb`."""
+        return self.stats.inodes_per_mb
+
+
+def evaluate(
+    dedup: Deduplicator,
+    files: Iterable[BackupFile],
+    device: DeviceModel | None = None,
+) -> AlgorithmRun:
+    """Run one deduplicator over a corpus and derive its metrics."""
+    device = device or DeviceModel()
+    stats = dedup.process(files)
+    return AlgorithmRun(
+        stats=stats,
+        throughput_ratio=device.throughput_ratio(stats),
+        dedup_seconds=device.dedup_time(stats),
+    )
+
+
+def sweep_ecs(
+    factory: Callable[[DedupConfig], Deduplicator],
+    files: Sequence[BackupFile],
+    ecs_values: Sequence[int],
+    sd: int,
+    device: DeviceModel | None = None,
+    **config_kw,
+) -> list[AlgorithmRun]:
+    """Evaluate one algorithm across an ECS sweep (fresh state per point)."""
+    runs = []
+    for ecs in ecs_values:
+        config = DedupConfig(ecs=ecs, sd=sd, **config_kw)
+        runs.append(evaluate(factory(config), files, device))
+    return runs

@@ -1,0 +1,102 @@
+"""Plain-text rendering of experiment tables and figure series.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output consistent (fixed-width ASCII tables
+a diff tool can track between runs).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "ascii_chart", "fmt"]
+
+
+def fmt(value, digits: int = 3) -> str:
+    """Human-friendly scalar formatting for table cells."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 10 ** (-digits):
+            return f"{value:.{digits}e}"
+        return f"{value:,.{digits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in cells)) if cells else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_chart(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render (x, y) series as a terminal scatter chart.
+
+    Each series gets a marker letter; overlapping points show the
+    later series' marker.  The benches append these under the numeric
+    tables so a figure's *shape* is visible straight from the report
+    file — the closest a text artifact gets to the paper's plots.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(empty chart)"
+    xs, ys = zip(*points)
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    legend = []
+    for i, (name, pts) in enumerate(series.items()):
+        mark = markers[i % len(markers)]
+        legend.append(f"{mark}={name}")
+        for x, y in pts:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = mark
+    lines = [f"{y_label}  {y_hi:.4g}".rstrip()]
+    lines += ["  |" + "".join(row) for row in grid]
+    lines.append("  +" + "-" * width)
+    lines.append(f"   {x_lo:.4g}{' ' * max(1, width - 12)}{x_hi:.4g}  ({x_label})")
+    lines.append("   " + "  ".join(legend))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence,
+    ys: Sequence,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one figure series as labelled (x, y) pairs."""
+    pairs = ", ".join(f"({fmt(x)}, {fmt(y)})" for x, y in zip(xs, ys))
+    return f"{name} [{x_label} -> {y_label}]: {pairs}"

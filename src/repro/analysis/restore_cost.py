@@ -1,0 +1,97 @@
+"""Restore-cost analysis — the other side of the dedup bargain.
+
+The paper evaluates *write* throughput ("the deduplication throughput
+refers to the write throughput"); production systems also care what
+deduplication does to **restores**: every extent a FileManifest holds
+is one random disk access at read time, so fragmentation accumulated
+by chunk-level sharing directly taxes recovery speed.
+
+This module measures, per deduplicated store:
+
+* extents per restored file (the fragmentation factor),
+* distinct containers touched (cache/locality footprint),
+* simulated restore seconds and MB/s under the shared
+  :class:`~repro.analysis.timing.DeviceModel` (one seek per extent +
+  sequential transfer),
+* restore slowdown vs reading the file sequentially without dedup.
+
+MHD's FileManifest run-coalescing is precisely an optimisation of this
+cost, so the accompanying bench shows the coalescing payoff next to
+the baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.base import Deduplicator
+from .timing import DeviceModel
+
+__all__ = ["RestoreCost", "measure_restore_cost"]
+
+
+@dataclass(frozen=True)
+class RestoreCost:
+    """Aggregate cost of restoring a set of files."""
+
+    files: int
+    restored_bytes: int
+    extents: int
+    distinct_containers: int
+    seconds: float
+    plain_read_seconds: float
+
+    @property
+    def extents_per_file(self) -> float:
+        """Mean fragmentation factor."""
+        return self.extents / max(1, self.files)
+
+    @property
+    def extents_per_mb(self) -> float:
+        """Seeks paid per MB restored."""
+        return self.extents / max(1e-9, self.restored_bytes / (1 << 20))
+
+    @property
+    def throughput_bps(self) -> float:
+        """Simulated restore bytes/second."""
+        return self.restored_bytes / max(1e-12, self.seconds)
+
+    @property
+    def slowdown(self) -> float:
+        """Restore time / plain sequential-read time (≥ ~1)."""
+        return self.seconds / max(1e-12, self.plain_read_seconds)
+
+
+def measure_restore_cost(
+    dedup: Deduplicator,
+    file_ids: Sequence[str] | Iterable[str],
+    device: DeviceModel | None = None,
+) -> RestoreCost:
+    """Walk FileManifests and price their extent lists.
+
+    Static analysis of the recipes — no bytes are actually moved, so
+    this is cheap enough to run over a whole store.
+    """
+    device = device or DeviceModel()
+    files = 0
+    restored_bytes = 0
+    extents = 0
+    containers: set[bytes] = set()
+    for file_id in file_ids:
+        fm = dedup.file_manifests.get(file_id)
+        files += 1
+        for e in fm.extents:
+            extents += 1
+            restored_bytes += e.size
+            containers.add(e.container_id)
+    seconds = extents * device.seek_s + restored_bytes / device.disk_bw
+    plain = files * device.seek_s + restored_bytes / device.disk_bw
+    return RestoreCost(
+        files=files,
+        restored_bytes=restored_bytes,
+        extents=extents,
+        distinct_containers=len(containers),
+        seconds=seconds,
+        plain_read_seconds=plain,
+    )

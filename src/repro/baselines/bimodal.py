@@ -1,0 +1,159 @@
+"""Bimodal chunking deduplication (Kruus, Ungureanu & Dubnicki, FAST'10).
+
+The big-chunk-first strategy the paper compares against:
+
+1. The stream is chunked at the *big* granularity ``ECS · SD``.
+2. Each big chunk is queried for duplication (Bloom-gated on-disk
+   lookup, as in the paper's improved "with bloom filter" variant).
+3. Non-duplicate big chunks at **transition points** — adjacent to a
+   duplicate chunk in the stream — are re-chunked at the small
+   granularity ``ECS`` and each small chunk deduplicated individually.
+4. Everything stored (big chunks and small chunks alike) gets one
+   manifest entry *and one on-disk Hook file*, which is why Table I
+   charges Bimodal ``N/SD + 2L(SD-1)`` hook inodes: re-chunking at the
+   2·L transition points mints ``SD``-ish new hooks each.
+
+Duplicate data *inside* non-duplicate big chunks away from transition
+points is missed — the DER deficit the paper's Fig. 8 shows.
+"""
+
+from __future__ import annotations
+
+from ..chunking import Chunk, VectorizedChunker
+from ..hashing import Digest, sha1
+from ..storage import FileManifest, Manifest
+from ..storage.manifest import ENTRY_SIZE, ManifestEntry
+from ..workloads.machine import BackupFile
+from ..core.base import Deduplicator
+from ..core.manifest_cache import ManifestCache
+
+__all__ = ["BimodalDeduplicator"]
+
+
+class BimodalDeduplicator(Deduplicator):
+    """Big-chunk-first, transition-point re-chunking deduplicator."""
+
+    name = "bimodal"
+
+    def __init__(self, config=None, backend=None):
+        super().__init__(config, backend)
+        self.big_chunker = VectorizedChunker(self.config.big_chunker_config())
+        self.small_chunker = VectorizedChunker(self.config.small_chunker_config())
+        self.cache = ManifestCache(self.manifests, self.config.cache_manifests)
+        #: big chunks re-chunked at transition points (diagnostic)
+        self.rechunked_big = 0
+
+    def _ingest_file(self, file: BackupFile) -> None:
+        data = file.data
+        fid = file.file_id.encode()
+        container_id = sha1(fid)
+        manifest = Manifest(
+            sha1(fid + b"|manifest"), container_id, entry_size=ENTRY_SIZE
+        )
+        self.cache.add(manifest, pin=True)
+        writer = None
+        fm = FileManifest(file.file_id)
+
+        big_chunks = self.big_chunker.chunk(data)
+        self.cpu.chunked += len(data)
+        # Phase 1: duplicate status of every big chunk (the paper's
+        # "(N+D)/SD big chunk queries" when unfiltered).
+        digests: list[Digest] = []
+        hits: list[tuple[Manifest, ManifestEntry] | None] = []
+        for chunk in big_chunks:
+            digest = sha1(chunk.data)
+            digests.append(digest)
+            self.cpu.hashed += chunk.size
+            hits.append(self._lookup(digest, manifest, key=digest))
+
+        # Phase 2: store / re-chunk.
+        for i, chunk in enumerate(big_chunks):
+            hit = hits[i]
+            if hit is not None:
+                owner, entry = hit
+                self._count_duplicate(chunk.size)
+                fm.append(owner.chunk_id, entry.offset, entry.size)
+                continue
+            if self._should_rechunk(i, big_chunks, hits):
+                self.rechunked_big += 1
+                writer = self._ingest_small(chunk, manifest, container_id, writer, fm)
+            else:
+                self._count_unique(chunk.size)
+                writer = writer or self.chunks.open_container(container_id)
+                offset = writer.append(chunk.data)
+                self._store_entry(manifest, digests[i], offset, chunk.size)
+                fm.append(container_id, offset, chunk.size)
+
+        self.cache.reindex(manifest)
+        if writer is not None:
+            writer.close()
+        if manifest.entries:
+            self.manifests.put(manifest)
+        self.cache.unpin(manifest.manifest_id)
+        self.file_manifests.put(fm)
+        self._observe_ram(self.cache.ram_bytes())
+
+    def _should_rechunk(self, i: int, big_chunks: list[Chunk], hits: list) -> bool:
+        """Bimodal's transition-point rule: re-chunk a non-duplicate big
+        chunk iff a stream neighbour is duplicate.  Subclasses (FBC)
+        substitute their own selection strategy."""
+        return (i > 0 and hits[i - 1] is not None) or (
+            i + 1 < len(hits) and hits[i + 1] is not None
+        )
+
+    def _ingest_small(
+        self,
+        big: Chunk,
+        manifest: Manifest,
+        container_id: Digest,
+        writer,
+        fm: FileManifest,
+    ):
+        """Re-chunk one transition big chunk and dedup its small chunks."""
+        small_chunks = self.small_chunker.chunk(bytes(big.data))
+        self.cpu.chunked += big.size
+        for chunk in small_chunks:
+            digest = sha1(chunk.data)
+            self.cpu.hashed += chunk.size
+            hit = self._lookup(digest, manifest, key=digest)
+            if hit is not None:
+                owner, entry = hit
+                self._count_duplicate(chunk.size)
+                fm.append(owner.chunk_id, entry.offset, entry.size)
+                continue
+            self._count_unique(chunk.size)
+            writer = writer or self.chunks.open_container(container_id)
+            offset = writer.append(chunk.data)
+            self._store_entry(manifest, digest, offset, chunk.size)
+            fm.append(container_id, offset, chunk.size)
+        return writer
+
+    def _store_entry(
+        self, manifest: Manifest, digest: Digest, offset: int, size: int
+    ) -> None:
+        manifest.append(ManifestEntry(digest, offset, size, is_hook=True))
+        self.hooks.put(digest, manifest.manifest_id)
+        if self.bloom is not None:
+            self.bloom.add(digest)
+
+    def _lookup(
+        self, digest: Digest, current: Manifest, key: Digest
+    ) -> tuple[Manifest, ManifestEntry] | None:
+        idx = current.find(digest)
+        if idx is not None:
+            return current, current.entries[idx]
+        manifest = self.cache.search(digest)
+        if manifest is None:
+            if self.bloom is not None and digest not in self.bloom:
+                return None
+            manifest_id = self.hooks.lookup(digest)
+            if manifest_id is None:
+                return None
+            manifest = self.cache.load(manifest_id)
+        idx = manifest.find(digest)
+        if idx is None:
+            return None
+        return manifest, manifest.entries[idx]
+
+    def _flush(self) -> None:
+        self.cache.flush()

@@ -1,0 +1,81 @@
+"""FBC — Frequency-Based Chunking (Lu, Jin & Du, MASCOTS'10).
+
+Discussed in the paper's related work as the third member of the
+big-chunk-first family: where Bimodal re-chunks at *transition points*
+and SubChunk re-chunks *everything*, FBC re-chunks a non-duplicate big
+chunk only when frequency information "estimated from data that have
+been previously processed" suggests duplicate small chunks hide inside
+it.
+
+This implementation keeps a Count-Min sketch of every small-chunk
+digest that has streamed past (frequencies are approximate by design —
+an exact table would be a full index).  A non-duplicate big chunk is
+re-chunked when at least ``min_frequent`` of its small chunks have an
+estimated frequency ≥ ``frequency_threshold``.  The frequency probe
+hashes every small chunk of every non-duplicate big chunk, and a
+re-chunk pass hashes them again — FBC's real two-pass CPU cost, and
+both passes are charged to the CPU meter.
+"""
+
+from __future__ import annotations
+
+from ..chunking import Chunk
+from ..hashing import sha1
+from ..hashing.sketch import CountMinSketch
+from .bimodal import BimodalDeduplicator
+
+__all__ = ["FBCDeduplicator"]
+
+
+class FBCDeduplicator(BimodalDeduplicator):
+    """Selective re-chunking driven by a chunk-frequency sketch."""
+
+    name = "fbc"
+
+    def __init__(
+        self,
+        config=None,
+        backend=None,
+        frequency_threshold: int = 2,
+        min_frequent: int = 1,
+        sketch_width: int = 1 << 14,
+    ):
+        super().__init__(config, backend)
+        if frequency_threshold < 1 or min_frequent < 1:
+            raise ValueError("frequency_threshold and min_frequent must be >= 1")
+        self.frequency_threshold = frequency_threshold
+        self.min_frequent = min_frequent
+        self.sketch = CountMinSketch(width=sketch_width)
+        #: big chunks re-chunked because of frequency evidence
+        self.frequency_rechunks = 0
+
+    def _small_digests(self, big: Chunk) -> list[bytes]:
+        data = bytes(big.data)
+        digests = []
+        for chunk in self.small_chunker.chunk(data):
+            digests.append(sha1(chunk.data))
+        self.cpu.chunked += big.size
+        self.cpu.hashed += big.size
+        return digests
+
+    def _should_rechunk(self, i, big_chunks, hits) -> bool:
+        digests = self._small_digests(big_chunks[i])
+        frequent = sum(
+            1
+            for d in digests
+            if self.sketch.estimate(d) >= self.frequency_threshold
+        )
+        # Every observed small chunk feeds the sketch — this is the
+        # "data that have been previously processed".
+        for d in digests:
+            self.sketch.add(d)
+        if frequent >= self.min_frequent:
+            self.frequency_rechunks += 1
+            return True
+        return False
+
+    def _observe_ram(self, current_bytes: int) -> None:
+        # The sketch is RAM, not persistent metadata: fold it into the
+        # peak-RAM figure so FBC's footprint is comparable to MHD's
+        # bloom + cache budget.
+        super()._observe_ram(current_bytes + self.sketch.size_bytes)

@@ -1,0 +1,91 @@
+"""Cut-point selection shared by the content-defined chunkers.
+
+The rolling hash proposes *candidate* positions; this module turns a
+sorted candidate array into final cut points subject to the min/max
+chunk-size bounds.  Keeping the selection logic in one place is what
+lets the pure-Python reference chunker and the NumPy-vectorised
+chunker agree bit-for-bit (a property the test-suite enforces).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["select_cut_points", "splitmix64"]
+
+
+def splitmix64(seed: int) -> "_SplitMix64":
+    """Deterministic 64-bit constant generator for hash parameters."""
+    return _SplitMix64(seed)
+
+
+class _SplitMix64:
+    """SplitMix64 PRNG — tiny, seedable, and dependency-free."""
+
+    _MASK = (1 << 64) - 1
+
+    def __init__(self, seed: int):
+        self._state = seed & self._MASK
+
+    def next(self) -> int:
+        self._state = (self._state + 0x9E3779B97F4A7C15) & self._MASK
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & self._MASK
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & self._MASK
+        return z ^ (z >> 31)
+
+    def next_odd(self) -> int:
+        return self.next() | 1
+
+
+def select_cut_points(
+    candidates: np.ndarray,
+    n: int,
+    min_size: int,
+    max_size: int,
+) -> np.ndarray:
+    """Choose final cut points from sorted candidate positions.
+
+    Rules (matching the Rabin-fingerprint chunking described in the
+    paper's Section II): starting from the previous cut, the next cut
+    is the first candidate at least ``min_size`` bytes away; if no
+    candidate occurs within ``max_size`` bytes the cut is forced at
+    ``max_size``.  The final cut always lands exactly at ``n``.
+
+    Parameters
+    ----------
+    candidates:
+        Sorted ``int64`` positions where the rolling-hash condition
+        held (a cut *after* byte ``p-1``).
+    n:
+        Input length; the trailing cut.
+    """
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    cuts: list[int] = []
+    start = 0
+    k = 0  # index into candidates
+    num = len(candidates)
+    while n - start > max_size:
+        lo = start + min_size
+        hi = start + max_size
+        k = int(np.searchsorted(candidates, lo, side="left"))
+        if k < num and candidates[k] <= hi:
+            cut = int(candidates[k])
+        else:
+            cut = hi
+        cuts.append(cut)
+        start = cut
+    # Tail: shorter than max_size.  A candidate may still split it,
+    # provided both resulting pieces respect min_size where possible.
+    while n - start > min_size:
+        lo = start + min_size
+        k = int(np.searchsorted(candidates, lo, side="left"))
+        if k < num and candidates[k] < n:
+            cut = int(candidates[k])
+            cuts.append(cut)
+            start = cut
+        else:
+            break
+    cuts.append(n)
+    return np.asarray(cuts, dtype=np.int64)

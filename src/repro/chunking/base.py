@@ -1,0 +1,148 @@
+"""Common chunking types: :class:`Chunk`, :class:`ChunkerConfig` and the
+:class:`Chunker` interface.
+
+All chunkers in this package share one contract: given an input buffer
+they return a strictly increasing array of *cut points* ``[c_1, ...,
+c_k]`` with ``c_k == len(data)``; chunk ``i`` covers bytes
+``[c_{i-1}, c_i)`` (with ``c_0 == 0``).  Content-defined chunkers
+(Karp–Rabin, Gear, TTTD) choose cut points from the data so that
+boundaries resynchronise after insertions/deletions — the property
+that defeats the boundary-shifting problem of fixed-size chunking.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Chunk", "ChunkerConfig", "Chunker", "chunks_from_cut_points"]
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One chunk of an input buffer.
+
+    ``data`` is a zero-copy :class:`memoryview` into the original
+    buffer (copies of multi-megabyte streams are the dominant avoidable
+    cost in Python dedup pipelines).
+    """
+
+    offset: int
+    size: int
+    data: memoryview = field(repr=False)
+
+    def tobytes(self) -> bytes:
+        """Materialise the chunk's bytes (copies)."""
+        return bytes(self.data)
+
+
+@dataclass(frozen=True)
+class ChunkerConfig:
+    """Parameters shared by the content-defined chunkers.
+
+    Parameters
+    ----------
+    expected_size:
+        The paper's ``ECS`` — the mean chunk size targeted by the cut
+        condition, which fires when the finalised window hash falls
+        below ``2^64 / ECS`` (probability exactly ``1/ECS``; any
+        ECS ≥ 16 is supported, matching the paper's 768-byte sweep
+        point).
+    min_size, max_size:
+        Hard bounds on chunk length.  Defaults follow LBFS-style
+        practice: ``min = max(64, ECS // 4)`` and ``max = 8 * ECS``.
+    window:
+        Sliding-window width in bytes for the rolling hash.
+    seed:
+        Seeds the rolling-hash constants; two chunkers with the same
+        seed make identical cut decisions.
+    """
+
+    expected_size: int = 4096
+    min_size: int | None = None
+    max_size: int | None = None
+    window: int = 48
+    seed: int = 0x9E3779B9
+
+    def __post_init__(self) -> None:
+        ecs = self.expected_size
+        if ecs < 16:
+            raise ValueError(f"expected_size must be >= 16, got {ecs}")
+        if self.min_size is None:
+            object.__setattr__(self, "min_size", max(64, ecs // 4))
+        if self.max_size is None:
+            object.__setattr__(self, "max_size", 8 * ecs)
+        if self.min_size <= 0:
+            raise ValueError(f"min_size must be positive, got {self.min_size}")
+        if self.max_size < self.min_size:
+            raise ValueError(
+                f"max_size ({self.max_size}) must be >= min_size ({self.min_size})"
+            )
+        if self.window <= 0:
+            raise ValueError(f"window must be positive, got {self.window}")
+
+    @property
+    def hash_threshold(self) -> int:
+        """Finalised window hashes below this value are cut candidates
+        (``2^64 / ECS``, giving an exact ``1/ECS`` probability)."""
+        return (1 << 64) // self.expected_size
+
+    def scaled(self, factor: int) -> "ChunkerConfig":
+        """A config with ``expected_size`` multiplied by ``factor``.
+
+        Used by the bimodal-family algorithms whose *big* chunk size is
+        ``ECS * SD`` for sampling distance ``SD``.
+        """
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        return ChunkerConfig(
+            expected_size=self.expected_size * factor,
+            min_size=None,
+            max_size=None,
+            window=self.window,
+            seed=self.seed,
+        )
+
+
+def chunks_from_cut_points(data: bytes | memoryview, cuts: np.ndarray) -> list[Chunk]:
+    """Build :class:`Chunk` views from a cut-point array."""
+    view = memoryview(data)
+    out: list[Chunk] = []
+    start = 0
+    for end in cuts:
+        end = int(end)
+        out.append(Chunk(offset=start, size=end - start, data=view[start:end]))
+        start = end
+    return out
+
+
+class Chunker(ABC):
+    """Interface implemented by every chunking algorithm."""
+
+    config: ChunkerConfig
+
+    @abstractmethod
+    def cut_points(self, data: bytes | memoryview) -> np.ndarray:
+        """Strictly increasing ``int64`` cut positions ending at ``len(data)``.
+
+        An empty input yields an empty array.
+        """
+
+    def chunk(self, data: bytes | memoryview) -> list[Chunk]:
+        """Split ``data`` into :class:`Chunk` views."""
+        if len(data) == 0:
+            return []
+        return chunks_from_cut_points(data, self.cut_points(data))
+
+    def validate_cuts(self, data_len: int, cuts: np.ndarray) -> None:
+        """Assert the cut-point contract (used by tests and debug runs)."""
+        if data_len == 0:
+            if len(cuts) != 0:
+                raise AssertionError("empty input must produce no cuts")
+            return
+        if len(cuts) == 0 or int(cuts[-1]) != data_len:
+            raise AssertionError("last cut must equal input length")
+        if np.any(np.diff(cuts) <= 0) or int(cuts[0]) <= 0:
+            raise AssertionError("cut points must be strictly increasing and positive")

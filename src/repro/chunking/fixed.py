@@ -1,0 +1,31 @@
+"""Fixed-size (FSP) chunker — the Venti/OceanStore baseline.
+
+Included because the paper's introduction motivates CDC by fixed-size
+chunking's *boundary-shifting problem*: a one-byte insertion shifts
+every later chunk boundary, destroying all downstream duplicate
+detection.  The test-suite demonstrates exactly this failure mode, and
+the ablation benches use FSP as the no-CDC control.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Chunker, ChunkerConfig
+
+__all__ = ["FixedChunker"]
+
+
+class FixedChunker(Chunker):
+    """Cuts every ``expected_size`` bytes regardless of content."""
+
+    def __init__(self, config: ChunkerConfig | None = None):
+        self.config = config or ChunkerConfig()
+
+    def cut_points(self, data: bytes | memoryview) -> np.ndarray:
+        n = len(data)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        step = self.config.expected_size
+        cuts = np.arange(step, n, step, dtype=np.int64)
+        return np.concatenate([cuts, np.asarray([n], dtype=np.int64)])

@@ -1,0 +1,70 @@
+"""Gear-hash CDC chunker (FastCDC-family), vectorised.
+
+The gear rolling hash is ``H(i+1) = (H(i) << 1) + G[b_i]`` over a
+256-entry random table ``G``.  Because the shift discards bits past
+position 63, the hash of position ``p`` depends only on the previous
+64 bytes — modulo-``2^64`` wraparound implements the sliding window
+for free:
+
+.. math:: H(p) = \\sum_{j=p-64}^{p-1} G[b_j] \\ll (p-1-j) \\bmod 2^{64}
+
+Vectorisation: with ``g = G[b]`` this is a correlation of ``g`` with
+the fixed kernel ``(2^63, ..., 2, 1)`` — ``min(window, 64)`` shifted
+vectorised adds, each a single pass over the array.  For the default
+32-byte window that is ~32 elementwise passes; still far faster than a
+per-byte Python loop, and used in the repo as an *alternative* chunker
+for ablation benches (the Karp–Rabin chunker is the default).
+
+Cut condition: ``H`` falls below ``2^64 / ECS``, the
+FastCDC-style high-bit threshold test (gear's high bits carry the
+most entropy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ._select import select_cut_points, splitmix64
+from .base import Chunker, ChunkerConfig
+
+__all__ = ["GearChunker"]
+
+
+class GearChunker(Chunker):
+    """Vectorised gear-hash content-defined chunker.
+
+    ``config.window`` is clamped to at most 64 (bits shifted past 63
+    vanish, so a wider window is unobservable).
+    """
+
+    def __init__(self, config: ChunkerConfig | None = None):
+        self.config = config or ChunkerConfig()
+        rng = splitmix64(self.config.seed + 0x47454152)  # "GEAR" domain-separated
+        self._table = np.array([rng.next() for _ in range(256)], dtype=np.uint64)
+        self._window = min(self.config.window, 64)
+        self._threshold = np.uint64(min(self.config.hash_threshold, (1 << 64) - 1))
+
+    def candidates(self, data: bytes | memoryview) -> np.ndarray:
+        """Positions whose gear window hash satisfies the cut condition."""
+        n = len(data)
+        w = self._window
+        if n < w:
+            return np.empty(0, dtype=np.int64)
+        raw = np.frombuffer(data, dtype=np.uint8)
+        g = self._table[raw]
+        # H(p) for p in [w, n]; correlation with powers-of-two kernel.
+        h = np.zeros(n - w + 1, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            for t in range(w):
+                # g[p-1-t] contributes << t for p in [w, n]
+                h += g[w - 1 - t : n - t] << np.uint64(t)
+            cond = h < self._threshold
+        return np.nonzero(cond)[0].astype(np.int64) + w
+
+    def cut_points(self, data: bytes | memoryview) -> np.ndarray:
+        n = len(data)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        return select_cut_points(
+            self.candidates(data), n, self.config.min_size, self.config.max_size
+        )

@@ -1,0 +1,75 @@
+"""Local-maximum chunking (the AE / LMC family, Zhang et al. 2015).
+
+An alternative CDC family to rolling hashes: a position is a cut point
+when its (permuted) byte value is the strict maximum of a symmetric
+window of radius ``w`` around it.  A uniformly random position is that
+maximum with probability ``1/(2w+1)``, so the expected chunk size is
+``min_size + (2w+1)`` — the radius is derived from ``ECS``.
+
+The attraction is vectorisability without any rolling state:
+``scipy.ndimage.maximum_filter1d`` computes the windowed maximum in
+one pass, and a strict-maximum test is a single comparison.  Byte
+values are passed through a seeded 8-bit permutation first so that
+structured data (ASCII, zero runs) doesn't starve the extremum test,
+and ties (which break strictness) are resolved by mixing in low bits
+of the position-independent neighbour values via a 16-bit key built
+from byte pairs.
+
+Included as a related-family ablation chunker; the Karp–Rabin
+vectorised chunker remains the default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.ndimage import maximum_filter1d
+
+from ._select import select_cut_points, splitmix64
+from .base import Chunker, ChunkerConfig
+
+__all__ = ["LocalMaxChunker"]
+
+
+class LocalMaxChunker(Chunker):
+    """Strict-local-maximum content-defined chunker."""
+
+    def __init__(self, config: ChunkerConfig | None = None):
+        self.config = config or ChunkerConfig()
+        # Radius so that 2w+1 ~ expected_size.
+        self._radius = max(2, (self.config.expected_size - 1) // 2)
+        rng = splitmix64(self.config.seed + 0x4C4D43)  # "LMC"
+        # Seeded 16-bit value table indexed by byte pairs: enough key
+        # space that exact ties are rare even in structured data.
+        self._table = np.array(
+            [rng.next() & 0xFFFF for _ in range(65536)], dtype=np.uint16
+        )
+
+    def candidates(self, data: bytes | memoryview) -> np.ndarray:
+        """Strict local maxima of the keyed byte-pair sequence."""
+        n = len(data)
+        if n < 2:
+            return np.empty(0, dtype=np.int64)
+        raw = np.frombuffer(data, dtype=np.uint8)
+        pair_keys = (raw[:-1].astype(np.uint32) << 8) | raw[1:]
+        v = self._table[pair_keys]
+        window_max = maximum_filter1d(v, size=2 * self._radius + 1, mode="nearest")
+        is_max = v == window_max
+        # Strictness: a value equal to a *different* position's max is
+        # ambiguous; keep only positions whose value occurs once in the
+        # window.  Cheap approximation: drop positions whose immediate
+        # neighbours share the value.
+        strict = is_max.copy()
+        strict[1:] &= v[1:] != v[:-1]
+        strict[:-1] &= v[:-1] != v[1:]
+        # A candidate at pair position i cuts after byte i+1.
+        return np.nonzero(strict)[0].astype(np.int64) + 2
+
+    def cut_points(self, data: bytes | memoryview) -> np.ndarray:
+        n = len(data)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        cands = self.candidates(data)
+        cands = cands[cands <= n]
+        return select_cut_points(
+            cands, n, self.config.min_size, self.config.max_size
+        )

@@ -1,0 +1,81 @@
+"""TTTD — the Two-Threshold Two-Divisor chunker (Eshghi & Tang 2005).
+
+The paper's Section II describes TTTD as the improved CDC variant:
+besides the *main* divisor ``D`` (expected size ``ECS``) it tracks a
+*backup* divisor ``D' < D`` that matches more often.  While scanning
+between ``min_size`` and ``max_size``, the most recent backup match is
+remembered; if the scan reaches ``max_size`` without a main match, the
+cut is placed at the remembered backup position instead of at the
+arbitrary ``max_size`` byte.  This keeps forced cuts content-defined,
+improving boundary resynchronisation after edits.
+
+Implementation: reuses the vectorised Karp–Rabin window hash; the main
+condition is ``top log2(ECS) bits of (H*C) == 0`` and the backup
+condition ``top log2(ECS)-1 bits == 0`` (twice as likely, and a strict
+superset of main matches — exactly the divisor pair relationship).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Chunker, ChunkerConfig
+from .vectorized import VectorizedChunker
+
+__all__ = ["TTTDChunker"]
+
+
+class TTTDChunker(Chunker):
+    """Two-Threshold Two-Divisor chunking on the Karp–Rabin hash."""
+
+    def __init__(self, config: ChunkerConfig | None = None):
+        self.config = config or ChunkerConfig()
+        # Backup divisor = ECS/2: backup candidates are positions whose
+        # hash clears one fewer top bit.
+        if self.config.expected_size < 128:
+            raise ValueError("TTTD needs expected_size >= 128 for a backup divisor")
+        backup_cfg = ChunkerConfig(
+            expected_size=self.config.expected_size // 2,
+            min_size=self.config.min_size,
+            max_size=self.config.max_size,
+            window=self.config.window,
+            seed=self.config.seed,
+        )
+        self._main = VectorizedChunker(self.config)
+        self._backup = VectorizedChunker(backup_cfg)
+
+    def cut_points(self, data: bytes | memoryview) -> np.ndarray:
+        n = len(data)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        main = self._main.candidates(data)
+        backup = self._backup.candidates(data)
+        min_size, max_size = self.config.min_size, self.config.max_size
+        cuts: list[int] = []
+        start = 0
+        while n - start > max_size:
+            lo, hi = start + min_size, start + max_size
+            k = int(np.searchsorted(main, lo, side="left"))
+            if k < len(main) and main[k] <= hi:
+                cut = int(main[k])
+            else:
+                # No main match: fall back to the *last* backup match
+                # in-window, else force the cut at max_size.
+                kb = int(np.searchsorted(backup, hi, side="right")) - 1
+                if kb >= 0 and backup[kb] >= lo:
+                    cut = int(backup[kb])
+                else:
+                    cut = hi
+            cuts.append(cut)
+            start = cut
+        while n - start > min_size:
+            lo = start + min_size
+            k = int(np.searchsorted(main, lo, side="left"))
+            if k < len(main) and main[k] < n:
+                cut = int(main[k])
+                cuts.append(cut)
+                start = cut
+            else:
+                break
+        cuts.append(n)
+        return np.asarray(cuts, dtype=np.int64)

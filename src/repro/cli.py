@@ -1,0 +1,466 @@
+"""Command-line interface: ``repro-dedup``.
+
+Sub-commands:
+
+* ``run`` — deduplicate a synthetic corpus (or a real directory) with a
+  chosen algorithm and print the paper's metrics.
+* ``compare`` — run every algorithm over the same corpus and print the
+  comparison table (the Fig. 8 summary view).
+* ``trace`` — print corpus ground truth (N, D, L, DER, DAD — the
+  Fig. 10(a) characteristics).
+* ``restore`` — list or extract files from a persistent store created
+  by ``run --store-dir``.
+* ``gc`` — expire files from a persistent store and reclaim space.
+* ``stats`` — summarise a persistent store's contents.
+* ``gen-corpus`` — write the seeded synthetic corpus to a directory.
+* ``inspect`` — dump one file's recipe and the manifests behind it.
+
+Examples::
+
+    repro-dedup run --algo bf-mhd --ecs 2048 --sd 16
+    repro-dedup compare --machines 4 --generations 5
+    repro-dedup trace --ecs 1024
+    repro-dedup run --input-dir ~/files --store-dir /backup/store --verify --fsck
+    repro-dedup restore --store-dir /backup/store --list
+    repro-dedup restore --store-dir /backup/store --output-dir /tmp/out
+    repro-dedup gc --store-dir /backup/store --delete 'pc00/gen000/*'
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import os
+import sys
+from typing import Iterable
+
+from .analysis import DeviceModel, format_table
+from .storage import (
+    DirectoryBackend,
+    DiskChunkStore,
+    DiskModel,
+    FileManifestStore,
+    RetentionPolicy,
+    apply_retention,
+    delete_file,
+    sweep,
+    verify_store,
+)
+from .baselines import (
+    BimodalDeduplicator,
+    CDCDeduplicator,
+    ExtremeBinningDeduplicator,
+    FBCDeduplicator,
+    FingerdiffDeduplicator,
+    SparseIndexingDeduplicator,
+    SubChunkDeduplicator,
+)
+from .chunking import VectorizedChunker
+from .core import DedupConfig, MHDDeduplicator, SIMHDDeduplicator
+from .workloads import BackupCorpus, BackupFile, CorpusConfig, make_corpus, profile_names, trace_corpus
+
+ALGORITHMS = {
+    "bf-mhd": MHDDeduplicator,
+    "si-mhd": SIMHDDeduplicator,
+    "cdc": CDCDeduplicator,
+    "bimodal": BimodalDeduplicator,
+    "subchunk": SubChunkDeduplicator,
+    "sparse-indexing": SparseIndexingDeduplicator,
+    "fingerdiff": FingerdiffDeduplicator,
+    "fbc": FBCDeduplicator,
+    "extreme-binning": ExtremeBinningDeduplicator,
+}
+
+
+def _add_corpus_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--machines", type=int, default=4, help="fleet size")
+    p.add_argument("--generations", type=int, default=5, help="backups per machine")
+    p.add_argument("--seed", type=int, default=2013)
+    p.add_argument(
+        "--input-dir",
+        help="deduplicate real files from this directory instead of the synthetic corpus",
+    )
+    p.add_argument(
+        "--profile",
+        choices=profile_names(),
+        help="use a named corpus preset instead of the machines/generations knobs",
+    )
+
+
+def _add_dedup_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--ecs", type=int, default=2048, help="expected chunk size (bytes)")
+    p.add_argument("--sd", type=int, default=16, help="sampling distance (hashes)")
+    p.add_argument("--bloom-kb", type=int, default=1024, help="bloom filter budget (KB)")
+    p.add_argument("--cache", type=int, default=64, help="manifest cache capacity")
+    p.add_argument(
+        "--store-dir",
+        help="persist the deduplicated store as real files under this directory",
+    )
+
+
+def _corpus(args) -> Iterable[BackupFile]:
+    if args.input_dir:
+        return _walk_dir(args.input_dir)
+    if getattr(args, "profile", None):
+        return make_corpus(args.profile, seed=args.seed)
+    return BackupCorpus(
+        CorpusConfig(
+            machines=args.machines,
+            generations=args.generations,
+            os_count=2,
+            os_bytes=1 << 20,
+            app_bytes=1 << 18,
+            user_bytes=1 << 19,
+            mean_file=1 << 16,
+            seed=args.seed,
+        )
+    )
+
+
+def _walk_dir(root: str) -> list[BackupFile]:
+    files = []
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for name in sorted(filenames):
+            path = os.path.join(dirpath, name)
+            try:
+                with open(path, "rb") as fh:
+                    files.append(BackupFile(os.path.relpath(path, root), fh.read()))
+            except OSError as e:
+                print(f"skipping {path}: {e}", file=sys.stderr)
+    if not files:
+        raise SystemExit(f"no readable files under {root}")
+    return files
+
+
+def _config(args) -> DedupConfig:
+    return DedupConfig(
+        ecs=args.ecs,
+        sd=args.sd,
+        bloom_bytes=args.bloom_kb * 1024,
+        cache_manifests=args.cache,
+    )
+
+
+def _print_stats(stats, device: DeviceModel) -> None:
+    rows = [
+        ["input", f"{stats.input_bytes:,} B in {stats.input_files} files"],
+        ["stored chunk data", f"{stats.stored_chunk_bytes:,} B"],
+        ["metadata", f"{stats.metadata_bytes:,} B ({stats.metadata_ratio:.2%})"],
+        ["data-only DER", f"{stats.data_only_der:.3f}"],
+        ["real DER", f"{stats.real_der:.3f}"],
+        ["unique / duplicate chunks", f"{stats.unique_chunks:,} / {stats.duplicate_chunks:,}"],
+        ["duplicate slices (L)", f"{stats.duplicate_slices:,}"],
+        ["disk accesses", f"{stats.io.count():,}"],
+        ["throughput ratio", f"{device.throughput_ratio(stats):.3f}"],
+        ["peak RAM", f"{stats.peak_ram_bytes:,} B"],
+    ]
+    print(format_table(["metric", "value"], rows, title=f"{stats.algorithm} results"))
+
+
+def cmd_run(args) -> int:
+    backend = DirectoryBackend(args.store_dir) if args.store_dir else None
+    dedup = ALGORITHMS[args.algo](_config(args), backend)
+    stats = dedup.process(_corpus(args))
+    _print_stats(stats, DeviceModel())
+    if args.verify:
+        files = list(_corpus(args))
+        bad = [f.file_id for f in files if dedup.restore(f.file_id) != f.data]
+        if bad:
+            print(f"RESTORE FAILURES: {bad}", file=sys.stderr)
+            return 1
+        print(f"verified: all {len(files)} files restore byte-identically")
+    if args.fsck:
+        report = dedup.verify_integrity(check_entry_hashes=True)
+        print(report.summary())
+        if not report.ok:
+            for err in report.errors[:20]:
+                print(f"  {err}", file=sys.stderr)
+            return 1
+    if args.store_dir:
+        print(f"store persisted under {args.store_dir}")
+    return 0
+
+
+def cmd_restore(args) -> int:
+    backend = DirectoryBackend(args.store_dir)
+    meter = DiskModel()
+    file_manifests = FileManifestStore(backend, meter)
+    chunks = DiskChunkStore(backend, meter)
+    ids = file_manifests.list_ids()
+    if args.list:
+        for file_id in ids:
+            print(file_id)
+        print(f"{len(ids)} files in store", file=sys.stderr)
+        return 0
+    targets = args.files or ids
+    unknown = sorted(set(targets) - set(ids))
+    if unknown:
+        print(f"not in store: {unknown}", file=sys.stderr)
+        return 1
+    for file_id in targets:
+        data = file_manifests.get(file_id).restore(chunks)
+        out_path = os.path.join(args.output_dir, file_id)
+        os.makedirs(os.path.dirname(out_path) or ".", exist_ok=True)
+        with open(out_path, "wb") as fh:
+            fh.write(data)
+    print(f"restored {len(targets)} files to {args.output_dir}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    files = list(_corpus(args))
+    device = DeviceModel()
+    rows = []
+    for name, cls in ALGORITHMS.items():
+        stats = cls(_config(args)).process(files)
+        rows.append(
+            [
+                name,
+                f"{stats.data_only_der:.3f}",
+                f"{stats.real_der:.3f}",
+                f"{stats.metadata_ratio:.2%}",
+                f"{stats.io.count():,}",
+                f"{device.throughput_ratio(stats):.3f}",
+            ]
+        )
+    print(
+        format_table(
+            ["algorithm", "data DER", "real DER", "metadata", "disk IOs", "tput ratio"],
+            rows,
+            title=f"comparison (ECS={args.ecs}, SD={args.sd}, "
+            f"{sum(f.size for f in files) / 1e6:.1f} MB)",
+        )
+    )
+    return 0
+
+
+def cmd_trace(args) -> int:
+    config = _config(args)
+    stats = trace_corpus(_corpus(args), VectorizedChunker(config.small_chunker_config()))
+    rows = [
+        ["total bytes", f"{stats.total_bytes:,}"],
+        ["total chunks", f"{stats.total_chunks:,}"],
+        ["unique chunks (N)", f"{stats.unique_chunks:,}"],
+        ["duplicate chunks (D)", f"{stats.duplicate_chunks:,}"],
+        ["duplicate slices (L)", f"{stats.duplicate_slices:,}"],
+        ["partial files (F)", f"{stats.partial_files:,} of {stats.total_files:,}"],
+        ["data-only DER (bytes)", f"{stats.byte_der:.3f}"],
+        ["chunk DER (D+N)/N", f"{stats.chunk_der:.3f}"],
+        ["DAD", f"{stats.dad / 1024:.1f} KB"],
+    ]
+    print(format_table(["characteristic", "value"], rows, title=f"corpus trace @ ECS={args.ecs}"))
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    from .hashing import hex_short
+    from .storage import Manifest
+    from .storage.multi_manifest import MultiManifest
+    from .storage.verify import _load_manifest
+
+    backend = DirectoryBackend(args.store_dir)
+    meter = DiskModel()
+    fm_store = FileManifestStore(backend, meter)
+    try:
+        fm = fm_store.get(args.file)
+    except KeyError:
+        print(f"{args.file!r} not in store", file=sys.stderr)
+        return 1
+
+    print(f"file {fm.file_id!r}: {fm.total_size:,} bytes in {len(fm.extents)} extents")
+    rows = [
+        [i, hex_short(e.container_id), f"{e.offset:,}", f"{e.size:,}"]
+        for i, e in enumerate(fm.extents)
+    ]
+    print(format_table(["#", "container", "offset", "size"], rows, title="recipe"))
+
+    if not args.manifests:
+        return 0
+    # Show the manifests that describe the touched containers.
+    touched = {e.container_id for e in fm.extents}
+    shown = 0
+    for key in backend.keys(DiskModel.MANIFEST):
+        manifest = _load_manifest(backend.get(DiskModel.MANIFEST, key))
+        if isinstance(manifest, Manifest):
+            containers = {manifest.chunk_id}
+        else:
+            containers = {e.container_id for e in manifest.entries}
+        if not (containers & touched):
+            continue
+        shown += 1
+        print(f"\nmanifest {hex_short(manifest.manifest_id)} "
+              f"({len(manifest.entries)} entries)")
+        rows = []
+        for i, e in enumerate(manifest.entries[: args.limit]):
+            hook = getattr(e, "is_hook", False)
+            rows.append(
+                [i, hex_short(e.digest), f"{e.offset:,}", f"{e.size:,}",
+                 "hook" if hook else ""]
+            )
+        print(format_table(["#", "digest", "offset", "size", "flag"], rows))
+        if len(manifest.entries) > args.limit:
+            print(f"  ... {len(manifest.entries) - args.limit} more entries")
+    print(f"\n{shown} manifest(s) reference this file's containers")
+    return 0
+
+
+def cmd_gen_corpus(args) -> int:
+    corpus = _corpus(args)
+    if args.input_dir:
+        raise SystemExit("gen-corpus generates data; --input-dir makes no sense here")
+    count = corpus.write_to(args.output_dir)
+    total = sum(f.size for f in corpus)
+    print(f"wrote {count} files ({total / 1e6:.1f} MB) under {args.output_dir}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    backend = DirectoryBackend(args.store_dir)
+    from .storage import INODE_SIZE
+
+    rows = []
+    total_payload = 0
+    for ns in (DiskModel.CHUNK, DiskModel.MANIFEST, DiskModel.HOOK, DiskModel.FILE_MANIFEST):
+        count = backend.object_count(ns)
+        payload = backend.bytes_stored(ns)
+        total_payload += payload
+        rows.append([ns, f"{count:,}", f"{payload:,} B", f"{count * INODE_SIZE:,} B"])
+    print(format_table(["namespace", "objects", "payload", "inode bytes"], rows,
+                       title=f"store {args.store_dir}"))
+    data = backend.bytes_stored(DiskModel.CHUNK)
+    meta = total_payload - data + backend.total_stored() - total_payload
+    print(f"chunk data {data:,} B; metadata (incl. inodes) {meta:,} B")
+    if args.fsck:
+        report = verify_store(backend, check_entry_hashes=True)
+        print(report.summary())
+        return 0 if report.ok else 1
+    return 0
+
+
+def cmd_gc(args) -> int:
+    import fnmatch
+
+    backend = DirectoryBackend(args.store_dir)
+    meter = DiskModel()
+    ids = FileManifestStore(backend, meter).list_ids()
+    victims = [
+        file_id
+        for file_id in ids
+        if any(fnmatch.fnmatch(file_id, pat) for pat in args.delete)
+    ]
+    if args.delete and not victims:
+        print("no stored files match the given patterns", file=sys.stderr)
+        return 1
+    if args.keep_last is not None:
+        policy = RetentionPolicy(keep_last=args.keep_last, keep_every=args.keep_every)
+        expired, report = apply_retention(backend, ids, policy)
+        for file_id in victims:
+            delete_file(backend, file_id)
+        for file_id in expired + victims:
+            print(f"deleted {file_id}")
+        report = sweep(backend) if victims else report
+    else:
+        for file_id in victims:
+            delete_file(backend, file_id)
+            print(f"deleted {file_id}")
+        report = sweep(backend)
+    print(report.summary())
+    check = verify_store(backend)
+    print(check.summary())
+    return 0 if check.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dedup",
+        description="MHD deduplication reproduction (Zhou & Wen, ICPP 2013)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="log per-file dedup progress"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one algorithm and print its metrics")
+    p_run.add_argument("--algo", choices=sorted(ALGORITHMS), default="bf-mhd")
+    p_run.add_argument("--verify", action="store_true", help="verify all restores")
+    p_run.add_argument(
+        "--fsck", action="store_true", help="run a deep store-integrity check"
+    )
+    _add_dedup_args(p_run)
+    _add_corpus_args(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_rst = sub.add_parser("restore", help="list or extract files from a store")
+    p_rst.add_argument("--store-dir", required=True, help="store created by run --store-dir")
+    p_rst.add_argument("--list", action="store_true", help="list stored file ids")
+    p_rst.add_argument("--output-dir", default=".", help="where to write restored files")
+    p_rst.add_argument("files", nargs="*", help="specific file ids (default: all)")
+    p_rst.set_defaults(func=cmd_restore)
+
+    p_gc = sub.add_parser("gc", help="expire files and reclaim space in a store")
+    p_gc.add_argument("--store-dir", required=True)
+    p_gc.add_argument(
+        "--delete",
+        action="append",
+        default=[],
+        metavar="GLOB",
+        help="file-id glob(s) to expire before sweeping (may repeat)",
+    )
+    p_gc.add_argument(
+        "--keep-last",
+        type=int,
+        metavar="N",
+        help="retention: keep only the newest N generations",
+    )
+    p_gc.add_argument(
+        "--keep-every",
+        type=int,
+        default=0,
+        metavar="K",
+        help="retention: additionally keep every K-th older generation",
+    )
+    p_gc.set_defaults(func=cmd_gc)
+
+    p_st = sub.add_parser("stats", help="summarise a persistent store")
+    p_st.add_argument("--store-dir", required=True)
+    p_st.add_argument("--fsck", action="store_true", help="deep integrity check")
+    p_st.set_defaults(func=cmd_stats)
+
+    p_gen = sub.add_parser("gen-corpus", help="materialise the synthetic corpus as files")
+    p_gen.add_argument("--output-dir", required=True)
+    _add_corpus_args(p_gen)
+    p_gen.set_defaults(func=cmd_gen_corpus)
+
+    p_ins = sub.add_parser("inspect", help="dump a file's recipe and manifests")
+    p_ins.add_argument("--store-dir", required=True)
+    p_ins.add_argument("--file", required=True, help="file id to inspect")
+    p_ins.add_argument(
+        "--manifests", action="store_true", help="also dump owning manifests"
+    )
+    p_ins.add_argument("--limit", type=int, default=20, help="entries shown per manifest")
+    p_ins.set_defaults(func=cmd_inspect)
+
+    p_cmp = sub.add_parser("compare", help="run every algorithm on one corpus")
+    _add_dedup_args(p_cmp)
+    _add_corpus_args(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_tr = sub.add_parser("trace", help="print corpus duplication ground truth")
+    _add_dedup_args(p_tr)
+    _add_corpus_args(p_tr)
+    p_tr.set_defaults(func=cmd_trace)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=logging.DEBUG if getattr(args, "verbose", False) else logging.WARNING,
+        format="%(levelname)s %(name)s: %(message)s",
+    )
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

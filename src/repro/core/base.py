@@ -1,0 +1,368 @@
+"""Deduplicator base class, run statistics and the common plumbing.
+
+Every algorithm in the repository — BF-MHD and the Bimodal, SubChunk,
+CDC and SparseIndexing baselines — subclasses :class:`Deduplicator`,
+which owns the storage substrate (metered stores over a pluggable
+backend), the CPU-work counters the timing model consumes, duplicate-
+slice tracking, and the restore/verification path.  Subclasses
+implement :meth:`_ingest_file`.
+
+The statistics exposed by :class:`DedupStats` are exactly the paper's
+evaluation quantities (Section V):
+
+* data-only DER — input bytes / stored chunk bytes,
+* real DER — input bytes / (stored bytes + *all* metadata incl. the
+  256-byte inodes of every metadata file),
+* MetaDataRatio — metadata bytes / input bytes,
+* N, D, L — unique/duplicate chunk and duplicate-slice counts,
+* per-namespace disk-access counts (Table II rows),
+* peak RAM of the in-memory structures (Table III/IV).
+"""
+
+from __future__ import annotations
+
+import logging
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..hashing import BloomFilter
+from ..storage import (
+    INODE_SIZE,
+    DiskChunkStore,
+    DiskModel,
+    FileManifestStore,
+    HookStore,
+    IOSnapshot,
+    ManifestStore,
+    MemoryBackend,
+    StorageBackend,
+)
+from ..workloads.machine import BackupFile
+from .config import DedupConfig
+
+__all__ = ["CpuWork", "DedupStats", "Deduplicator"]
+
+logger = logging.getLogger("repro.dedup")
+
+
+@dataclass
+class CpuWork:
+    """Byte counts of the three CPU-bound operations, for the timing model."""
+
+    chunked: int = 0  # bytes scanned by rolling-hash chunkers
+    hashed: int = 0  # bytes digested by SHA-1
+    compared: int = 0  # bytes memcmp'd during HHR / byte verification
+
+
+@dataclass(frozen=True)
+class DedupStats:
+    """Everything an experiment reads out of one deduplication run."""
+
+    algorithm: str
+    config: DedupConfig
+    input_bytes: int
+    input_files: int
+    stored_chunk_bytes: int
+    manifest_bytes: int
+    hook_bytes: int
+    file_manifest_bytes: int
+    chunk_inodes: int
+    manifest_inodes: int
+    hook_inodes: int
+    file_manifest_inodes: int
+    unique_chunks: int  # N
+    duplicate_chunks: int  # D
+    duplicate_slices: int  # L
+    io: IOSnapshot
+    cpu: CpuWork
+    peak_ram_bytes: int
+    extra_index_bytes: int = 0  # algorithm-private persistent metadata
+
+    # ---- the paper's derived metrics ----------------------------------
+
+    @property
+    def inode_bytes(self) -> int:
+        """Inode overhead of all metadata files (256 B each)."""
+        return (
+            self.chunk_inodes
+            + self.manifest_inodes
+            + self.hook_inodes
+            + self.file_manifest_inodes
+        ) * INODE_SIZE
+
+    @property
+    def metadata_bytes(self) -> int:
+        """All metadata: manifests + hooks + file manifests + inodes."""
+        return (
+            self.manifest_bytes
+            + self.hook_bytes
+            + self.file_manifest_bytes
+            + self.inode_bytes
+            + self.extra_index_bytes
+        )
+
+    @property
+    def output_bytes(self) -> int:
+        """Stored size "from the perspective of the file system"."""
+        return self.stored_chunk_bytes + self.metadata_bytes
+
+    @property
+    def data_only_der(self) -> float:
+        """Input bytes / stored chunk bytes (metadata excluded)."""
+        return self.input_bytes / max(1, self.stored_chunk_bytes)
+
+    @property
+    def real_der(self) -> float:
+        """Input bytes / total stored bytes including all metadata."""
+        return self.input_bytes / max(1, self.output_bytes)
+
+    @property
+    def metadata_ratio(self) -> float:
+        """The paper's MetaDataRatio (often reported as a percentage)."""
+        return self.metadata_bytes / max(1, self.input_bytes)
+
+    @property
+    def inodes_per_mb(self) -> float:
+        """Fig. 7(a)'s y-axis: metadata inodes per MB of input."""
+        total_inodes = (
+            self.chunk_inodes
+            + self.manifest_inodes
+            + self.hook_inodes
+            + self.file_manifest_inodes
+        )
+        return total_inodes / max(1e-9, self.input_bytes / (1 << 20))
+
+    @property
+    def manifest_metadata_ratio(self) -> float:
+        """Fig. 7(b): (Manifest + Hook bytes) / input bytes."""
+        return (self.manifest_bytes + self.hook_bytes) / max(1, self.input_bytes)
+
+    @property
+    def file_manifest_metadata_ratio(self) -> float:
+        """Fig. 7(c): FileManifest bytes / input bytes."""
+        return self.file_manifest_bytes / max(1, self.input_bytes)
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable snapshot (raw counters + derived metrics).
+
+        Used by the benches to emit machine-readable results next to
+        their text reports.
+        """
+        return {
+            "algorithm": self.algorithm,
+            "ecs": self.config.ecs,
+            "sd": self.config.sd,
+            "input_bytes": self.input_bytes,
+            "input_files": self.input_files,
+            "stored_chunk_bytes": self.stored_chunk_bytes,
+            "manifest_bytes": self.manifest_bytes,
+            "hook_bytes": self.hook_bytes,
+            "file_manifest_bytes": self.file_manifest_bytes,
+            "inode_bytes": self.inode_bytes,
+            "metadata_bytes": self.metadata_bytes,
+            "unique_chunks": self.unique_chunks,
+            "duplicate_chunks": self.duplicate_chunks,
+            "duplicate_slices": self.duplicate_slices,
+            "data_only_der": self.data_only_der,
+            "real_der": self.real_der,
+            "metadata_ratio": self.metadata_ratio,
+            "inodes_per_mb": self.inodes_per_mb,
+            "disk_accesses": self.io.count(),
+            "disk_bytes": self.io.nbytes(),
+            "cpu_chunked": self.cpu.chunked,
+            "cpu_hashed": self.cpu.hashed,
+            "cpu_compared": self.cpu.compared,
+            "peak_ram_bytes": self.peak_ram_bytes,
+        }
+
+
+class Deduplicator(ABC):
+    """Common harness: storage, metering, slice tracking, restore."""
+
+    #: Subclasses set their display name (used in reports/benches).
+    name: str = "base"
+
+    def __init__(
+        self,
+        config: DedupConfig | None = None,
+        backend: StorageBackend | None = None,
+    ):
+        self.config = config or DedupConfig()
+        self.backend = backend or MemoryBackend()
+        self.meter = DiskModel()
+        self.chunks = DiskChunkStore(self.backend, self.meter)
+        self.manifests = ManifestStore(self.backend, self.meter)
+        self.hooks = HookStore(self.backend, self.meter)
+        self.file_manifests = FileManifestStore(self.backend, self.meter)
+        self.bloom = (
+            BloomFilter(self.config.bloom_bytes) if self.config.bloom_bytes else None
+        )
+        self.cpu = CpuWork()
+        self._input_bytes = 0
+        self._input_files = 0
+        self._unique_chunks = 0
+        self._duplicate_chunks = 0
+        self._duplicate_slices = 0
+        self._in_dup_run = False
+        self._peak_ram = 0
+        self._finalized = False
+
+    # ---- the ingest API -------------------------------------------------
+
+    #: Paranoid mode: re-read and byte-compare every file right after
+    #: ingesting it (off by default; costs a full restore per file).
+    verify_writes: bool = False
+
+    def ingest(self, file: BackupFile) -> None:
+        """Deduplicate one file into the store.
+
+        With :attr:`verify_writes` enabled the file is restored and
+        byte-compared immediately; a mismatch raises ``RuntimeError``
+        before any further data is accepted.
+        """
+        if self._finalized:
+            raise RuntimeError("deduplicator already finalized")
+        self._input_bytes += len(file.data)
+        self._input_files += 1
+        self._in_dup_run = False  # duplicate slices do not span files
+        logger.debug("%s ingesting %s (%d bytes)", self.name, file.file_id, file.size)
+        self._ingest_file(file)
+        if self.verify_writes:
+            restored = self.restore(file.file_id)
+            if restored != file.data:
+                raise RuntimeError(
+                    f"write verification failed for {file.file_id!r}: "
+                    f"restored {len(restored)} bytes != input {len(file.data)}"
+                )
+
+    @abstractmethod
+    def _ingest_file(self, file: BackupFile) -> None:
+        """Algorithm-specific processing of one file."""
+
+    def process(self, files: Iterable[BackupFile]) -> DedupStats:
+        """Ingest a whole corpus and finalize."""
+        for f in files:
+            self.ingest(f)
+        return self.finalize()
+
+    def finalize(self) -> DedupStats:
+        """Flush algorithm state and assemble the run statistics."""
+        if not self._finalized:
+            self._flush()
+            self._finalized = True
+            stats = self._stats()
+            logger.info(
+                "%s finalized: %d files, %.1f MB in, %.1f MB stored, "
+                "real DER %.3f, metadata %.2f%%",
+                self.name,
+                stats.input_files,
+                stats.input_bytes / 1e6,
+                stats.stored_chunk_bytes / 1e6,
+                stats.real_der,
+                stats.metadata_ratio * 100,
+            )
+            return stats
+        return self._stats()
+
+    def snapshot_stats(self) -> DedupStats:
+        """Point-in-time statistics without finalizing the run.
+
+        Mid-run numbers: open containers and dirty cached manifests are
+        not yet on the backend, so stored/metadata byte counts lag the
+        logical state slightly; the final word is :meth:`finalize`.
+        """
+        return self._stats()
+
+    def _flush(self) -> None:
+        """Subclass hook: write back caches / close open containers."""
+
+    # ---- accounting helpers used by subclasses --------------------------
+
+    def _count_unique(self, nbytes: int) -> None:
+        self._unique_chunks += 1
+        self._in_dup_run = False
+
+    def _count_duplicate(self, nbytes: int, run_continues: bool = False) -> None:
+        """Record a duplicate chunk; a new run opens a duplicate slice."""
+        self._duplicate_chunks += 1
+        if not self._in_dup_run:
+            self._duplicate_slices += 1
+        self._in_dup_run = True
+
+    def _break_dup_run(self) -> None:
+        self._in_dup_run = False
+
+    def _observe_ram(self, current_bytes: int) -> None:
+        """Track the peak of the algorithm's in-memory structures."""
+        total = current_bytes + (self.bloom.size_bytes if self.bloom else 0)
+        if total > self._peak_ram:
+            self._peak_ram = total
+
+    def extra_index_bytes(self) -> int:
+        """Algorithm-private persistent metadata (e.g. the sparse index)."""
+        return 0
+
+    # ---- verification ----------------------------------------------------
+
+    def restore(self, file_id: str) -> bytes:
+        """Reconstruct a file byte-for-byte (the dedup invariant)."""
+        return self.file_manifests.get(file_id).restore(self.chunks)
+
+    def warm_start(self) -> int:
+        """Rebuild in-memory indexes from an existing store.
+
+        A deduplicator object starts empty; when pointed at a backend
+        that already holds a store (e.g. a ``DirectoryBackend`` from a
+        previous process), the on-disk Hooks are re-registered with the
+        in-memory front end (the Bloom filter here; subclasses extend
+        this for their own RAM indexes) so new ingests deduplicate
+        against the existing data.  Returns the number of hooks
+        re-registered.
+
+        This mirrors real systems' startup path: the Bloom filter is
+        reconstructed by scanning the hook directory once.
+        """
+        hooks = self.backend.keys(DiskModel.HOOK)
+        if self.bloom is not None:
+            for digest in hooks:
+                self.bloom.add(digest)
+        return len(hooks)
+
+    def verify_integrity(self, check_entry_hashes: bool = False):
+        """Full-store fsck (see :func:`repro.storage.verify.verify_store`).
+
+        Only meaningful after :meth:`finalize` — open containers and
+        cached dirty manifests are not yet on the backend.
+        """
+        from ..storage.verify import verify_store
+
+        if not self._finalized:
+            raise RuntimeError("verify_integrity requires a finalized run")
+        return verify_store(self.backend, check_entry_hashes=check_entry_hashes)
+
+    # ---- statistics -------------------------------------------------------
+
+    def _stats(self) -> DedupStats:
+        b = self.backend
+        return DedupStats(
+            algorithm=self.name,
+            config=self.config,
+            input_bytes=self._input_bytes,
+            input_files=self._input_files,
+            stored_chunk_bytes=b.bytes_stored(DiskModel.CHUNK),
+            manifest_bytes=b.bytes_stored(DiskModel.MANIFEST),
+            hook_bytes=b.bytes_stored(DiskModel.HOOK),
+            file_manifest_bytes=b.bytes_stored(DiskModel.FILE_MANIFEST),
+            chunk_inodes=b.object_count(DiskModel.CHUNK),
+            manifest_inodes=b.object_count(DiskModel.MANIFEST),
+            hook_inodes=b.object_count(DiskModel.HOOK),
+            file_manifest_inodes=b.object_count(DiskModel.FILE_MANIFEST),
+            unique_chunks=self._unique_chunks,
+            duplicate_chunks=self._duplicate_chunks,
+            duplicate_slices=self._duplicate_slices,
+            io=self.meter.snapshot(),
+            cpu=self.cpu,
+            peak_ram_bytes=self._peak_ram,
+            extra_index_bytes=self.extra_index_bytes(),
+        )

@@ -1,0 +1,71 @@
+"""Configuration shared by the deduplicators.
+
+The paper's experiments are parameterised by two knobs: the expected
+chunk size ``ECS`` (512–8192 bytes) and the sampling distance ``SD``
+(250–1000 hashes).  Bimodal/SubChunk derive their *big* chunk size as
+``ECS * SD``; SparseIndexing derives its segment size as
+``ECS * SD * 5``.  :class:`DedupConfig` carries both knobs plus the
+infrastructure sizes (Bloom filter budget, manifest-cache capacity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..chunking import ChunkerConfig
+
+__all__ = ["DedupConfig"]
+
+
+@dataclass(frozen=True)
+class DedupConfig:
+    """Common deduplicator parameters.
+
+    Parameters
+    ----------
+    ecs:
+        Expected (small) chunk size in bytes — the paper's ``ECS``.
+    sd:
+        Sampling distance in hashes — the paper's ``SD`` (any integer
+        ≥ 2; the paper uses 250–1000 on a 1 TB corpus, scaled corpora
+        use 8–32, see DESIGN.md §5).
+    bloom_bytes:
+        In-memory Bloom filter budget (paper: 100 MB at 1 TB; default
+        scaled to 1 MB).  ``0`` disables the filter.
+    cache_manifests:
+        Manifest-cache capacity in manifests (LRU).
+    window, seed:
+        Rolling-hash parameters passed through to the chunkers.
+    """
+
+    ecs: int = 4096
+    sd: int = 16
+    bloom_bytes: int = 1 << 20
+    cache_manifests: int = 64
+    window: int = 48
+    seed: int = 0x9E3779B9
+
+    def __post_init__(self) -> None:
+        if self.sd < 2:
+            raise ValueError(f"sd must be >= 2, got {self.sd}")
+        if self.bloom_bytes < 0:
+            raise ValueError(f"bloom_bytes must be >= 0, got {self.bloom_bytes}")
+        if self.cache_manifests < 1:
+            raise ValueError(f"cache_manifests must be >= 1, got {self.cache_manifests}")
+        # Validates ECS (power of two etc.) via ChunkerConfig.
+        _ = self.small_chunker_config()
+
+    def small_chunker_config(self) -> ChunkerConfig:
+        """Chunker config at granularity ``ECS``."""
+        return ChunkerConfig(
+            expected_size=self.ecs, window=self.window, seed=self.seed
+        )
+
+    def big_chunker_config(self) -> ChunkerConfig:
+        """Chunker config at granularity ``ECS * SD`` (Bimodal/SubChunk)."""
+        return self.small_chunker_config().scaled(self.sd)
+
+    @property
+    def segment_bytes(self) -> int:
+        """SparseIndexing segment size, ``ECS * SD * 5`` as in [13]."""
+        return self.ecs * self.sd * 5

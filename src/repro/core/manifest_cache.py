@@ -1,0 +1,169 @@
+"""LRU manifest cache with dirty write-back and an aggregate hash index.
+
+"The cache contains a number of Manifests, each of which is organized
+as a hash table. ... If the cache becomes full during this process,
+one Manifest would be freed following the Least-Recently-Used (LRU)
+policy.  A Manifest that has been set dirty, is written back to the
+disk before it is freed."
+
+The cache also maintains an aggregate digest → manifest index across
+everything cached, so duplicate detection against cached manifests is
+O(1) instead of a scan — functionally identical to probing each cached
+manifest's hash table, just faster in Python.
+
+Manifests can be *pinned* (the manifest of the file currently being
+ingested must not be evicted mid-build).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..hashing.digest import Digest
+from ..storage import Manifest, ManifestStore
+
+__all__ = ["ManifestCache"]
+
+
+class ManifestCache:
+    """Bounded LRU of in-RAM manifests backed by a :class:`ManifestStore`."""
+
+    def __init__(self, store: ManifestStore, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._store = store
+        self._capacity = capacity
+        self._cache: OrderedDict[Digest, Manifest] = OrderedDict()
+        self._pinned: set[Digest] = set()
+        # Aggregate index: digest -> manifest ids that contain it, plus
+        # the digest set indexed per manifest (so reindexing after a
+        # mutation only touches the changed digests).
+        self._digest_index: dict[Digest, set[Digest]] = {}
+        self._indexed: dict[Digest, set[Digest]] = {}
+        self.loads = 0  # disk loads (Table V "Manifests loading")
+        self.hits = 0  # cache hits (RAM)
+        self.writebacks = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __contains__(self, manifest_id: Digest) -> bool:
+        return manifest_id in self._cache
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of cached manifests."""
+        return self._capacity
+
+    def ram_bytes(self) -> int:
+        """Current RAM footprint of all cached manifests."""
+        return sum(m.ram_size() for m in self._cache.values())
+
+    # ---- indexing --------------------------------------------------------
+
+    def _index_add(self, manifest: Manifest) -> None:
+        mid = manifest.manifest_id
+        digests = set(manifest.index)
+        self._indexed[mid] = digests
+        for digest in digests:
+            self._digest_index.setdefault(digest, set()).add(mid)
+
+    def _index_remove(self, manifest_id: Digest) -> None:
+        for digest in self._indexed.pop(manifest_id, ()):
+            ids = self._digest_index.get(digest)
+            if ids is not None:
+                ids.discard(manifest_id)
+                if not ids:
+                    del self._digest_index[digest]
+
+    def reindex(self, manifest: Manifest) -> None:
+        """Refresh the aggregate index after a manifest mutation.
+
+        Mutators (SHM appends, HHR splits) change entry digests, so the
+        owning deduplicator calls this after modifying a cached
+        manifest.  Only the digest delta is touched.
+        """
+        mid = manifest.manifest_id
+        if mid not in self._cache:
+            raise KeyError("manifest is not cached")
+        old = self._indexed.get(mid, set())
+        new = set(manifest.index)
+        for digest in old - new:
+            ids = self._digest_index.get(digest)
+            if ids is not None:
+                ids.discard(mid)
+                if not ids:
+                    del self._digest_index[digest]
+        for digest in new - old:
+            self._digest_index.setdefault(digest, set()).add(mid)
+        self._indexed[mid] = new
+
+    # ---- lookup ------------------------------------------------------------
+
+    def search(self, digest: Digest) -> Manifest | None:
+        """Find a cached manifest containing ``digest`` (RAM only).
+
+        Touches the found manifest's LRU position and counts a hit.
+        """
+        ids = self._digest_index.get(digest)
+        if not ids:
+            return None
+        mid = next(iter(ids))
+        manifest = self._cache[mid]
+        self._cache.move_to_end(mid)
+        self.hits += 1
+        return manifest
+
+    def get(self, manifest_id: Digest) -> Manifest | None:
+        """RAM-only fetch by id (no disk fallback)."""
+        m = self._cache.get(manifest_id)
+        if m is not None:
+            self._cache.move_to_end(manifest_id)
+        return m
+
+    def load(self, manifest_id: Digest) -> Manifest:
+        """Fetch by id, reading from disk (metered) on a cache miss."""
+        m = self.get(manifest_id)
+        if m is not None:
+            return m
+        m = self._store.get(manifest_id)
+        self.loads += 1
+        self.add(m)
+        return m
+
+    # ---- insertion / eviction ----------------------------------------------
+
+    def add(self, manifest: Manifest, pin: bool = False) -> None:
+        """Insert a manifest built or loaded by the caller."""
+        mid = manifest.manifest_id
+        if mid in self._cache:
+            raise ValueError(f"manifest {mid.hex()[:12]} already cached")
+        self._evict_to(self._capacity - 1)
+        self._cache[mid] = manifest
+        self._index_add(manifest)
+        if pin:
+            self._pinned.add(mid)
+
+    def unpin(self, manifest_id: Digest) -> None:
+        """Make a pinned manifest evictable again."""
+        self._pinned.discard(manifest_id)
+
+    def _evict_to(self, target: int) -> None:
+        while len(self._cache) > target:
+            victim_id = next(
+                (mid for mid in self._cache if mid not in self._pinned), None
+            )
+            if victim_id is None:
+                return  # everything pinned; allow temporary overflow
+            victim = self._cache.pop(victim_id)
+            self._index_remove(victim_id)
+            if victim.dirty:
+                self._store.put(victim)  # metered write-back
+                self.writebacks += 1
+
+    def flush(self) -> None:
+        """Write back every dirty cached manifest (run finalisation)."""
+        for m in self._cache.values():
+            if m.dirty:
+                self._store.put(m)
+                self.writebacks += 1

@@ -1,0 +1,429 @@
+"""BF-MHD — the paper's Metadata Harnessing Deduplication algorithm.
+
+The deduplication loop (paper Fig. 4) per incoming chunk:
+
+1. SHA-1 the chunk; search the manifest cache (hash tables in RAM).
+2. On a cache miss, consult the Bloom filter; only if it says
+   "probably seen" query the on-disk Hook store, and on a hook hit
+   load the pointed-to Manifest into the LRU cache.
+3. A *non-duplicate* chunk is buffered (capacity ``2·SD`` chunks); when
+   the buffer fills, the first ``SD`` chunks are flushed to the
+   per-file DiskChunk and represented by two hashes via SHM
+   (:mod:`repro.core.shm`).
+4. A *duplicate* hit triggers Bi-Directional Match Extension:
+   buffered chunk hashes are compared against the manifest entries
+   before the hit (BME) and upcoming chunk hashes against the entries
+   after it (FME).  When extension mismatches at a merged entry that
+   may straddle duplicate/non-duplicate data, the old bytes are
+   reloaded and Hysteresis Hash Re-chunking (:mod:`repro.core.hhr`)
+   splits the entry — the only mutation metadata ever undergoes.
+
+Only Manifests are updated in place; DiskChunks and Hooks are
+write-once, exactly as the paper requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..chunking import Chunk, VectorizedChunker
+from ..hashing import Digest, sha1, sha1_spans
+from ..storage import ContainerWriter, FileManifest, Manifest, ManifestEntry
+from ..storage.manifest import MHD_ENTRY_SIZE
+from ..workloads.machine import BackupFile
+from .base import Deduplicator
+from .config import DedupConfig
+from .hhr import (
+    align_prefix,
+    align_suffix,
+    match_prefix_chunks,
+    match_suffix_chunks,
+    plan_backward_split,
+    plan_forward_split,
+)
+from .manifest_cache import ManifestCache
+from .shm import build_group_entries
+
+__all__ = ["MHDDeduplicator"]
+
+
+class _Token:
+    """One stream chunk's fate: pending in RAM, or resolved to an extent."""
+
+    __slots__ = ("digest", "data", "size", "container_id", "offset", "is_dup")
+
+    def __init__(self, digest: Digest, data: memoryview, size: int):
+        self.digest = digest
+        self.data = data
+        self.size = size
+        self.container_id: Digest | None = None
+        self.offset = -1
+        self.is_dup = False
+
+    def resolve(self, container_id: Digest, offset: int, is_dup: bool) -> None:
+        if self.container_id is not None:
+            raise RuntimeError("token resolved twice")
+        self.container_id = container_id
+        self.offset = offset
+        self.is_dup = is_dup
+
+
+@dataclass
+class _FileContext:
+    """Per-file ingest state."""
+
+    file_id: str
+    container_id: Digest
+    manifest: Manifest
+    tokens: list[_Token] = field(default_factory=list)
+    buffer: list[_Token] = field(default_factory=list)  # unresolved tail
+    writer: ContainerWriter | None = None
+
+
+class MHDDeduplicator(Deduplicator):
+    """Bloom-filter-based MHD (the paper's BF-MHD configuration).
+
+    Parameters
+    ----------
+    edge_hash:
+        Ablation switch.  ``True`` (the paper's design) creates
+        EdgeHash entries during HHR, preventing a repeated byte reload
+        when the same duplicate slice arrives again.  ``False`` splits
+        only when duplicate bytes were actually found, and leaves the
+        boundary as part of the remainder.
+    chunker_cls:
+        The chunking algorithm (ablation knob); any
+        :class:`repro.chunking.Chunker` subclass.  Default: the
+        vectorised Karp–Rabin CDC chunker.
+    contiguous_shm:
+        The paper's alternative SHM strategy ("SHM can be performed on
+        the contiguous non-duplicate chunks of the original input
+        stream, to guarantee each non-duplicate data slice of the
+        input stream 'owns' at least one Hook"): when a duplicate hit
+        ends a run of pending chunks, the survivors are flushed
+        immediately, so no SHM group ever merges chunks from opposite
+        sides of a duplicate slice.  Costs extra hooks on
+        fragmentation-heavy streams; the default (``False``) is the
+        buffer-driven strategy the paper's prototype uses.
+    """
+
+    name = "bf-mhd"
+
+    def __init__(
+        self,
+        config=None,
+        backend=None,
+        edge_hash: bool = True,
+        chunker_cls=VectorizedChunker,
+        contiguous_shm: bool = False,
+    ):
+        super().__init__(config, backend)
+        self.chunker = chunker_cls(self.config.small_chunker_config())
+        self.contiguous_shm = contiguous_shm
+        self.cache = ManifestCache(self.manifests, self.config.cache_manifests)
+        self.edge_hash = edge_hash
+        #: HHR statistics for Fig. 10(b): splits performed and the
+        #: extra disk reads they caused.
+        self.hhr_splits = 0
+        self.hhr_reads = 0
+        self._buffer_peak_bytes = 0
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+
+    def _ingest_file(self, file: BackupFile) -> None:
+        data = file.data
+        fid = file.file_id.encode()
+        ctx = _FileContext(
+            file_id=file.file_id,
+            container_id=sha1(fid),
+            manifest=Manifest(
+                sha1(fid + b"|manifest"), sha1(fid), entry_size=MHD_ENTRY_SIZE
+            ),
+        )
+        self.cache.add(ctx.manifest, pin=True)
+        chunks = self.chunker.chunk(data)
+        self.cpu.chunked += len(data)
+        digests = [sha1(c.data) for c in chunks]
+        self.cpu.hashed += len(data)
+
+        i, n = 0, len(chunks)
+        while i < n:
+            chunk, digest = chunks[i], digests[i]
+            hit = self._lookup(digest)
+            if hit is None:
+                token = _Token(digest, chunk.data, chunk.size)
+                ctx.tokens.append(token)
+                ctx.buffer.append(token)
+                if len(ctx.buffer) >= 2 * self.config.sd:
+                    self._flush_group(ctx, self.config.sd)
+                i += 1
+                continue
+            manifest, idx = hit
+            entry = manifest.entries[idx]
+            self._duplicate_slices += 1
+            self._duplicate_chunks += 1
+            idx += self._bme(manifest, idx, ctx)
+            if self.contiguous_shm:
+                # BME has claimed every buffered chunk it can; what is
+                # left belongs to the non-duplicate slice that just
+                # ended, so it gets its own SHM group(s) and hook now.
+                while ctx.buffer:
+                    self._flush_group(ctx, min(self.config.sd, len(ctx.buffer)))
+            hit_token = _Token(digest, chunk.data, chunk.size)
+            hit_token.resolve(manifest.chunk_id, entry.offset, is_dup=True)
+            ctx.tokens.append(hit_token)
+            i += 1
+            i = self._fme(manifest, idx, chunks, digests, i, ctx)
+
+        self._finish_file(ctx)
+
+    def _finish_file(self, ctx: _FileContext) -> None:
+        while ctx.buffer:
+            self._flush_group(ctx, min(self.config.sd, len(ctx.buffer)))
+        if ctx.writer is not None:
+            ctx.writer.close()
+        if ctx.manifest.entries:
+            self.manifests.put(ctx.manifest)
+        self.cache.unpin(ctx.manifest.manifest_id)
+        fm = FileManifest(ctx.file_id)
+        for t in ctx.tokens:
+            if t.container_id is None:
+                raise AssertionError("unresolved token at end of file")
+            fm.append(t.container_id, t.offset, t.size)
+        self.file_manifests.put(fm)
+        self._observe_ram(self.cache.ram_bytes() + self._buffer_peak_bytes)
+
+    # ------------------------------------------------------------------
+    # duplicate detection (Fig. 4 front half)
+    # ------------------------------------------------------------------
+
+    def _lookup(self, digest: Digest) -> tuple[Manifest, int] | None:
+        """Cache → Bloom → on-disk Hook → Manifest load."""
+        manifest = self.cache.search(digest)
+        if manifest is not None:
+            idx = manifest.find(digest)
+            if idx is not None:
+                return manifest, idx
+        if self.bloom is not None and digest not in self.bloom:
+            return None
+        manifest_id = self.hooks.lookup(digest)
+        if manifest_id is None:
+            return None  # Bloom false positive
+        manifest = self.cache.load(manifest_id)
+        idx = manifest.find(digest)
+        if idx is None:
+            return None  # hook points at a manifest that lost the hash
+        return manifest, idx
+
+    # ------------------------------------------------------------------
+    # SHM flush
+    # ------------------------------------------------------------------
+
+    def _flush_group(self, ctx: _FileContext, count: int) -> None:
+        group = ctx.buffer[:count]
+        del ctx.buffer[:count]
+        if ctx.writer is None:
+            ctx.writer = self.chunks.open_container(ctx.container_id)
+        base = ctx.writer.size
+        for t in group:
+            off = ctx.writer.append(t.data)
+            t.resolve(ctx.container_id, off, is_dup=False)
+        entries, extra_hashed = build_group_entries(
+            [t.digest for t in group],
+            [t.size for t in group],
+            [t.data for t in group],
+            base,
+        )
+        self.cpu.hashed += extra_hashed
+        for e in entries:
+            ctx.manifest.append(e)
+        self.cache.reindex(ctx.manifest)
+        self.hooks.put(group[0].digest, ctx.manifest.manifest_id)
+        if self.bloom is not None:
+            self.bloom.add(group[0].digest)
+        self._unique_chunks += len(group)
+        group_bytes = sum(t.size for t in group)
+        if 2 * group_bytes > self._buffer_peak_bytes:
+            self._buffer_peak_bytes = 2 * group_bytes
+
+    # ------------------------------------------------------------------
+    # Bi-Directional Match Extension + HHR
+    # ------------------------------------------------------------------
+
+    def _bme(self, manifest: Manifest, idx: int, ctx: _FileContext) -> int:
+        """Backward Match Extension; returns the hit entry's index shift.
+
+        Extension is hierarchical, as the paper describes ("duplication
+        detection is conducted using its neighboring data and a
+        relatively large chunk size"): first a direct digest compare
+        (hook and post-HHR single-chunk entries), then a *span* hash
+        over however many buffered chunks tile a merged entry exactly.
+        Only when both fail and the entry may straddle duplicate and
+        non-duplicate data are its bytes reloaded for HHR.
+        """
+        j = idx - 1
+        shift = 0
+        while j >= 0 and ctx.buffer:
+            entry = manifest.entries[j]
+            tail = ctx.buffer[-1]
+            if entry.digest == tail.digest:
+                ctx.buffer.pop()
+                tail.resolve(manifest.chunk_id, entry.offset, is_dup=True)
+                self._duplicate_chunks += 1
+                j -= 1
+                continue
+            if entry.is_hook:
+                break
+            k = align_suffix([t.size for t in ctx.buffer], entry.size)
+            if k is not None and k > 1:
+                span = ctx.buffer[-k:]
+                self.cpu.hashed += entry.size
+                if sha1_spans([t.data for t in span]) == entry.digest:
+                    del ctx.buffer[-k:]
+                    pos = entry.offset
+                    for t in span:
+                        t.resolve(manifest.chunk_id, pos, is_dup=True)
+                        pos += t.size
+                        self._duplicate_chunks += 1
+                    j -= 1
+                    continue
+            if entry.size > tail.size:
+                shift += self._hhr_backward(manifest, j, ctx)
+            break
+        return shift
+
+    def _fme(
+        self,
+        manifest: Manifest,
+        idx: int,
+        chunks: list[Chunk],
+        digests: list[Digest],
+        i: int,
+        ctx: _FileContext,
+    ) -> int:
+        """Forward Match Extension; returns the next stream index."""
+        j = idx + 1
+        n = len(chunks)
+        while j < len(manifest.entries) and i < n:
+            entry = manifest.entries[j]
+            if entry.digest == digests[i]:
+                token = _Token(digests[i], chunks[i].data, chunks[i].size)
+                token.resolve(manifest.chunk_id, entry.offset, is_dup=True)
+                ctx.tokens.append(token)
+                self._duplicate_chunks += 1
+                i += 1
+                j += 1
+                continue
+            if entry.is_hook:
+                break
+            k = align_prefix((chunks[t].size for t in range(i, n)), entry.size)
+            if k is not None and k > 1:
+                span = chunks[i : i + k]
+                self.cpu.hashed += entry.size
+                if sha1_spans([c.data for c in span]) == entry.digest:
+                    pos = entry.offset
+                    for m_k, c in enumerate(span):
+                        token = _Token(digests[i + m_k], c.data, c.size)
+                        token.resolve(manifest.chunk_id, pos, is_dup=True)
+                        ctx.tokens.append(token)
+                        pos += c.size
+                        self._duplicate_chunks += 1
+                    i += k
+                    j += 1
+                    continue
+            if entry.size > chunks[i].size:
+                i = self._hhr_forward(manifest, j, chunks, digests, i, ctx)
+            break
+        return i
+
+    def _hhr_backward(self, manifest: Manifest, j: int, ctx: _FileContext) -> int:
+        """Reload entry ``j``'s bytes and split at the duplicate suffix."""
+        entry = manifest.entries[j]
+        old = self.chunks.read(manifest.chunk_id, entry.offset, entry.size)
+        self.hhr_reads += 1
+        tail = [bytes(t.data) for t in ctx.buffer]
+        matched, matched_bytes, compared = match_suffix_chunks(old, tail)
+        self.cpu.compared += compared
+        edge_size = None
+        if matched < len(ctx.buffer):
+            edge_size = ctx.buffer[-(matched + 1)].size
+        if not self.edge_hash:
+            edge_size = None
+        if matched == 0 and edge_size is None:
+            return 0
+        spans = plan_backward_split(entry.size, matched_bytes, edge_size)
+        shift = self._apply_split(manifest, j, entry, old, spans)
+        # Resolve the matched buffer chunks onto the old extent.
+        pos = entry.offset + entry.size
+        for _ in range(matched):
+            t = ctx.buffer.pop()
+            pos -= t.size
+            t.resolve(manifest.chunk_id, pos, is_dup=True)
+            self._duplicate_chunks += 1
+        return shift
+
+    def _hhr_forward(
+        self,
+        manifest: Manifest,
+        j: int,
+        chunks: list[Chunk],
+        digests: list[Digest],
+        i: int,
+        ctx: _FileContext,
+    ) -> int:
+        """Reload entry ``j``'s bytes and split at the duplicate prefix."""
+        entry = manifest.entries[j]
+        old = self.chunks.read(manifest.chunk_id, entry.offset, entry.size)
+        self.hhr_reads += 1
+        # Only the chunks that can fit in the old extent participate.
+        head: list[bytes] = []
+        total = 0
+        k = i
+        while k < len(chunks) and total + chunks[k].size <= entry.size:
+            head.append(bytes(chunks[k].data))
+            total += chunks[k].size
+            k += 1
+        matched, matched_bytes, compared = match_prefix_chunks(old, head)
+        self.cpu.compared += compared
+        edge_size = None
+        if i + matched < len(chunks):
+            edge_size = chunks[i + matched].size
+        if not self.edge_hash:
+            edge_size = None
+        if matched == 0 and edge_size is None:
+            return i
+        spans = plan_forward_split(entry.size, matched_bytes, edge_size)
+        self._apply_split(manifest, j, entry, old, spans)
+        pos = entry.offset
+        for k in range(matched):
+            token = _Token(digests[i + k], chunks[i + k].data, chunks[i + k].size)
+            token.resolve(manifest.chunk_id, pos, is_dup=True)
+            ctx.tokens.append(token)
+            pos += chunks[i + k].size
+            self._duplicate_chunks += 1
+        return i + matched
+
+    def _apply_split(self, manifest, j, entry, old, spans) -> int:
+        """Replace entry ``j`` with the planned spans; returns index shift."""
+        if len(spans) == 1 and spans[0].role == "remainder":
+            return 0  # degenerate: nothing learned
+        replacements = []
+        for s in spans:
+            digest = sha1(old[s.offset : s.end])
+            self.cpu.hashed += s.size
+            replacements.append(
+                ManifestEntry(digest, entry.offset + s.offset, s.size, is_hook=False)
+            )
+        manifest.replace_entry(j, replacements)
+        self.cache.reindex(manifest)
+        self.hhr_splits += 1
+        return len(replacements) - 1
+
+    # ------------------------------------------------------------------
+    # finalize
+    # ------------------------------------------------------------------
+
+    def _flush(self) -> None:
+        self.cache.flush()

@@ -1,0 +1,143 @@
+"""In-memory Bloom filter used to avoid disk lookups for new hashes.
+
+The paper configures a 100 MB in-memory Bloom filter for the Bimodal,
+SubChunk and BF-MHD prototypes.  Before querying the on-disk Hook
+store for an incoming chunk hash, the deduplicator consults the filter:
+a negative answer proves the hash has never been stored, so the chunk
+is non-duplicate and no disk access is needed.  A positive answer may
+be a false positive, in which case the (wasted) Hook lookup still
+happens — exactly the behaviour the paper's Table II "with Bloom
+Filter" rows assume.
+
+The implementation is a flat NumPy ``uint8`` bit array with ``k``
+probe positions derived from a digest by double hashing (Kirsch &
+Mitzenmacher), which lets us split one SHA-1 into two 64-bit values
+instead of computing ``k`` independent hashes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .digest import Digest
+
+__all__ = ["BloomFilter", "optimal_num_hashes", "optimal_bits"]
+
+
+def optimal_num_hashes(bits: int, expected_items: int) -> int:
+    """Optimal number of probes ``k = (m/n) ln 2`` clamped to ``[1, 16]``."""
+    if expected_items <= 0:
+        return 1
+    k = round(bits / expected_items * math.log(2))
+    return max(1, min(16, k))
+
+
+def optimal_bits(expected_items: int, fp_rate: float) -> int:
+    """Bits required for a target false-positive rate.
+
+    ``m = -n ln p / (ln 2)^2``; returns at least 64 bits.
+    """
+    if not 0.0 < fp_rate < 1.0:
+        raise ValueError(f"fp_rate must be in (0, 1), got {fp_rate}")
+    if expected_items <= 0:
+        return 64
+    m = -expected_items * math.log(fp_rate) / (math.log(2) ** 2)
+    return max(64, int(math.ceil(m)))
+
+
+@dataclass
+class BloomStats:
+    """Counters describing filter usage, reported by experiments."""
+
+    adds: int = 0
+    queries: int = 0
+    positives: int = 0
+
+    @property
+    def negatives(self) -> int:
+        return self.queries - self.positives
+
+
+class BloomFilter:
+    """Fixed-size Bloom filter over 20-byte digests.
+
+    Parameters
+    ----------
+    size_bytes:
+        RAM budget for the bit array.  The paper uses 100 MB; scaled
+        experiments size the filter with :meth:`for_expected_items`.
+    num_hashes:
+        Number of probe positions per item; if ``None`` it is chosen
+        assuming the filter will be loaded to ~50% of its bits.
+    """
+
+    def __init__(self, size_bytes: int, num_hashes: int | None = None):
+        if size_bytes <= 0:
+            raise ValueError(f"size_bytes must be positive, got {size_bytes}")
+        self._bits = np.zeros(size_bytes, dtype=np.uint8)
+        self._num_bits = size_bytes * 8
+        # Heuristic: assume the operator sized the array for its load.
+        self._k = num_hashes if num_hashes is not None else 7
+        if self._k < 1:
+            raise ValueError(f"num_hashes must be >= 1, got {num_hashes}")
+        self.stats = BloomStats()
+
+    @classmethod
+    def for_expected_items(
+        cls, expected_items: int, fp_rate: float = 0.01
+    ) -> "BloomFilter":
+        """Construct a filter sized for ``expected_items`` at ``fp_rate``."""
+        bits = optimal_bits(expected_items, fp_rate)
+        size_bytes = (bits + 7) // 8
+        return cls(size_bytes, optimal_num_hashes(size_bytes * 8, expected_items))
+
+    @property
+    def size_bytes(self) -> int:
+        """RAM occupied by the bit array (the paper's 100 MB budget)."""
+        return self._bits.nbytes
+
+    @property
+    def num_hashes(self) -> int:
+        """Probe positions tested per membership operation."""
+        return self._k
+
+    def _positions(self, digest: Digest) -> np.ndarray:
+        # Double hashing: derive k positions from two 64-bit halves of
+        # the digest.  SHA-1 is 20 bytes; use bytes [0:8] and [8:16].
+        h1 = int.from_bytes(digest[0:8], "little")
+        h2 = int.from_bytes(digest[8:16], "little") | 1  # force odd
+        idx = (h1 + np.arange(self._k, dtype=np.uint64) * np.uint64(h2 & (2**64 - 1)))
+        return (idx % np.uint64(self._num_bits)).astype(np.int64)
+
+    def add(self, digest: Digest) -> None:
+        """Insert a digest (sets its k probe bits)."""
+        pos = self._positions(digest)
+        # bitwise_or.at handles duplicate byte indices (plain fancy
+        # |= silently drops all but one update per repeated index).
+        np.bitwise_or.at(
+            self._bits, pos >> 3, np.left_shift(np.uint8(1), (pos & 7).astype(np.uint8))
+        )
+        self.stats.adds += 1
+
+    def __contains__(self, digest: Digest) -> bool:
+        """Membership query; ``False`` is definitive, ``True`` may be a FP."""
+        pos = self._positions(digest)
+        hit = bool(
+            np.all(self._bits[pos >> 3] & np.left_shift(np.uint8(1), (pos & 7).astype(np.uint8)))
+        )
+        self.stats.queries += 1
+        if hit:
+            self.stats.positives += 1
+        return hit
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits set — diagnostic for over-full filters."""
+        return float(np.unpackbits(self._bits).mean())
+
+    def theoretical_fp_rate(self, items: int) -> float:
+        """Expected false-positive probability after ``items`` inserts."""
+        m, k = self._num_bits, self._k
+        return (1.0 - math.exp(-k * items / m)) ** k

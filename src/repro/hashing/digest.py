@@ -1,0 +1,62 @@
+"""Content hashing primitives.
+
+The paper's systems identify data by SHA-1 digests.  Three digest
+roles appear throughout the codebase:
+
+* **chunk hash** — SHA-1 over a single content-defined chunk's bytes.
+* **merged hash** — SHA-1 over the concatenation of several contiguous
+  chunks (the Sampling-and-Hash-Merging representation of ``SD-1``
+  chunks as a single manifest entry).
+* **address hash** — the name of a hash-addressable file (DiskChunk,
+  Manifest, Hook) on the simulated disk.
+
+All digests are raw 20-byte ``bytes`` values; :data:`HASH_SIZE` is the
+constant the paper uses when budgeting metadata bytes (each Hook file
+holds one 20-byte address).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+__all__ = [
+    "HASH_SIZE",
+    "Digest",
+    "sha1",
+    "sha1_spans",
+    "hex_short",
+]
+
+#: Size in bytes of a SHA-1 digest (the paper's 20-byte hash values).
+HASH_SIZE = 20
+
+#: Type alias for a raw digest value.
+Digest = bytes
+
+
+def sha1(data: bytes | bytearray | memoryview) -> Digest:
+    """Return the 20-byte SHA-1 digest of ``data``.
+
+    This is the content hash used for duplicate detection in every
+    algorithm in the repository.
+    """
+    return hashlib.sha1(data).digest()
+
+
+def sha1_spans(parts: Iterable[bytes | memoryview]) -> Digest:
+    """Return the SHA-1 digest of the concatenation of ``parts``.
+
+    Used by SHM to compute one *merged hash* over ``SD-1`` contiguous
+    chunks without materialising their concatenation, and by HHR when
+    re-hashing sub-spans of a reloaded DiskChunk region.
+    """
+    h = hashlib.sha1()
+    for part in parts:
+        h.update(part)
+    return h.digest()
+
+
+def hex_short(digest: Digest, length: int = 10) -> str:
+    """Human-readable short form of a digest for logs and examples."""
+    return digest.hex()[:length]

@@ -1,0 +1,68 @@
+"""Count-Min sketch — approximate frequency counting for FBC.
+
+The FBC algorithm (Lu, Jin & Du, MASCOTS'10; discussed in the paper's
+related work) re-chunks selectively "based on the frequency
+information of chunks estimated from data that have been previously
+processed".  Estimating chunk frequencies exactly would need a
+full-index-sized table — the very thing frequency-based chunking
+exists to avoid — so FBC uses a sketch.
+
+Standard Count-Min: a ``depth × width`` matrix of counters; an item
+increments one counter per row (chosen by row-specific hashes of its
+digest); the frequency estimate is the *minimum* over its counters,
+which over-estimates with probability ``≤ (e/width)^depth`` and never
+under-estimates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .digest import Digest
+
+__all__ = ["CountMinSketch"]
+
+
+class CountMinSketch:
+    """Count-Min frequency sketch over 20-byte digests."""
+
+    def __init__(self, width: int = 1 << 14, depth: int = 4):
+        if width < 16 or depth < 1:
+            raise ValueError(f"need width >= 16 and depth >= 1, got {width}x{depth}")
+        self._width = width
+        self._depth = depth
+        self._table = np.zeros((depth, width), dtype=np.uint32)
+        self.items_added = 0
+
+    @property
+    def size_bytes(self) -> int:
+        """RAM held by the counter matrix."""
+        return self._table.nbytes
+
+    def _columns(self, digest: Digest) -> np.ndarray:
+        # Row-specific columns by double hashing two 64-bit digest halves.
+        h1 = int.from_bytes(digest[0:8], "little")
+        h2 = int.from_bytes(digest[8:16], "little") | 1
+        idx = (h1 + np.arange(self._depth, dtype=np.uint64) * np.uint64(h2 & (2**64 - 1)))
+        return (idx % np.uint64(self._width)).astype(np.int64)
+
+    def add(self, digest: Digest, count: int = 1) -> None:
+        """Record ``count`` occurrences of ``digest``."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        cols = self._columns(digest)
+        rows = np.arange(self._depth)
+        # np.add.at handles the (impossible here, but cheap) repeated
+        # (row, col) pairs correctly.
+        np.add.at(self._table, (rows, cols), count)
+        self.items_added += count
+
+    def estimate(self, digest: Digest) -> int:
+        """Frequency estimate: never below the true count."""
+        cols = self._columns(digest)
+        rows = np.arange(self._depth)
+        return int(self._table[rows, cols].min())
+
+    def __contains__(self, digest: Digest) -> bool:
+        """True when the item has (probably) been seen at least once."""
+        return self.estimate(digest) > 0

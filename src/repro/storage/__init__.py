@@ -1,0 +1,72 @@
+"""Simulated storage substrate: metered object stores on pluggable backends.
+
+The layout mirrors the paper's system architecture (Fig. 2/3): a
+DiskChunkStore of immutable chunk containers, hash-addressed Manifests
+(the only mutable metadata), write-once Hook files pointing at
+manifests, and per-file FileManifests for restore.  All disk traffic
+flows through a shared :class:`DiskModel` meter, which is what the
+Table II / Table V benches read out.
+"""
+
+from .backend import DirectoryBackend, MemoryBackend, StorageBackend
+from .chunk_store import ContainerWriter, DiskChunkStore
+from .disk_model import INODE_SIZE, DiskModel, IOSnapshot
+from .file_manifest import FILE_ENTRY_SIZE, FileExtent, FileManifest, FileManifestStore
+from .hooks import HookStore
+from .manifest import (
+    ENTRY_SIZE,
+    MANIFEST_HEADER_SIZE,
+    MHD_ENTRY_SIZE,
+    Manifest,
+    ManifestEntry,
+    ManifestStore,
+)
+from .multi_manifest import (
+    GROUP_HEADER_SIZE,
+    MultiEntry,
+    MultiManifest,
+    MultiManifestStore,
+)
+from .gc import GCReport, delete_file, sweep
+from .retention import (
+    RetentionPolicy,
+    apply_retention,
+    default_generation_of,
+    plan_retention,
+)
+from .verify import IntegrityReport, verify_store
+
+__all__ = [
+    "DirectoryBackend",
+    "MemoryBackend",
+    "StorageBackend",
+    "ContainerWriter",
+    "DiskChunkStore",
+    "INODE_SIZE",
+    "DiskModel",
+    "IOSnapshot",
+    "FILE_ENTRY_SIZE",
+    "FileExtent",
+    "FileManifest",
+    "FileManifestStore",
+    "HookStore",
+    "ENTRY_SIZE",
+    "MANIFEST_HEADER_SIZE",
+    "MHD_ENTRY_SIZE",
+    "Manifest",
+    "ManifestEntry",
+    "ManifestStore",
+    "GROUP_HEADER_SIZE",
+    "MultiEntry",
+    "MultiManifest",
+    "MultiManifestStore",
+    "IntegrityReport",
+    "verify_store",
+    "GCReport",
+    "delete_file",
+    "sweep",
+    "RetentionPolicy",
+    "apply_retention",
+    "default_generation_of",
+    "plan_retention",
+]

@@ -1,0 +1,180 @@
+"""Key-value storage backends for the hash-addressable object stores.
+
+The paper's prototypes run "in the user space of the Ext3 file system"
+with every DiskChunk, Manifest and Hook a separate file.  Here the
+same object model is served by one of two interchangeable backends:
+
+* :class:`MemoryBackend` — dict-backed; used by tests and benches so
+  experiment runtime measures the *algorithms*, not the host disk.
+* :class:`DirectoryBackend` — one real file per object under a root
+  directory, faithful to the paper's prototype layout.
+
+Backends are **not** metered; metering happens in the object stores,
+because only they know whether an access is a real disk access or a
+RAM-cache hit.  Backends do provide inode accounting (object counts)
+since the paper budgets 256 bytes per metadata file inode.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+
+from .disk_model import INODE_SIZE
+
+__all__ = ["StorageBackend", "MemoryBackend", "DirectoryBackend"]
+
+
+class StorageBackend(ABC):
+    """Namespace → key → bytes object store."""
+
+    @abstractmethod
+    def put(self, namespace: str, key: bytes, data: bytes) -> None:
+        """Store an object (overwrites an existing one)."""
+
+    @abstractmethod
+    def get(self, namespace: str, key: bytes) -> bytes:
+        """Fetch an object; raises ``KeyError`` if absent."""
+
+    @abstractmethod
+    def exists(self, namespace: str, key: bytes) -> bool:
+        """Membership test without transferring the object."""
+
+    @abstractmethod
+    def keys(self, namespace: str) -> list[bytes]:
+        """All keys in a namespace (unordered)."""
+
+    @abstractmethod
+    def delete(self, namespace: str, key: bytes) -> bool:
+        """Remove an object; returns whether it existed.
+
+        Only garbage collection deletes objects — the deduplicators
+        themselves treat every store as append-only (DiskChunks and
+        Hooks are write-once; Manifests are updated, never removed).
+        """
+
+    @abstractmethod
+    def object_count(self, namespace: str) -> int:
+        """Number of stored objects = inodes consumed by the namespace."""
+
+    @abstractmethod
+    def bytes_stored(self, namespace: str) -> int:
+        """Total payload bytes held by a namespace."""
+
+    def inode_bytes(self, namespace: str) -> int:
+        """Inode overhead of a namespace under the paper's 256 B/inode."""
+        return self.object_count(namespace) * INODE_SIZE
+
+    def total_stored(self, namespaces: list[str] | None = None) -> int:
+        """Payload + inode bytes across namespaces (for real-DER math)."""
+        if namespaces is None:
+            namespaces = self.namespaces()
+        return sum(
+            self.bytes_stored(ns) + self.inode_bytes(ns) for ns in namespaces
+        )
+
+    @abstractmethod
+    def namespaces(self) -> list[str]:
+        """Namespaces that currently hold at least one object."""
+
+
+class MemoryBackend(StorageBackend):
+    """Dict-of-dicts backend; the default for experiments."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, dict[bytes, bytes]] = {}
+
+    def put(self, namespace: str, key: bytes, data: bytes) -> None:
+        self._data.setdefault(namespace, {})[key] = bytes(data)
+
+    def get(self, namespace: str, key: bytes) -> bytes:
+        try:
+            return self._data[namespace][key]
+        except KeyError:
+            raise KeyError(f"{namespace}/{key.hex()[:12]} not found") from None
+
+    def exists(self, namespace: str, key: bytes) -> bool:
+        return key in self._data.get(namespace, {})
+
+    def keys(self, namespace: str) -> list[bytes]:
+        return list(self._data.get(namespace, {}))
+
+    def delete(self, namespace: str, key: bytes) -> bool:
+        ns = self._data.get(namespace)
+        if ns is None or key not in ns:
+            return False
+        del ns[key]
+        return True
+
+    def object_count(self, namespace: str) -> int:
+        return len(self._data.get(namespace, {}))
+
+    def bytes_stored(self, namespace: str) -> int:
+        return sum(len(v) for v in self._data.get(namespace, {}).values())
+
+    def namespaces(self) -> list[str]:
+        return [ns for ns, d in self._data.items() if d]
+
+
+class DirectoryBackend(StorageBackend):
+    """One file per object under ``root/namespace/<key hex>``.
+
+    Matches the paper's prototype: every DiskChunk/Manifest/Hook is a
+    separate hash-named file on the host file system.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self._root = os.fspath(root)
+        os.makedirs(self._root, exist_ok=True)
+
+    def _path(self, namespace: str, key: bytes) -> str:
+        return os.path.join(self._root, namespace, key.hex())
+
+    def put(self, namespace: str, key: bytes, data: bytes) -> None:
+        path = self._path(namespace, key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as fh:
+            fh.write(data)
+
+    def get(self, namespace: str, key: bytes) -> bytes:
+        try:
+            with open(self._path(namespace, key), "rb") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            raise KeyError(f"{namespace}/{key.hex()[:12]} not found") from None
+
+    def exists(self, namespace: str, key: bytes) -> bool:
+        return os.path.exists(self._path(namespace, key))
+
+    def keys(self, namespace: str) -> list[bytes]:
+        d = os.path.join(self._root, namespace)
+        if not os.path.isdir(d):
+            return []
+        return [bytes.fromhex(name) for name in os.listdir(d)]
+
+    def delete(self, namespace: str, key: bytes) -> bool:
+        try:
+            os.remove(self._path(namespace, key))
+            return True
+        except FileNotFoundError:
+            return False
+
+    def object_count(self, namespace: str) -> int:
+        d = os.path.join(self._root, namespace)
+        return len(os.listdir(d)) if os.path.isdir(d) else 0
+
+    def bytes_stored(self, namespace: str) -> int:
+        d = os.path.join(self._root, namespace)
+        if not os.path.isdir(d):
+            return 0
+        return sum(
+            os.path.getsize(os.path.join(d, name)) for name in os.listdir(d)
+        )
+
+    def namespaces(self) -> list[str]:
+        return [
+            ns
+            for ns in os.listdir(self._root)
+            if os.path.isdir(os.path.join(self._root, ns))
+            and os.listdir(os.path.join(self._root, ns))
+        ]

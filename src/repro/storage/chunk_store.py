@@ -1,0 +1,125 @@
+"""DiskChunkStore — immutable containers of non-duplicate chunk bytes.
+
+MHD "only merge[s] the non-duplicate chunks belonging to one file into
+one DiskChunk"; SubChunk coalesces the small chunks of one big chunk
+into a container.  Either way, the store's unit is an append-only
+*container* that is written to disk once, sequentially, and never
+modified afterwards — reads (HHR byte reloads, restores) address a
+``(container, offset, size)`` extent.
+
+Metering: one ``write`` operation is recorded when a container closes
+(a buffered sequential write — matching Table II's "Chunk Output
+Times" of *F* for MHD), with the container's full byte count.  Every
+extent read records one ``read`` operation — HHR's reloads are the
+"Chunk Input Times 2L" row.  Reads that land on a still-open container
+are served from its RAM buffer but metered identically, since those
+bytes are conceptually already on disk.
+"""
+
+from __future__ import annotations
+
+from ..hashing.digest import Digest
+from .backend import StorageBackend
+from .disk_model import DiskModel
+
+__all__ = ["ContainerWriter", "DiskChunkStore"]
+
+
+class ContainerWriter:
+    """Accumulates one DiskChunk's bytes; closed exactly once."""
+
+    def __init__(self, store: "DiskChunkStore", container_id: Digest):
+        self.container_id = container_id
+        self._store = store
+        self._buf = bytearray()
+        self._closed = False
+
+    def append(self, data: bytes | memoryview) -> int:
+        """Append bytes; returns the byte offset they landed at."""
+        if self._closed:
+            raise RuntimeError("container already closed")
+        offset = len(self._buf)
+        self._buf += data
+        return offset
+
+    @property
+    def size(self) -> int:
+        """Bytes accumulated so far (= the next append offset)."""
+        return len(self._buf)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def close(self) -> None:
+        """Flush to the backend; meters one sequential write."""
+        if self._closed:
+            return
+        self._closed = True
+        self._store._finalize(self)
+
+    def _read(self, offset: int, size: int) -> bytes:
+        return bytes(self._buf[offset : offset + size])
+
+
+class DiskChunkStore:
+    """Metered store of immutable DiskChunk containers."""
+
+    def __init__(self, backend: StorageBackend, meter: DiskModel):
+        self._backend = backend
+        self._meter = meter
+        self._open: dict[Digest, ContainerWriter] = {}
+
+    def open_container(self, container_id: Digest) -> ContainerWriter:
+        """Start a new container; readable immediately, closed once."""
+        if container_id in self._open or self._backend.exists(
+            DiskModel.CHUNK, container_id
+        ):
+            raise ValueError(f"container {container_id.hex()[:12]} already exists")
+        writer = ContainerWriter(self, container_id)
+        self._open[container_id] = writer
+        return writer
+
+    def _finalize(self, writer: ContainerWriter) -> None:
+        data = bytes(writer._buf)
+        if data:  # empty containers (fully-duplicate files) occupy nothing
+            self._backend.put(DiskModel.CHUNK, writer.container_id, data)
+            self._meter.record(DiskModel.CHUNK, "write", len(data))
+        del self._open[writer.container_id]
+
+    def read(self, container_id: Digest, offset: int, size: int) -> bytes:
+        """Read an extent; one metered disk access."""
+        if size < 0 or offset < 0:
+            raise ValueError(f"invalid extent offset={offset} size={size}")
+        self._meter.record(DiskModel.CHUNK, "read", size)
+        open_writer = self._open.get(container_id)
+        if open_writer is not None:
+            return open_writer._read(offset, size)
+        data = self._backend.get(DiskModel.CHUNK, container_id)
+        if offset + size > len(data):
+            raise ValueError(
+                f"extent [{offset}, {offset + size}) beyond container size {len(data)}"
+            )
+        return data[offset : offset + size]
+
+    def size(self, container_id: Digest) -> int:
+        """Byte size of a container (open or closed)."""
+        open_writer = self._open.get(container_id)
+        if open_writer is not None:
+            return open_writer.size
+        return len(self._backend.get(DiskModel.CHUNK, container_id))
+
+    def exists(self, container_id: Digest) -> bool:
+        """Whether a container (open or closed) exists."""
+        return container_id in self._open or self._backend.exists(
+            DiskModel.CHUNK, container_id
+        )
+
+    def stored_bytes(self) -> int:
+        """Total closed-container bytes on the backend."""
+        return self._backend.bytes_stored(DiskModel.CHUNK)
+
+    def count(self) -> int:
+        """Number of closed containers (= DiskChunk inodes)."""
+        return self._backend.object_count(DiskModel.CHUNK)

@@ -1,0 +1,146 @@
+"""Garbage collection — retention and space reclamation.
+
+The paper's pipeline only ever adds data; a production backup store
+also *expires* old generations.  Deletion under deduplication is
+subtle: a DiskChunk container may hold bytes referenced by many other
+files, so space only returns when **no** FileManifest references any
+byte of the container.  This module implements the classic two-step:
+
+1. :func:`delete_file` — drop a FileManifest (the only per-file
+   object; chunk data is shared and cannot be touched here).
+2. :func:`sweep` — mark-and-sweep over the whole store: walk every
+   surviving FileManifest, collect the referenced container set, and
+   delete unreferenced containers together with their now-useless
+   metadata (manifests whose containers are all gone, and hooks that
+   pointed at deleted manifests).
+
+Sweeping preserves the store invariants — a swept store still passes
+:func:`repro.storage.verify.verify_store` and restores every
+surviving file byte-identically (tested).
+
+Container granularity means space reclamation is *coarse*: one
+surviving reference pins a whole container (real systems defragment
+with container rewriting, which would break the paper's write-once
+DiskChunk rule, so we deliberately stop at the paper-compatible
+design and expose the pinned-bytes figure instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hashing.digest import Digest
+from .backend import StorageBackend
+from .disk_model import DiskModel
+from .file_manifest import FileManifest, FileManifestStore
+from .manifest import Manifest
+from .multi_manifest import MultiManifest
+from .verify import _load_manifest
+
+__all__ = ["GCReport", "delete_file", "sweep"]
+
+
+@dataclass(frozen=True)
+class GCReport:
+    """Outcome of one sweep."""
+
+    containers_deleted: int
+    containers_kept: int
+    bytes_reclaimed: int
+    bytes_pinned: int  # unreferenced bytes stuck in partially-used containers
+    manifests_deleted: int
+    hooks_deleted: int
+
+    def summary(self) -> str:
+        """One-line human-readable sweep outcome."""
+        return (
+            f"gc: reclaimed {self.bytes_reclaimed:,} B in "
+            f"{self.containers_deleted} containers "
+            f"({self.manifests_deleted} manifests, {self.hooks_deleted} hooks); "
+            f"{self.bytes_pinned:,} B pinned in {self.containers_kept} live containers"
+        )
+
+
+def delete_file(backend: StorageBackend, file_id: str) -> bool:
+    """Drop one file's recipe; returns whether it existed.
+
+    Chunk data is shared, so nothing else is touched — run
+    :func:`sweep` afterwards to reclaim space.
+    """
+    return backend.delete(DiskModel.FILE_MANIFEST, FileManifestStore.key_for(file_id))
+
+
+def _referenced_extents(backend: StorageBackend) -> dict[Digest, int]:
+    """Container → referenced byte count over all FileManifests."""
+    referenced: dict[Digest, int] = {}
+    for key in backend.keys(DiskModel.FILE_MANIFEST):
+        fm = FileManifest.from_bytes(backend.get(DiskModel.FILE_MANIFEST, key))
+        for e in fm.extents:
+            referenced[e.container_id] = referenced.get(e.container_id, 0) + e.size
+    return referenced
+
+
+def sweep(backend: StorageBackend) -> GCReport:
+    """Mark-and-sweep unreferenced containers and their metadata."""
+    referenced = _referenced_extents(backend)
+
+    containers_deleted = bytes_reclaimed = 0
+    containers_kept = bytes_pinned = 0
+    live_containers: set[Digest] = set()
+    for cid in backend.keys(DiskModel.CHUNK):
+        size = len(backend.get(DiskModel.CHUNK, cid))
+        if cid in referenced:
+            live_containers.add(cid)
+            containers_kept += 1
+            # referenced byte counts can exceed the container size when
+            # many files share the same extent, so clamp at zero
+            bytes_pinned += max(0, size - referenced[cid])
+            continue
+        backend.delete(DiskModel.CHUNK, cid)
+        containers_deleted += 1
+        bytes_reclaimed += size
+
+    # Manifests survive while any of their containers do.  Surviving
+    # multi-container manifests are rewritten without entries for dead
+    # containers, so the store keeps verifying clean.
+    manifests_deleted = 0
+    dead_manifests: set[Digest] = set()
+    surviving_digests: dict[Digest, set[Digest]] = {}
+    for mid in backend.keys(DiskModel.MANIFEST):
+        manifest = _load_manifest(backend.get(DiskModel.MANIFEST, mid))
+        if isinstance(manifest, Manifest):
+            containers = {manifest.chunk_id}
+        else:
+            assert isinstance(manifest, MultiManifest)
+            containers = {e.container_id for e in manifest.entries}
+        live = containers & live_containers
+        if containers and not live:
+            backend.delete(DiskModel.MANIFEST, mid)
+            dead_manifests.add(mid)
+            manifests_deleted += 1
+            continue
+        if isinstance(manifest, MultiManifest) and live != containers:
+            kept = [e for e in manifest.entries if e.container_id in live]
+            backend.put(
+                DiskModel.MANIFEST, mid, MultiManifest(mid, kept).to_bytes()
+            )
+            surviving_digests[mid] = {e.digest for e in kept}
+        else:
+            surviving_digests[mid] = set(manifest.index)
+
+    hooks_deleted = 0
+    for hook in backend.keys(DiskModel.HOOK):
+        target = backend.get(DiskModel.HOOK, hook)
+        digests = surviving_digests.get(target)  # None: dead or dangling
+        if digests is None or hook not in digests:
+            backend.delete(DiskModel.HOOK, hook)
+            hooks_deleted += 1
+
+    return GCReport(
+        containers_deleted=containers_deleted,
+        containers_kept=containers_kept,
+        bytes_reclaimed=bytes_reclaimed,
+        bytes_pinned=bytes_pinned,
+        manifests_deleted=manifests_deleted,
+        hooks_deleted=hooks_deleted,
+    )

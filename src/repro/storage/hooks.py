@@ -1,0 +1,65 @@
+"""Hook store — the on-disk sample index.
+
+A *Hook* is a hash-addressable file named by a sampled chunk hash whose
+20-byte payload is the address of the Manifest it belongs to ("each
+Hook contains a 20-byte SHA-1 address to the Manifest it belongs to").
+Hooks are the disk-resident entry points for duplicate detection: when
+the Bloom filter says an incoming hash may exist, the deduplicator
+queries this store; a hit yields the Manifest to load.
+
+Hook files are immutable once written.  Metering follows Table II:
+``query`` (existence probe), ``read`` (fetch the manifest address on a
+hit) and ``write`` (new hook).
+"""
+
+from __future__ import annotations
+
+from ..hashing.digest import HASH_SIZE, Digest
+from .backend import StorageBackend
+from .disk_model import DiskModel
+
+__all__ = ["HookStore"]
+
+
+class HookStore:
+    """Metered digest → manifest-address mapping, one file per hook."""
+
+    def __init__(self, backend: StorageBackend, meter: DiskModel):
+        self._backend = backend
+        self._meter = meter
+
+    def put(self, hook_digest: Digest, manifest_id: Digest) -> None:
+        """Write a hook file (idempotent for identical content)."""
+        if len(manifest_id) != HASH_SIZE:
+            raise ValueError(f"manifest_id must be {HASH_SIZE} bytes")
+        if self._backend.exists(DiskModel.HOOK, hook_digest):
+            # The paper's hooks are write-once; re-registration of the
+            # same digest keeps the original mapping.
+            return
+        self._backend.put(DiskModel.HOOK, hook_digest, manifest_id)
+        self._meter.record(DiskModel.HOOK, "write", HASH_SIZE)
+
+    def query(self, hook_digest: Digest) -> bool:
+        """On-disk existence probe; one metered query access."""
+        self._meter.record(DiskModel.HOOK, "query", 0)
+        return self._backend.exists(DiskModel.HOOK, hook_digest)
+
+    def get(self, hook_digest: Digest) -> Digest:
+        """Fetch the manifest address; one metered read."""
+        data = self._backend.get(DiskModel.HOOK, hook_digest)
+        self._meter.record(DiskModel.HOOK, "read", len(data))
+        return data
+
+    def lookup(self, hook_digest: Digest) -> Digest | None:
+        """Query + read combined: manifest id, or ``None`` if absent."""
+        if not self.query(hook_digest):
+            return None
+        return self.get(hook_digest)
+
+    def count(self) -> int:
+        """Number of hook files (= hook inodes)."""
+        return self._backend.object_count(DiskModel.HOOK)
+
+    def stored_bytes(self) -> int:
+        """Total hook payload bytes (20 B per hook)."""
+        return self._backend.bytes_stored(DiskModel.HOOK)

@@ -1,0 +1,186 @@
+"""Store integrity verification.
+
+A deduplicated store is only as good as its ability to prove itself
+consistent: every Hook must point at an existing Manifest that still
+contains the hook's digest; every Manifest must tile its DiskChunk
+exactly and hash-match the bytes it describes; every FileManifest
+extent must lie inside a stored container.  This module walks a
+backend and checks all of it — the fsck of the repository.
+
+Used by tests (including failure-injection tests that corrupt stores
+on purpose) and exposed to users via ``Deduplicator.verify_integrity``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hashing.digest import Digest, sha1
+from .backend import StorageBackend
+from .disk_model import DiskModel
+from .file_manifest import FileManifest
+from .manifest import Manifest
+from .multi_manifest import MultiManifest
+
+__all__ = ["IntegrityReport", "verify_store"]
+
+
+@dataclass
+class IntegrityReport:
+    """Outcome of a full store walk."""
+
+    manifests_checked: int = 0
+    hooks_checked: int = 0
+    file_manifests_checked: int = 0
+    containers_checked: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the walk found no inconsistencies."""
+        return not self.errors
+
+    def error(self, msg: str) -> None:
+        """Record one inconsistency."""
+        self.errors.append(msg)
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        status = "OK" if self.ok else f"{len(self.errors)} ERRORS"
+        return (
+            f"integrity {status}: {self.containers_checked} containers, "
+            f"{self.manifests_checked} manifests, {self.hooks_checked} hooks, "
+            f"{self.file_manifests_checked} file manifests"
+        )
+
+
+def _load_manifest(raw: bytes):
+    """Manifests may be single-container or multi-container; sniff."""
+    try:
+        m = Manifest.from_bytes(raw)
+        if m.to_bytes() == raw:
+            return m
+    except Exception:  # noqa: BLE001 - format sniffing
+        pass
+    return MultiManifest.from_bytes(raw)
+
+
+def verify_store(
+    backend: StorageBackend,
+    deep: bool = True,
+    check_entry_hashes: bool = False,
+) -> IntegrityReport:
+    """Walk every object in ``backend`` and cross-check the invariants.
+
+    Parameters
+    ----------
+    deep:
+        Also verify manifest extents against container sizes and
+        FileManifest extents against containers.
+    check_entry_hashes:
+        Re-hash every single-container manifest entry's bytes and
+        compare with the recorded digest (expensive; catches silent
+        container corruption).
+    """
+    report = IntegrityReport()
+    container_sizes: dict[Digest, int] = {}
+    for key in backend.keys(DiskModel.CHUNK):
+        container_sizes[key] = len(backend.get(DiskModel.CHUNK, key))
+        report.containers_checked += 1
+
+    manifests: dict[Digest, object] = {}
+    for key in backend.keys(DiskModel.MANIFEST):
+        raw = backend.get(DiskModel.MANIFEST, key)
+        try:
+            m = _load_manifest(raw)
+        except Exception as e:  # noqa: BLE001 - report, don't crash
+            report.error(f"manifest {key.hex()[:12]}: unparseable ({e})")
+            continue
+        report.manifests_checked += 1
+        if m.manifest_id != key:
+            report.error(
+                f"manifest {key.hex()[:12]}: stored under wrong key "
+                f"(claims {m.manifest_id.hex()[:12]})"
+            )
+            continue
+        manifests[key] = m
+        if not deep:
+            continue
+        if isinstance(m, Manifest):
+            size = container_sizes.get(m.chunk_id)
+            if size is None:
+                report.error(
+                    f"manifest {key.hex()[:12]}: DiskChunk "
+                    f"{m.chunk_id.hex()[:12]} missing"
+                )
+                continue
+            try:
+                m.validate_tiling(size)
+            except AssertionError as e:
+                report.error(f"manifest {key.hex()[:12]}: {e}")
+            if check_entry_hashes:
+                data = backend.get(DiskModel.CHUNK, m.chunk_id)
+                for i, entry in enumerate(m.entries):
+                    actual = sha1(data[entry.offset : entry.end])
+                    if actual != entry.digest:
+                        report.error(
+                            f"manifest {key.hex()[:12]} entry {i}: digest "
+                            f"mismatch (container bytes corrupted?)"
+                        )
+        else:  # MultiManifest: per-entry container bounds
+            for i, entry in enumerate(m.entries):
+                size = container_sizes.get(entry.container_id)
+                if size is None:
+                    report.error(
+                        f"manifest {key.hex()[:12]} entry {i}: container "
+                        f"{entry.container_id.hex()[:12]} missing"
+                    )
+                elif entry.offset + entry.size > size:
+                    report.error(
+                        f"manifest {key.hex()[:12]} entry {i}: extent "
+                        f"[{entry.offset}, {entry.offset + entry.size}) beyond "
+                        f"container size {size}"
+                    )
+                elif check_entry_hashes:
+                    data = backend.get(DiskModel.CHUNK, entry.container_id)
+                    if sha1(data[entry.offset : entry.offset + entry.size]) != entry.digest:
+                        report.error(
+                            f"manifest {key.hex()[:12]} entry {i}: digest mismatch"
+                        )
+
+    for key in backend.keys(DiskModel.HOOK):
+        report.hooks_checked += 1
+        target = backend.get(DiskModel.HOOK, key)
+        m = manifests.get(target)
+        if m is None:
+            report.error(
+                f"hook {key.hex()[:12]}: dangling manifest {target.hex()[:12]}"
+            )
+        elif key not in m:
+            # HHR never re-chunks hook entries, so a hook's digest must
+            # survive in its manifest for the life of the store.
+            report.error(
+                f"hook {key.hex()[:12]}: digest no longer present in its manifest"
+            )
+
+    for key in backend.keys(DiskModel.FILE_MANIFEST):
+        report.file_manifests_checked += 1
+        try:
+            fm = FileManifest.from_bytes(backend.get(DiskModel.FILE_MANIFEST, key))
+        except Exception as e:  # noqa: BLE001
+            report.error(f"file manifest {key.hex()[:12]}: unparseable ({e})")
+            continue
+        if not deep:
+            continue
+        for i, e in enumerate(fm.extents):
+            size = container_sizes.get(e.container_id)
+            if size is None:
+                report.error(
+                    f"file manifest {fm.file_id!r} extent {i}: container "
+                    f"{e.container_id.hex()[:12]} missing"
+                )
+            elif e.offset + e.size > size:
+                report.error(
+                    f"file manifest {fm.file_id!r} extent {i}: beyond container"
+                )
+    return report

@@ -1,0 +1,34 @@
+"""Synthetic disk-image backup workloads and dataset characterisation.
+
+Substitutes for the paper's 1 TB / 14-PC / two-week corpus (see
+DESIGN.md §2): :class:`BackupCorpus` generates a seeded fleet whose
+duplication structure (cross-machine OS sharing, generational churn,
+byte-shifting edits) exercises the same code paths; :func:`trace_corpus`
+measures the resulting N, D, L, DER and DAD ground truth.
+"""
+
+from .corpus import BackupCorpus, CorpusConfig, small_corpus, tiny_corpus
+from .machine import BackupFile, Machine, MachineConfig
+from .mutations import EditConfig, mutate
+from .profiles import PROFILES, make_corpus, profile_names
+from .templates import TemplateFile, TemplateLibrary
+from .traces import TraceStats, trace_corpus
+
+__all__ = [
+    "BackupCorpus",
+    "CorpusConfig",
+    "small_corpus",
+    "tiny_corpus",
+    "BackupFile",
+    "Machine",
+    "MachineConfig",
+    "EditConfig",
+    "mutate",
+    "PROFILES",
+    "make_corpus",
+    "profile_names",
+    "TemplateFile",
+    "TemplateLibrary",
+    "TraceStats",
+    "trace_corpus",
+]

@@ -1,0 +1,145 @@
+"""One simulated PC and its evolution across backup generations.
+
+A machine owns three classes of content, mirroring a real desktop
+disk image:
+
+* **OS files** — referenced from the template library; shared verbatim
+  with every machine running the same OS; they receive light edits
+  (system updates) at a reduced change rate.
+* **App files** — a machine-specific subset of app bundles, also
+  lightly edited.
+* **User files** — unique per machine, generated from the machine's
+  own seed, edited at the full configured change rate every
+  generation; occasionally new user files appear and old ones vanish.
+
+``generation(g)`` materialises the complete file list for backup day
+``g``; generations are built incrementally and cached so that day ``g``
+is day ``g-1`` plus one round of edits, matching how a real backup
+stream evolves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from .mutations import EditConfig, mutate
+from .templates import TemplateFile, TemplateLibrary
+
+__all__ = ["BackupFile", "MachineConfig", "Machine"]
+
+
+@dataclass(frozen=True)
+class BackupFile:
+    """One file in one backup generation (identity + bytes)."""
+
+    file_id: str
+    data: bytes = field(repr=False)
+
+    @property
+    def size(self) -> int:
+        """File size in bytes."""
+        return len(self.data)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Shape of one machine's content."""
+
+    os_index: int = 0
+    app_indices: tuple[int, ...] = (0, 1)
+    user_bytes: int = 1 << 21
+    mean_user_file: int = 1 << 17
+    edits: EditConfig = field(default_factory=EditConfig)
+    #: OS/app files change far more slowly than user data.
+    system_change_scale: float = 0.1
+    #: Probability a new user file appears in a generation.
+    new_file_prob: float = 0.3
+    #: Probability an existing user file is deleted in a generation.
+    delete_file_prob: float = 0.05
+    #: Append-only log data (0 disables).  Logs never rewrite history —
+    #: each generation appends ``log_append_bytes`` — which produces the
+    #: most dedup-friendly change pattern a real machine emits.
+    log_bytes: int = 0
+    log_append_bytes: int = 1 << 14
+
+
+class Machine:
+    """Generates a machine's backup stream, one generation at a time."""
+
+    def __init__(
+        self, machine_id: str, library: TemplateLibrary, config: MachineConfig, seed: int
+    ):
+        self.machine_id = machine_id
+        self._config = config
+        self._rng = np.random.default_rng(seed)
+        self._system_edits = replace(
+            config.edits,
+            change_rate=config.edits.change_rate * config.system_change_scale,
+        )
+        # Current state: name -> bytes, evolved in place per generation.
+        self._system: dict[str, bytes] = {}
+        for tf in library.os_image(config.os_index):
+            self._system[tf.name] = tf.data
+        for idx in config.app_indices:
+            for tf in library.app_bundle(idx):
+                self._system[f"{tf.name}@{idx}"] = tf.data
+        self._user: dict[str, bytes] = {}
+        n_user = max(1, config.user_bytes // config.mean_user_file)
+        for i in range(n_user):
+            self._user[f"user/file{i:04d}"] = self._fresh_user_file()
+        self._user_serial = n_user
+        self._log = (
+            self._rng.integers(0, 256, size=config.log_bytes, dtype=np.uint8).tobytes()
+            if config.log_bytes
+            else b""
+        )
+        self._generation = 0
+
+    def _fresh_user_file(self) -> bytes:
+        size = int(
+            self._rng.lognormal(mean=np.log(self._config.mean_user_file), sigma=0.7)
+        )
+        size = max(2048, size)
+        return self._rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+
+    def _advance(self) -> None:
+        """Apply one generation of churn to the machine state."""
+        cfg = self._config
+        for name in list(self._system):
+            self._system[name] = mutate(self._system[name], self._rng, self._system_edits)
+        for name in list(self._user):
+            if self._rng.random() < cfg.delete_file_prob and len(self._user) > 1:
+                del self._user[name]
+                continue
+            self._user[name] = mutate(self._user[name], self._rng, cfg.edits)
+        if self._rng.random() < cfg.new_file_prob:
+            self._user[f"user/file{self._user_serial:04d}"] = self._fresh_user_file()
+            self._user_serial += 1
+        if self._log:
+            self._log += self._rng.integers(
+                0, 256, size=cfg.log_append_bytes, dtype=np.uint8
+            ).tobytes()
+
+    def generation(self, g: int) -> list[BackupFile]:
+        """Backup file list for day ``g`` (generations are sequential).
+
+        Must be called with non-decreasing ``g``; the machine evolves
+        monotonically like a real system.
+        """
+        if g < self._generation:
+            raise ValueError(
+                f"generation {g} already passed (machine is at {self._generation})"
+            )
+        while self._generation < g:
+            self._advance()
+            self._generation += 1
+        prefix = f"{self.machine_id}/gen{g:03d}"
+        files = [
+            BackupFile(f"{prefix}/{name}", data)
+            for name, data in list(self._system.items()) + list(self._user.items())
+        ]
+        if self._log:
+            files.append(BackupFile(f"{prefix}/var/log/syslog", self._log))
+        return files

@@ -1,0 +1,96 @@
+"""Byte-level edit operators used to evolve backup generations.
+
+Between two backups of the same machine, files change by in-place
+overwrites (databases, registries), insertions and deletions (logs,
+documents).  Insertions and deletions *shift* all subsequent bytes,
+which is precisely what breaks fixed-size chunking and what CDC
+resynchronises after — so the generator must produce genuine shifts,
+not only overwrites.
+
+Edits are expressed as a fraction of the file mutated per generation
+(``change_rate``) split across a configurable number of edit *spans*;
+span lengths control the duplication aggregation degree (DAD) of the
+resulting corpus: fewer, larger preserved gaps between edits mean
+longer duplicate slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EditConfig", "mutate"]
+
+
+@dataclass(frozen=True)
+class EditConfig:
+    """Shape of one generation's edits to one file.
+
+    Parameters
+    ----------
+    change_rate:
+        Fraction of file bytes replaced/inserted per generation.
+    edits_per_mb:
+        Edit spans per MiB of file; higher values fragment the
+        surviving duplicate data into more, shorter slices (lower DAD).
+    insert_fraction:
+        Portion of edit spans realised as insertions of new bytes
+        (shifting), the rest as in-place overwrites.
+    delete_fraction:
+        Portion of edit spans that *also* delete the original span
+        (pure insertion keeps it, producing growth).
+    """
+
+    change_rate: float = 0.2
+    edits_per_mb: float = 6.0
+    insert_fraction: float = 0.5
+    delete_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.change_rate <= 1.0:
+            raise ValueError(f"change_rate must be in [0,1], got {self.change_rate}")
+        if self.edits_per_mb <= 0:
+            raise ValueError(f"edits_per_mb must be positive, got {self.edits_per_mb}")
+        for name in ("insert_fraction", "delete_fraction"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0,1], got {v}")
+
+
+def mutate(data: bytes, rng: np.random.Generator, config: EditConfig) -> bytes:
+    """Apply one generation of edits to ``data``.
+
+    Deterministic given the generator state.  Returns a new byte
+    string; the original is untouched.
+    """
+    n = len(data)
+    if n == 0 or config.change_rate == 0.0:
+        return data
+    n_edits = max(1, round(n / (1 << 20) * config.edits_per_mb))
+    budget = max(1, int(n * config.change_rate))
+    span = max(1, budget // n_edits)
+
+    # Choose edit start positions, sorted so we can rebuild in one pass.
+    starts = np.sort(rng.integers(0, max(1, n - span), size=n_edits))
+    arr = np.frombuffer(data, dtype=np.uint8)
+    out: list[np.ndarray] = []
+    pos = 0
+    for s in starts:
+        s = int(s)
+        if s < pos:  # overlapping edit spans collapse into the previous one
+            continue
+        out.append(arr[pos:s])
+        fresh = rng.integers(0, 256, size=span, dtype=np.uint8)
+        is_insert = rng.random() < config.insert_fraction
+        if is_insert:
+            out.append(fresh)
+            if rng.random() < config.delete_fraction:
+                pos = min(n, s + span)  # insertion replaces the original span
+            else:
+                pos = s  # pure insertion: original bytes survive after it
+        else:
+            out.append(fresh)  # overwrite
+            pos = min(n, s + span)
+    out.append(arr[pos:])
+    return np.concatenate(out).tobytes()

@@ -1,0 +1,96 @@
+"""Named corpus profiles — reproducible workload presets.
+
+Experiments and examples shouldn't hand-tune eight `CorpusConfig`
+fields each time; these presets capture the workload archetypes the
+dedup literature evaluates against, at laptop scale.  All are seeded
+and deterministic; pass a different ``seed`` for another draw of the
+same shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .corpus import BackupCorpus, CorpusConfig
+from .mutations import EditConfig
+
+__all__ = ["PROFILES", "make_corpus", "profile_names"]
+
+
+def _office_fleet(seed: int) -> CorpusConfig:
+    """Desktop PCs: shared OS images, document-style insert/delete
+    churn — the paper's 14-PC corpus in miniature."""
+    return CorpusConfig(
+        machines=4,
+        generations=5,
+        os_count=2,
+        os_bytes=1 << 20,
+        app_bytes=1 << 18,
+        user_bytes=1 << 19,
+        mean_file=1 << 16,
+        edits=EditConfig(change_rate=0.2, insert_fraction=0.5),
+        seed=seed,
+    )
+
+
+def _server_fleet(seed: int) -> CorpusConfig:
+    """Servers: one OS image, little user churn, big append-only logs
+    — the most dedup-friendly shape."""
+    return CorpusConfig(
+        machines=3,
+        generations=6,
+        os_count=1,
+        os_bytes=1 << 20,
+        app_bytes=1 << 18,
+        user_bytes=1 << 17,
+        mean_file=1 << 16,
+        edits=EditConfig(change_rate=0.05, insert_fraction=0.3),
+        log_bytes=1 << 19,
+        seed=seed,
+    )
+
+
+def _vm_images(seed: int) -> CorpusConfig:
+    """Whole disk images per machine-day — the paper's literal input
+    shape (one big file per backup; F is tiny)."""
+    return replace(_office_fleet(seed), as_disk_images=True)
+
+
+def _churny_workstations(seed: int) -> CorpusConfig:
+    """Heavy-edit developers: high change rate, many insertions —
+    the hardest corpus for all algorithms."""
+    return CorpusConfig(
+        machines=3,
+        generations=5,
+        os_count=2,
+        os_bytes=1 << 19,
+        app_bytes=1 << 17,
+        user_bytes=1 << 20,
+        mean_file=1 << 16,
+        edits=EditConfig(change_rate=0.45, insert_fraction=0.7, edits_per_mb=12),
+        seed=seed,
+    )
+
+
+PROFILES = {
+    "office-fleet": _office_fleet,
+    "server-fleet": _server_fleet,
+    "vm-images": _vm_images,
+    "churny-workstations": _churny_workstations,
+}
+
+
+def profile_names() -> list[str]:
+    """Available preset names."""
+    return sorted(PROFILES)
+
+
+def make_corpus(profile: str, seed: int = 2013) -> BackupCorpus:
+    """Instantiate a named corpus profile."""
+    try:
+        factory = PROFILES[profile]
+    except KeyError:
+        raise ValueError(
+            f"unknown profile {profile!r}; choose from {profile_names()}"
+        ) from None
+    return BackupCorpus(factory(seed))

@@ -1,0 +1,93 @@
+"""Template library — shared OS and application content.
+
+The paper's corpus is disk images of 14 PCs running Windows, Linux or
+Mac.  Machines running the same OS share enormous amounts of identical
+content (system files), which is the cross-machine component of the
+corpus's duplication.  The library generates a small set of seeded
+"OS images" and "application bundles" as deterministic pseudo-random
+byte blobs split into files; machines reference them by index.
+
+Blob content is incompressible random data: deduplication algorithms
+observe only byte *equality*, so random bytes exercise them exactly as
+real file systems do, while keeping the generator trivial to seed and
+reproduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TemplateFile", "TemplateLibrary"]
+
+
+@dataclass(frozen=True)
+class TemplateFile:
+    """One file inside a template (name + immutable content)."""
+
+    name: str
+    data: bytes = field(repr=False)
+
+    @property
+    def size(self) -> int:
+        """Template file size in bytes."""
+        return len(self.data)
+
+
+def _make_files(
+    rng: np.random.Generator, prefix: str, total_bytes: int, mean_file: int
+) -> list[TemplateFile]:
+    """Split ``total_bytes`` of random content into lognormal-sized files."""
+    files: list[TemplateFile] = []
+    remaining = total_bytes
+    i = 0
+    while remaining > 0:
+        size = int(rng.lognormal(mean=np.log(mean_file), sigma=0.6))
+        size = max(1024, min(size, remaining)) if remaining > 1024 else remaining
+        data = rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+        files.append(TemplateFile(f"{prefix}/file{i:04d}", data))
+        remaining -= size
+        i += 1
+    return files
+
+
+class TemplateLibrary:
+    """Seeded collection of OS images and app bundles.
+
+    Parameters
+    ----------
+    os_count, app_count:
+        Number of distinct OS images / application bundles available.
+    os_bytes, app_bytes:
+        Content size of each OS image / app bundle.
+    mean_file:
+        Mean file size inside a template.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        os_count: int = 3,
+        app_count: int = 6,
+        os_bytes: int = 1 << 21,
+        app_bytes: int = 1 << 19,
+        mean_file: int = 1 << 17,
+    ):
+        if os_count <= 0 or app_count < 0:
+            raise ValueError("os_count must be >= 1 and app_count >= 0")
+        rng = np.random.default_rng(seed)
+        self.os_images: list[list[TemplateFile]] = [
+            _make_files(rng, f"os{i}", os_bytes, mean_file) for i in range(os_count)
+        ]
+        self.app_bundles: list[list[TemplateFile]] = [
+            _make_files(rng, f"app{i}", app_bytes, mean_file) for i in range(app_count)
+        ]
+
+    def os_image(self, index: int) -> list[TemplateFile]:
+        """OS image by index (wraps around the available set)."""
+        return self.os_images[index % len(self.os_images)]
+
+    def app_bundle(self, index: int) -> list[TemplateFile]:
+        """App bundle by index (wraps around the available set)."""
+        return self.app_bundles[index % len(self.app_bundles)]

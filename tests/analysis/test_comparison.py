@@ -1,0 +1,110 @@
+"""Tests for ranking and Pareto-front helpers."""
+
+import pytest
+
+from repro.analysis import AlgorithmRun, dominates, pareto_front, rank_by
+from repro.core import CpuWork, DedupConfig, DedupStats
+from repro.storage import IOSnapshot
+
+
+def run(name, metadata_ratio, real_der):
+    """Synthesise an AlgorithmRun at a chosen (cost, benefit) point."""
+    input_bytes = 1_000_000
+    output = int(input_bytes / real_der)
+    meta = int(metadata_ratio * input_bytes)
+    stats = DedupStats(
+        algorithm=name,
+        config=DedupConfig(ecs=1024, sd=8),
+        input_bytes=input_bytes,
+        input_files=1,
+        stored_chunk_bytes=output - meta,
+        manifest_bytes=meta,
+        hook_bytes=0,
+        file_manifest_bytes=0,
+        chunk_inodes=0,
+        manifest_inodes=0,
+        hook_inodes=0,
+        file_manifest_inodes=0,
+        unique_chunks=1,
+        duplicate_chunks=0,
+        duplicate_slices=0,
+        io=IOSnapshot(),
+        cpu=CpuWork(),
+        peak_ram_bytes=1,
+    )
+    return AlgorithmRun(stats=stats, throughput_ratio=0.1, dedup_seconds=1.0)
+
+
+A = run("a", 0.01, 3.0)  # cheap and good
+B = run("b", 0.02, 2.0)  # dominated by A
+C = run("c", 0.03, 4.0)  # expensive but best DER
+D = run("d", 0.01, 3.0)  # ties A exactly
+
+
+class TestRank:
+    def test_rank_by_attribute(self):
+        out = rank_by([A, B, C], "real_der")
+        assert [r.name for r in out] == ["c", "a", "b"]
+
+    def test_rank_ascending(self):
+        out = rank_by([A, B, C], "metadata_ratio", descending=False)
+        assert [r.name for r in out] == ["a", "b", "c"]
+
+    def test_rank_by_callable(self):
+        out = rank_by([A, C], lambda r: r.real_der / r.metadata_ratio)
+        assert out[0].name == "a"
+
+
+class TestDominates:
+    cost = staticmethod(lambda r: r.metadata_ratio)
+    benefit = staticmethod(lambda r: r.real_der)
+
+    def test_strict_domination(self):
+        assert dominates(A, B, self.cost, self.benefit)
+        assert not dominates(B, A, self.cost, self.benefit)
+
+    def test_tradeoff_no_domination(self):
+        assert not dominates(A, C, self.cost, self.benefit)
+        assert not dominates(C, A, self.cost, self.benefit)
+
+    def test_exact_tie_does_not_dominate(self):
+        assert not dominates(A, D, self.cost, self.benefit)
+
+
+class TestParetoFront:
+    def test_front_drops_dominated(self):
+        front = pareto_front([A, B, C])
+        assert [r.name for r in front] == ["a", "c"]
+
+    def test_front_sorted_by_cost(self):
+        front = pareto_front([C, A])
+        assert [r.name for r in front] == ["a", "c"]
+
+    def test_ties_both_kept(self):
+        names = {r.name for r in pareto_front([A, D])}
+        assert names == {"a", "d"}
+
+    def test_real_grid(self):
+        """On a real mini-grid the front is non-empty and every member
+        is undominated."""
+        from repro.baselines import CDCDeduplicator
+        from repro.core import MHDDeduplicator
+        from repro.analysis import evaluate
+        from repro.workloads import tiny_corpus
+
+        files = tiny_corpus().files()[:60]
+        runs = [
+            evaluate(cls(DedupConfig(ecs=ecs, sd=8)), files)
+            for cls in (MHDDeduplicator, CDCDeduplicator)
+            for ecs in (512, 2048)
+        ]
+        front = pareto_front(runs)
+        assert front
+        cost = lambda r: r.metadata_ratio
+        benefit = lambda r: r.real_der
+        for member in front:
+            assert not any(
+                dominates(other, member, cost, benefit)
+                for other in runs
+                if other is not member
+            )

@@ -1,0 +1,123 @@
+"""Tests for the Table I / Table II closed-form models."""
+
+import pytest
+
+from repro.analysis import ALGORITHMS, CorpusParams, table1_metadata, table2_disk_accesses
+
+
+@pytest.fixture
+def params():
+    # A plausible corpus: 1000 files, 1M unique chunks, 3M dups,
+    # 50k duplicate slices, SD=1000 (the paper's setting).
+    return CorpusParams(f=1000, n=1_000_000, d=3_000_000, l=50_000, sd=1000)
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        CorpusParams(f=-1, n=0, d=0, l=0, sd=2)
+    with pytest.raises(ValueError):
+        CorpusParams(f=0, n=0, d=0, l=0, sd=1)
+
+
+def test_params_from_trace():
+    from repro.workloads import TraceStats
+
+    trace = TraceStats(
+        total_bytes=100,
+        total_chunks=10,
+        unique_chunks=6,
+        duplicate_chunks=4,
+        unique_bytes=60,
+        duplicate_bytes=40,
+        duplicate_slices=2,
+        total_files=3,
+        partial_files=2,
+    )
+    p = CorpusParams.from_trace(trace, sd=16)
+    assert (p.f, p.n, p.d, p.l, p.sd) == (2, 6, 4, 2, 16)
+
+
+class TestTable1:
+    def test_all_algorithms_present(self, params):
+        t = table1_metadata(params)
+        assert set(t) == set(ALGORITHMS)
+
+    def test_cdc_matches_paper_closed_form(self, params):
+        t = table1_metadata(params)
+        f, n = params.f, params.n
+        assert t["cdc"]["summary"] == t["cdc"]["summary_paper"] == 512 * f + 312 * n
+
+    def test_bimodal_matches_paper_closed_form(self, params):
+        t = table1_metadata(params)
+        f, n, l, sd = params.f, params.n, params.l, params.sd
+        expected = 512 * f + 312 * n / sd + 624 * l * (sd - 1)
+        assert t["bimodal"]["summary"] == pytest.approx(expected)
+        assert t["bimodal"]["summary_paper"] == pytest.approx(expected)
+
+    def test_mhd_smallest_at_high_sd(self, params):
+        """The paper's headline: with SD high, MHD needs the least."""
+        t = table1_metadata(params)
+        mhd = t["bf-mhd"]["summary"]
+        assert mhd < t["cdc"]["summary"]
+        assert mhd < t["subchunk"]["summary"]
+        assert mhd < t["bimodal"]["summary"]
+
+    def test_mhd_rows(self, params):
+        t = table1_metadata(params)
+        r = t["bf-mhd"]
+        assert r["chunk_inodes"] == params.f
+        assert r["hook_inodes"] == params.n / params.sd
+        assert r["manifest_bytes"] == 74 * params.n / params.sd + 148 * params.l
+
+    def test_subchunk_manifest_dominated_by_36n(self, params):
+        t = table1_metadata(params)
+        assert t["subchunk"]["manifest_bytes"] >= 36 * params.n
+
+    def test_summary_scales_linearly_in_n(self):
+        small = CorpusParams(f=10, n=1000, d=100, l=5, sd=16)
+        big = CorpusParams(f=10, n=2000, d=100, l=5, sd=16)
+        t_small, t_big = table1_metadata(small), table1_metadata(big)
+        for algo in ALGORITHMS:
+            assert t_big[algo]["summary"] > t_small[algo]["summary"]
+
+
+class TestTable2:
+    def test_cdc_summaries_match_row_sums(self, params):
+        t = table2_disk_accesses(params)
+        assert t["cdc"]["sum_no_bloom"] == pytest.approx(t["cdc"]["summary_no_bloom"])
+        assert t["cdc"]["sum_bloom"] == pytest.approx(t["cdc"]["summary_bloom"])
+
+    def test_mhd_summaries_match_row_sums(self, params):
+        t = table2_disk_accesses(params)
+        assert t["bf-mhd"]["sum_no_bloom"] == pytest.approx(
+            t["bf-mhd"]["summary_no_bloom"]
+        )
+        assert t["bf-mhd"]["sum_bloom"] == pytest.approx(t["bf-mhd"]["summary_bloom"])
+
+    def test_mhd_no_big_queries(self, params):
+        t = table2_disk_accesses(params)
+        assert t["bf-mhd"]["big_queries"] == 0
+        assert t["subchunk"]["big_queries"] > 0
+        assert t["bimodal"]["big_queries"] > 0
+
+    def test_mhd_fewest_accesses_when_3l_below_d_over_sd(self):
+        """Paper: when 3L < D/SD, MHD needs fewest disk accesses."""
+        p = CorpusParams(f=1000, n=1_000_000, d=9_000_000, l=2_000, sd=1000)
+        assert 3 * p.l < p.d / p.sd
+        t = table2_disk_accesses(p)
+        mhd = t["bf-mhd"]["sum_bloom"]
+        assert mhd < t["subchunk"]["sum_bloom"]
+        assert mhd < t["bimodal"]["sum_bloom"]
+        assert mhd < t["cdc"]["sum_bloom"]
+
+    def test_bloom_reduces_every_algorithm(self, params):
+        t = table2_disk_accesses(params)
+        for algo in ALGORITHMS:
+            assert t[algo]["sum_bloom"] <= t[algo]["sum_no_bloom"]
+
+    def test_hhr_cost_rows(self, params):
+        """MHD pays 2L chunk reloads + L manifest updates (the 3L bound)."""
+        t = table2_disk_accesses(params)
+        r = t["bf-mhd"]
+        assert r["chunk_in"] == 2 * params.l
+        assert r["manifest_out"] == params.f + params.l

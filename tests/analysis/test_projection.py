@@ -1,0 +1,61 @@
+"""Tests for the paper-scale projection."""
+
+import pytest
+
+from repro.analysis import PAPER_CORPUS, ScaleDescription, project, projected_metadata_ratios
+
+
+class TestScaleDescription:
+    def test_paper_corpus_constants(self):
+        assert PAPER_CORPUS.total_bytes == 10**12
+        assert PAPER_CORPUS.sd == 1000
+        assert PAPER_CORPUS.files == 196
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScaleDescription(0, 4.0, 1000, 10, 1024, 16)
+        with pytest.raises(ValueError):
+            ScaleDescription(100, 0.5, 1000, 10, 1024, 16)
+        with pytest.raises(ValueError):
+            ScaleDescription(100, 4.0, 0, 10, 1024, 16)
+
+
+class TestProject:
+    def test_byte_conservation(self):
+        p = project(PAPER_CORPUS)
+        total = (p.n + p.d) * PAPER_CORPUS.ecs
+        assert total == pytest.approx(PAPER_CORPUS.total_bytes, rel=0.01)
+
+    def test_der_recovered(self):
+        p = project(PAPER_CORPUS)
+        assert (p.n + p.d) / p.n == pytest.approx(PAPER_CORPUS.data_only_der, rel=0.01)
+
+    def test_l_from_dad(self):
+        p = project(PAPER_CORPUS)
+        dup_bytes = PAPER_CORPUS.total_bytes * (1 - 1 / PAPER_CORPUS.data_only_der)
+        assert p.l == pytest.approx(dup_bytes / PAPER_CORPUS.dad_bytes, rel=0.01)
+
+
+class TestProjectedRatios:
+    def test_mhd_lands_in_the_papers_band(self):
+        """The paper reports BF-MHD max metadata ~0.2% of input; the
+        projection from its own corpus characteristics must land within
+        a small factor of that."""
+        ratios = projected_metadata_ratios(PAPER_CORPUS)
+        assert 0.0002 / 4 < ratios["bf-mhd"] < 0.002, ratios["bf-mhd"]
+
+    def test_subchunk_same_order_as_paper(self):
+        """Paper: SubChunk ~1.7%."""
+        ratios = projected_metadata_ratios(PAPER_CORPUS)
+        assert 0.017 / 4 < ratios["subchunk"] < 0.017 * 4
+
+    def test_ordering_mhd_smallest(self):
+        ratios = projected_metadata_ratios(PAPER_CORPUS)
+        assert ratios["bf-mhd"] == min(ratios.values())
+
+    def test_smaller_sd_costs_more_metadata(self):
+        from dataclasses import replace
+
+        low = projected_metadata_ratios(replace(PAPER_CORPUS, sd=250))
+        high = projected_metadata_ratios(PAPER_CORPUS)
+        assert low["bf-mhd"] > high["bf-mhd"]

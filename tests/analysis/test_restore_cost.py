@@ -1,0 +1,69 @@
+"""Tests for restore-cost analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import DeviceModel, RestoreCost, measure_restore_cost
+from repro.baselines import CDCDeduplicator
+from repro.core import DedupConfig, MHDDeduplicator
+from repro.workloads import BackupFile, tiny_corpus
+
+
+def rand(n, seed):
+    return np.random.default_rng(seed).integers(0, 256, size=n, dtype=np.uint8).tobytes()
+
+
+def test_fresh_file_costs_one_extent():
+    d = MHDDeduplicator(DedupConfig(ecs=512, sd=4, window=16))
+    data = rand(60_000, 1)
+    d.process([BackupFile("a", data)])
+    cost = measure_restore_cost(d, ["a"])
+    assert cost.files == 1
+    assert cost.extents == 1  # fully coalesced
+    assert cost.restored_bytes == len(data)
+    assert cost.slowdown == pytest.approx(1.0)
+
+
+def test_fragmented_restore_costs_more():
+    d = MHDDeduplicator(DedupConfig(ecs=512, sd=4, window=16))
+    base = rand(120_000, 2)
+    probe = (
+        rand(4_000, 3) + base[10_000:40_000] + rand(4_000, 4) + base[70_000:100_000]
+    )
+    d.process([BackupFile("base", base), BackupFile("probe", probe)])
+    cost = measure_restore_cost(d, ["probe"])
+    assert cost.extents >= 3
+    assert cost.distinct_containers == 2
+    assert cost.slowdown > 1.0
+
+
+def test_device_model_scaling():
+    d = MHDDeduplicator(DedupConfig(ecs=512, sd=4, window=16))
+    d.process([BackupFile("a", rand(50_000, 5))])
+    slow = measure_restore_cost(d, ["a"], DeviceModel(seek_s=0.05))
+    fast = measure_restore_cost(d, ["a"], DeviceModel(seek_s=0.001))
+    assert slow.seconds > fast.seconds
+    assert slow.throughput_bps < fast.throughput_bps
+
+
+def test_mhd_restores_less_fragmented_than_cdc():
+    """Coalescing pays off: MHD's recipes have fewer extents per MB
+    than CDC's on the same corpus."""
+    files = tiny_corpus().files()
+    ids = [f.file_id for f in files]
+    mhd = MHDDeduplicator(DedupConfig(ecs=1024, sd=8))
+    mhd.process(files)
+    cdc = CDCDeduplicator(DedupConfig(ecs=1024, sd=8))
+    cdc.process(files)
+    mhd_cost = measure_restore_cost(mhd, ids)
+    cdc_cost = measure_restore_cost(cdc, ids)
+    assert mhd_cost.restored_bytes == cdc_cost.restored_bytes
+    assert mhd_cost.extents <= cdc_cost.extents
+
+
+def test_extents_per_mb_consistent():
+    d = MHDDeduplicator(DedupConfig(ecs=512, sd=4, window=16))
+    d.process([BackupFile("a", rand(2 << 20, 6))])
+    cost = measure_restore_cost(d, ["a"])
+    assert cost.extents_per_mb == pytest.approx(cost.extents / 2, rel=0.01)
+    assert cost.extents_per_file == cost.extents

@@ -1,0 +1,137 @@
+"""Tests for the device timing model, metrics helpers and report rendering."""
+
+import pytest
+
+from repro.analysis import (
+    DeviceModel,
+    evaluate,
+    fmt,
+    format_series,
+    format_table,
+    sweep_ecs,
+)
+from repro.baselines import CDCDeduplicator
+from repro.core import DedupConfig, MHDDeduplicator
+from repro.workloads import tiny_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return tiny_corpus().files()[:50]
+
+
+class TestDeviceModel:
+    def test_rejects_nonpositive_rates(self):
+        with pytest.raises(ValueError):
+            DeviceModel(seek_s=0)
+        with pytest.raises(ValueError):
+            DeviceModel(disk_bw=-1)
+
+    def test_copy_time_components(self):
+        dm = DeviceModel(seek_s=0.01, disk_bw=1e6)
+        assert dm.copy_time(2_000_000, 10) == pytest.approx(10 * 0.01 + 2.0)
+
+    def test_dedup_time_positive_and_decomposes(self, corpus):
+        dm = DeviceModel()
+        run = evaluate(MHDDeduplicator(DedupConfig(ecs=1024, sd=8)), corpus, dm)
+        s = run.stats
+        assert dm.dedup_time(s) == pytest.approx(dm.cpu_time(s) + dm.io_time(s))
+        assert run.dedup_seconds > 0
+
+    def test_throughput_ratio_below_one(self, corpus):
+        """Dedup must be slower than plain copying (paper band 0.2-0.5)."""
+        run = evaluate(MHDDeduplicator(DedupConfig(ecs=1024, sd=8)), corpus)
+        assert 0 < run.throughput_ratio < 1.0
+
+    def test_faster_disk_raises_cpu_share(self, corpus):
+        stats = MHDDeduplicator(DedupConfig(ecs=1024, sd=8)).process(corpus)
+        slow = DeviceModel(seek_s=0.02)
+        fast = DeviceModel(seek_s=0.001)
+        assert fast.dedup_time(stats) < slow.dedup_time(stats)
+
+    def test_write_throughput(self, corpus):
+        run = evaluate(CDCDeduplicator(DedupConfig(ecs=1024, sd=8)), corpus)
+        dm = DeviceModel()
+        assert dm.write_throughput(run.stats) == pytest.approx(
+            run.stats.input_bytes / run.dedup_seconds
+        )
+
+
+class TestSweep:
+    def test_sweep_ecs_runs_each_point(self, corpus):
+        runs = sweep_ecs(
+            CDCDeduplicator, corpus, ecs_values=[512, 1024], sd=8, window=16
+        )
+        assert [r.ecs for r in runs] == [512, 1024]
+        assert all(r.stats.input_files == len(corpus) for r in runs)
+
+    def test_smaller_ecs_more_metadata(self, corpus):
+        runs = sweep_ecs(
+            CDCDeduplicator, corpus, ecs_values=[512, 4096], sd=8, window=16
+        )
+        assert runs[0].metadata_ratio > runs[1].metadata_ratio
+
+
+class TestReport:
+    def test_fmt_ints_and_floats(self):
+        assert fmt(1234567) == "1,234,567"
+        assert fmt(0.12345, 3) == "0.123"
+        assert fmt(1.5e9) == "1.500e+09"
+        assert fmt(0) == "0"
+        assert fmt("abc") == "abc"
+
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bee"], [[1, 2.5], [33, 4]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bee" in lines[2]
+        assert len(lines) == 6
+
+    def test_format_table_empty_rows(self):
+        out = format_table(["x"], [])
+        assert "x" in out
+
+    def test_format_series(self):
+        s = format_series("mhd", [512, 1024], [0.1, 0.2], "ECS", "ratio")
+        assert s.startswith("mhd [ECS -> ratio]:")
+        assert "(512, 0.100)" in s
+
+
+class TestAsciiChart:
+    def test_empty(self):
+        from repro.analysis import ascii_chart
+
+        assert ascii_chart({}) == "(empty chart)"
+
+    def test_single_point(self):
+        from repro.analysis import ascii_chart
+
+        out = ascii_chart({"s": [(1.0, 2.0)]})
+        assert "A=s" in out
+        assert "A" in out.splitlines()[1:][0] or any(
+            "A" in line for line in out.splitlines()
+        )
+
+    def test_markers_and_extents(self):
+        from repro.analysis import ascii_chart
+
+        out = ascii_chart(
+            {"one": [(0, 0), (10, 5)], "two": [(5, 2)]},
+            width=20,
+            height=5,
+            x_label="ecs",
+            y_label="der",
+        )
+        assert "A=one" in out and "B=two" in out
+        assert "(ecs)" in out
+        assert out.splitlines()[0].startswith("der")
+        # corner points land on the grid edges
+        grid_lines = [l for l in out.splitlines() if l.startswith("  |")]
+        assert any("A" in l for l in grid_lines)
+        assert any("B" in l for l in grid_lines)
+
+    def test_flat_series_no_crash(self):
+        from repro.analysis import ascii_chart
+
+        out = ascii_chart({"flat": [(1, 3), (2, 3), (3, 3)]})
+        assert "A=flat" in out

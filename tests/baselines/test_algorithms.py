@@ -1,0 +1,161 @@
+"""Algorithm-specific behaviour tests for the four baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BimodalDeduplicator,
+    CDCDeduplicator,
+    SparseIndexingDeduplicator,
+    SubChunkDeduplicator,
+)
+from repro.core import DedupConfig
+from repro.storage import DiskModel
+from repro.workloads import BackupFile, tiny_corpus
+
+
+def rand(n, seed):
+    return np.random.default_rng(seed).integers(0, 256, size=n, dtype=np.uint8).tobytes()
+
+
+def cfg(**kw):
+    defaults = dict(ecs=512, sd=4, bloom_bytes=1 << 16, cache_manifests=16, window=16)
+    defaults.update(kw)
+    return DedupConfig(**defaults)
+
+
+class TestCDC:
+    def test_one_hook_per_unique_chunk(self):
+        """Table I: CDC charges N hook inodes."""
+        d = CDCDeduplicator(cfg())
+        stats = d.process([BackupFile("a", rand(50_000, 1))])
+        assert stats.hook_inodes == stats.unique_chunks
+
+    def test_finds_all_chunk_level_duplicates(self):
+        """CDC with a full index is the dedup oracle at ECS granularity."""
+        from repro.chunking import VectorizedChunker
+        from repro.workloads import trace_corpus
+
+        files = tiny_corpus().files()[:80]
+        config = cfg(ecs=1024, sd=8, cache_manifests=256)
+        d = CDCDeduplicator(config)
+        stats = d.process(files)
+        oracle = trace_corpus(files, VectorizedChunker(config.small_chunker_config()))
+        # With a large cache the full-index CDC matches the oracle.
+        assert stats.unique_chunks == oracle.unique_chunks
+        assert stats.duplicate_chunks == oracle.duplicate_chunks
+
+    def test_bloom_suppresses_negative_lookups(self):
+        files = [BackupFile(f"f{i}", rand(40_000, i)) for i in range(4)]
+        with_bloom = CDCDeduplicator(cfg(bloom_bytes=1 << 18))
+        with_bloom.process(files)
+        without = CDCDeduplicator(cfg(bloom_bytes=0))
+        without.process(files)
+        q_with = with_bloom.meter.count(DiskModel.HOOK, "query")
+        q_without = without.meter.count(DiskModel.HOOK, "query")
+        assert q_with < q_without
+
+
+class TestBimodal:
+    def test_rechunks_only_at_transitions(self):
+        """A repeated region inside fresh data forces re-chunking around
+        its edges; a fully fresh file forces none."""
+        base = rand(300_000, 5)
+        d = BimodalDeduplicator(cfg(sd=4))
+        d.ingest(BackupFile("base", base))
+        assert d.rechunked_big == 0
+        probe = rand(50_000, 6) + base[64_000:200_000] + rand(50_000, 7)
+        d.ingest(BackupFile("probe", probe))
+        d.finalize()
+        assert d.rechunked_big > 0
+        assert d.restore("probe") == probe
+
+    def test_misses_duplicates_away_from_transitions(self):
+        """Bimodal's DER is bounded by transition-point re-chunking:
+        duplicate data fully inside non-duplicate big chunks is missed."""
+        files = tiny_corpus().files()
+        config = cfg(ecs=1024, sd=8)
+        bimodal = BimodalDeduplicator(config).process(files)
+        oracle = CDCDeduplicator(cfg(ecs=1024, sd=8, cache_manifests=256)).process(files)
+        assert bimodal.stored_chunk_bytes > oracle.stored_chunk_bytes
+
+    def test_hooks_grow_with_rechunking(self):
+        """Table I: re-chunking mints hooks (N/SD + 2L(SD-1) >= N/SD)."""
+        base = rand(300_000, 8)
+        probe = rand(50_000, 9) + base[64_000:200_000] + rand(50_000, 10)
+        d = BimodalDeduplicator(cfg(sd=4))
+        stats = d.process([BackupFile("base", base), BackupFile("probe", probe)])
+        # more hooks than pure big-chunk storage would need
+        big_chunks_stored = stats.hook_inodes
+        assert big_chunks_stored > 0
+
+
+class TestSubChunk:
+    def test_container_per_big_chunk(self):
+        """Table I: ~N/SD DiskChunk inodes (one per non-dup big chunk)."""
+        d = SubChunkDeduplicator(cfg(sd=4))
+        data = rand(200_000, 11)
+        stats = d.process([BackupFile("a", data)])
+        # every big chunk was fresh -> one container each
+        assert stats.chunk_inodes == d._container_serial
+        assert stats.chunk_inodes > 1
+
+    def test_one_hook_per_manifest(self):
+        d = SubChunkDeduplicator(cfg(sd=4))
+        files = [BackupFile(f"f{i}", rand(100_000, i)) for i in range(3)]
+        stats = d.process(files)
+        assert stats.hook_inodes <= stats.manifest_inodes
+
+    def test_duplicate_big_chunks_skip_rechunking(self):
+        data = rand(200_000, 13)
+        d = SubChunkDeduplicator(cfg(sd=4))
+        d.ingest(BackupFile("a", data))
+        serial_after_first = d._container_serial
+        d.ingest(BackupFile("b", data))  # identical: all big chunks dup
+        d.finalize()
+        assert d._container_serial == serial_after_first
+        assert d.restore("b") == data
+
+    def test_manifest_bytes_include_group_headers(self):
+        from repro.storage.multi_manifest import GROUP_HEADER_SIZE
+
+        d = SubChunkDeduplicator(cfg(sd=4))
+        stats = d.process([BackupFile("a", rand(100_000, 14))])
+        # 36 per small chunk + 28 per container group + header
+        assert stats.manifest_bytes > 36 * stats.unique_chunks
+        assert stats.manifest_bytes >= GROUP_HEADER_SIZE * stats.chunk_inodes
+
+
+class TestSparseIndexing:
+    def test_manifests_record_duplicates_too(self):
+        """Locality preservation: manifest entries ~ total chunks, not N."""
+        data = rand(150_000, 15)
+        d = SparseIndexingDeduplicator(cfg(sd=4))
+        stats = d.process([BackupFile("a", data), BackupFile("b", data)])
+        total_chunks = stats.unique_chunks + stats.duplicate_chunks
+        assert stats.manifest_bytes > 36 * stats.unique_chunks
+        assert stats.manifest_bytes >= 36 * total_chunks
+
+    def test_sparse_index_ram_reported(self):
+        d = SparseIndexingDeduplicator(cfg(sd=4))
+        d.process([BackupFile("a", rand(150_000, 16))])
+        assert d.sparse_index_bytes() > 0
+
+    def test_champion_dedup_on_repeat(self):
+        data = rand(200_000, 17)
+        d = SparseIndexingDeduplicator(cfg(sd=4))
+        stats = d.process([BackupFile("a", data), BackupFile("b", data)])
+        assert stats.duplicate_chunks > 0
+        assert stats.stored_chunk_bytes < 1.6 * len(data)
+        assert d.restore("b") == data
+
+    def test_hook_cap_per_entry(self):
+        """No hook may map to more than 5 manifests."""
+        files = tiny_corpus().files()[:60]
+        d = SparseIndexingDeduplicator(cfg(ecs=512, sd=4))
+        d.process(files)
+        assert max(len(v) for v in d._sparse.values()) <= 5
+
+    def test_no_bloom_filter(self):
+        d = SparseIndexingDeduplicator(cfg(bloom_bytes=1 << 20))
+        assert d.bloom is None

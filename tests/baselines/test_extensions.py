@@ -1,0 +1,158 @@
+"""Behaviour tests for the related-work extensions:
+Fingerdiff, FBC, Extreme Binning."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ExtremeBinningDeduplicator,
+    FBCDeduplicator,
+    FingerdiffDeduplicator,
+    CDCDeduplicator,
+    BimodalDeduplicator,
+)
+from repro.core import DedupConfig
+from repro.workloads import BackupFile, tiny_corpus
+
+
+def rand(n, seed):
+    return np.random.default_rng(seed).integers(0, 256, size=n, dtype=np.uint8).tobytes()
+
+
+def cfg(**kw):
+    defaults = dict(ecs=512, sd=4, bloom_bytes=1 << 16, cache_manifests=16, window=16)
+    defaults.update(kw)
+    return DedupConfig(**defaults)
+
+
+class TestFingerdiff:
+    def test_coalescing_shrinks_manifests_vs_cdc(self):
+        """One manifest entry per coalesced run instead of per chunk."""
+        files = [BackupFile(f"f{i}", rand(80_000, i)) for i in range(3)]
+        fd = FingerdiffDeduplicator(cfg()).process(files)
+        cdc = CDCDeduplicator(cfg()).process(files)
+        assert fd.manifest_bytes < cdc.manifest_bytes / 2
+
+    def test_full_index_matches_cdc_dedup(self):
+        """Subchunk-granular RAM database finds everything CDC finds."""
+        files = tiny_corpus().files()[:60]
+        fd = FingerdiffDeduplicator(cfg(ecs=1024, sd=8)).process(files)
+        cdc = CDCDeduplicator(cfg(ecs=1024, sd=8, cache_manifests=512)).process(files)
+        assert fd.stored_chunk_bytes <= cdc.stored_chunk_bytes * 1.01
+
+    def test_database_ram_grows_with_unique_chunks(self):
+        d = FingerdiffDeduplicator(cfg())
+        d.ingest(BackupFile("a", rand(50_000, 1)))
+        ram_a = d.database_bytes()
+        d.ingest(BackupFile("b", rand(50_000, 2)))
+        d.finalize()
+        assert d.database_bytes() > ram_a > 0
+
+    def test_max_subchunks_bounds_coalescing(self):
+        d = FingerdiffDeduplicator(cfg(), max_subchunks=2)
+        stats = d.process([BackupFile("a", rand(30_000, 3))])
+        # entries = ceil(unique / 2) approximately
+        from repro.hashing import sha1
+
+        m = d.manifests.get(sha1(b"a|manifest"))
+        assert len(m.entries) >= stats.unique_chunks / 2
+
+    def test_rejects_bad_max_subchunks(self):
+        with pytest.raises(ValueError):
+            FingerdiffDeduplicator(cfg(), max_subchunks=0)
+
+    def test_restore(self):
+        files = tiny_corpus().files()[:30]
+        d = FingerdiffDeduplicator(cfg(ecs=1024, sd=8))
+        d.process(files)
+        for f in files[::5]:
+            assert d.restore(f.file_id) == f.data
+
+
+class TestFBC:
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ValueError):
+            FBCDeduplicator(cfg(), frequency_threshold=0)
+        with pytest.raises(ValueError):
+            FBCDeduplicator(cfg(), min_frequent=0)
+
+    def test_fresh_data_never_rechunks(self):
+        d = FBCDeduplicator(cfg())
+        d.process([BackupFile("a", rand(100_000, 5))])
+        assert d.frequency_rechunks == 0
+
+    def test_repeated_content_triggers_frequency_rechunk(self):
+        """Shifted repeats defeat big-chunk hashes but light up the
+        small-chunk frequency sketch."""
+        base = rand(150_000, 6)
+        d = FBCDeduplicator(cfg(sd=4))
+        d.ingest(BackupFile("a", base))
+        d.ingest(BackupFile("b", rand(777, 7) + base))  # shifted copy
+        d.ingest(BackupFile("c", rand(778, 8) + base))  # another shift
+        d.finalize()
+        assert d.frequency_rechunks > 0
+        assert d.restore("b") == rand(777, 7) + base
+
+    def test_finds_more_than_bimodal_on_shifted_repeats(self):
+        """Bimodal needs a duplicate *big* chunk to anchor re-chunking;
+        FBC's sketch works even when every big chunk hash changed."""
+        base = rand(200_000, 9)
+        files = [
+            BackupFile("a", base),
+            BackupFile("b", rand(501, 10) + base),
+            BackupFile("c", rand(502, 11) + base),
+        ]
+        fbc = FBCDeduplicator(cfg(sd=4)).process(files)
+        bim = BimodalDeduplicator(cfg(sd=4)).process(files)
+        assert fbc.stored_chunk_bytes <= bim.stored_chunk_bytes
+
+
+class TestExtremeBinning:
+    def test_one_bin_read_per_file(self):
+        """The design goal: at most one manifest (bin) read per file."""
+        from repro.storage import DiskModel
+
+        files = tiny_corpus().files()[:50]
+        d = ExtremeBinningDeduplicator(cfg(ecs=1024, sd=8))
+        stats = d.process(files)
+        assert stats.io.count(DiskModel.MANIFEST, "read") <= len(files)
+
+    def test_whole_file_duplicate_short_circuit(self):
+        data = rand(60_000, 12)
+        d = ExtremeBinningDeduplicator(cfg())
+        stats = d.process([BackupFile("a", data), BackupFile("b", data)])
+        assert d.whole_file_hits == 1
+        assert stats.stored_chunk_bytes == len(data)
+        assert d.restore("b") == data
+
+    def test_similar_files_share_a_bin(self):
+        base = rand(80_000, 13)
+        edited = base[:20_000] + rand(4_000, 14) + base[20_000:]
+        d = ExtremeBinningDeduplicator(cfg())
+        stats = d.process([BackupFile("a", base), BackupFile("b", edited)])
+        # representative chunk is likely preserved by one local edit,
+        # so most of b dedups against a's bin
+        assert stats.stored_chunk_bytes < len(base) + 30_000
+
+    def test_dissimilar_files_use_separate_bins(self):
+        d = ExtremeBinningDeduplicator(cfg())
+        d.process([BackupFile("a", rand(40_000, 15)), BackupFile("b", rand(40_000, 16))])
+        assert len(d._primary) == 2
+
+    def test_primary_index_ram_reported(self):
+        d = ExtremeBinningDeduplicator(cfg())
+        stats = d.process([BackupFile("a", rand(40_000, 17))])
+        assert d.primary_index_bytes() > 0
+        assert stats.peak_ram_bytes >= d.primary_index_bytes()
+
+    def test_empty_file(self):
+        d = ExtremeBinningDeduplicator(cfg())
+        d.process([BackupFile("e", b"")])
+        assert d.restore("e") == b""
+
+
+class TestFBCRamAccounting:
+    def test_peak_ram_includes_sketch(self):
+        d = FBCDeduplicator(cfg(), sketch_width=1 << 14)
+        stats = d.process([BackupFile("a", rand(40_000, 30))])
+        assert stats.peak_ram_bytes >= d.sketch.size_bytes

@@ -1,0 +1,26 @@
+"""Shared fixtures and data strategies for chunker tests."""
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.chunking import ChunkerConfig
+
+
+@pytest.fixture
+def small_config():
+    """A config small enough that short test buffers contain many chunks."""
+    return ChunkerConfig(expected_size=256, min_size=64, max_size=1024, window=16)
+
+
+def random_bytes(n: int, seed: int = 0) -> bytes:
+    return np.random.default_rng(seed).integers(0, 256, size=n, dtype=np.uint8).tobytes()
+
+
+# Strategy producing "realistic" buffers: random spans interleaved with
+# repeated/structured spans, which stress hash bias and min/max clamping.
+_random_span = st.integers(0, 2**32 - 1).map(lambda s: random_bytes(500, seed=s))
+_repeat_span = st.tuples(st.binary(min_size=1, max_size=8), st.integers(1, 400)).map(
+    lambda t: t[0] * t[1]
+)
+buffers = st.lists(_random_span | _repeat_span, min_size=0, max_size=8).map(b"".join)

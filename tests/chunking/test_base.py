@@ -1,0 +1,88 @@
+"""Tests for chunking base types and config validation."""
+
+import numpy as np
+import pytest
+
+from repro.chunking import Chunk, ChunkerConfig, VectorizedChunker, chunks_from_cut_points
+
+
+class TestChunkerConfig:
+    def test_defaults_derived_from_ecs(self):
+        cfg = ChunkerConfig(expected_size=4096)
+        assert cfg.min_size == 1024
+        assert cfg.max_size == 32768
+        assert cfg.hash_threshold == (1 << 64) // 4096
+
+    def test_min_size_floor_for_small_ecs(self):
+        cfg = ChunkerConfig(expected_size=128)
+        assert cfg.min_size == 64
+
+    def test_accepts_non_power_of_two(self):
+        # The paper's Fig. 10 sweeps ECS=768.
+        cfg = ChunkerConfig(expected_size=768)
+        assert cfg.hash_threshold == (1 << 64) // 768
+
+    def test_rejects_tiny_ecs(self):
+        with pytest.raises(ValueError):
+            ChunkerConfig(expected_size=0)
+        with pytest.raises(ValueError):
+            ChunkerConfig(expected_size=8)
+
+    def test_rejects_max_below_min(self):
+        with pytest.raises(ValueError):
+            ChunkerConfig(expected_size=1024, min_size=512, max_size=256)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            ChunkerConfig(expected_size=1024, window=0)
+
+    def test_scaled_multiplies_ecs(self):
+        cfg = ChunkerConfig(expected_size=1024, seed=7)
+        big = cfg.scaled(16)
+        assert big.expected_size == 16384
+        assert big.seed == 7
+
+    def test_scaled_accepts_any_positive_factor(self):
+        assert ChunkerConfig(expected_size=1024).scaled(3).expected_size == 3072
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ChunkerConfig(expected_size=1024).scaled(0)
+
+
+class TestChunk:
+    def test_chunks_from_cut_points(self):
+        data = bytes(range(10))
+        cuts = np.array([3, 7, 10], dtype=np.int64)
+        chunks = chunks_from_cut_points(data, cuts)
+        assert [c.offset for c in chunks] == [0, 3, 7]
+        assert [c.size for c in chunks] == [3, 4, 3]
+        assert b"".join(c.tobytes() for c in chunks) == data
+
+    def test_chunk_data_is_view(self):
+        data = bytearray(b"abcdef")
+        chunks = chunks_from_cut_points(data, np.array([3, 6]))
+        data[0] = ord("z")
+        assert chunks[0].tobytes() == b"zbc"  # zero-copy view
+
+
+class TestValidateCuts:
+    def test_accepts_valid(self):
+        v = VectorizedChunker(ChunkerConfig(expected_size=256))
+        v.validate_cuts(10, np.array([4, 10]))
+
+    def test_rejects_bad_last(self):
+        v = VectorizedChunker(ChunkerConfig(expected_size=256))
+        with pytest.raises(AssertionError):
+            v.validate_cuts(10, np.array([4, 9]))
+
+    def test_rejects_non_increasing(self):
+        v = VectorizedChunker(ChunkerConfig(expected_size=256))
+        with pytest.raises(AssertionError):
+            v.validate_cuts(10, np.array([5, 5, 10]))
+
+    def test_empty_input(self):
+        v = VectorizedChunker(ChunkerConfig(expected_size=256))
+        v.validate_cuts(0, np.empty(0, dtype=np.int64))
+        with pytest.raises(AssertionError):
+            v.validate_cuts(0, np.array([1]))

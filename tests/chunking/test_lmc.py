@@ -1,0 +1,88 @@
+"""Tests for the local-maximum (AE-family) chunker."""
+
+import numpy as np
+import pytest
+
+from repro.chunking import ChunkerConfig, LocalMaxChunker
+
+from .conftest import random_bytes
+
+CFG = ChunkerConfig(expected_size=512, min_size=128, max_size=4096, window=16)
+
+
+def test_cut_contract():
+    c = LocalMaxChunker(CFG)
+    data = random_bytes(100_000, seed=1)
+    cuts = c.cut_points(data)
+    c.validate_cuts(len(data), cuts)
+
+
+def test_tiles_input():
+    c = LocalMaxChunker(CFG)
+    data = random_bytes(40_000, seed=2)
+    assert b"".join(ch.tobytes() for ch in c.chunk(data)) == data
+
+
+def test_empty_and_tiny():
+    c = LocalMaxChunker(CFG)
+    assert c.cut_points(b"").size == 0
+    assert list(c.cut_points(b"a")) == [1]
+
+
+def test_mean_near_expected():
+    c = LocalMaxChunker(CFG)
+    data = random_bytes(2_000_000, seed=3)
+    cuts = c.cut_points(data)
+    mean = len(data) / len(cuts)
+    assert 0.9 * CFG.expected_size < mean < 2.5 * CFG.expected_size, mean
+
+
+def test_size_bounds():
+    c = LocalMaxChunker(CFG)
+    data = random_bytes(500_000, seed=4)
+    sizes = np.diff(np.concatenate([[0], c.cut_points(data)]))
+    assert np.all(sizes[:-1] >= CFG.min_size)
+    assert np.all(sizes <= CFG.max_size)
+
+
+def test_resynchronises_after_insertion():
+    c = LocalMaxChunker(CFG)
+    data = random_bytes(200_000, seed=5)
+    orig = set(int(p) for p in c.cut_points(data))
+    shift = 13
+    new = set(int(p) - shift for p in c.cut_points(random_bytes(shift, seed=6) + data))
+    assert len(orig & new) >= len(orig) // 2
+
+
+def test_deterministic_and_seeded():
+    data = random_bytes(100_000, seed=7)
+    a = LocalMaxChunker(CFG).cut_points(data)
+    b = LocalMaxChunker(CFG).cut_points(data)
+    assert np.array_equal(a, b)
+    other = LocalMaxChunker(
+        ChunkerConfig(expected_size=512, min_size=128, max_size=4096, seed=99)
+    ).cut_points(data)
+    assert not np.array_equal(a, other)
+
+
+def test_structured_input_not_degenerate():
+    """Zero runs and ASCII text must still chunk near the target."""
+    c = LocalMaxChunker(CFG)
+    data = (b"\x00" * 3000 + bytes(range(32, 127)) * 40) * 30
+    cuts = c.cut_points(data)
+    mean = len(data) / len(cuts)
+    assert mean < 4 * CFG.expected_size, mean
+
+
+def test_dedup_integration():
+    from repro.core import DedupConfig, MHDDeduplicator
+    from repro.workloads import BackupFile
+
+    data = random_bytes(120_000, seed=8)
+    d = MHDDeduplicator(
+        DedupConfig(ecs=512, sd=4, bloom_bytes=1 << 16, window=16),
+        chunker_cls=LocalMaxChunker,
+    )
+    d.process([BackupFile("a", data), BackupFile("b", data)])
+    assert d.restore("a") == data
+    assert d.restore("b") == data

@@ -1,0 +1,82 @@
+"""Unit tests for cut-point selection and the SplitMix64 generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chunking._select import select_cut_points, splitmix64
+
+
+class TestSplitMix64:
+    def test_deterministic(self):
+        a, b = splitmix64(42), splitmix64(42)
+        assert [a.next() for _ in range(5)] == [b.next() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        assert splitmix64(1).next() != splitmix64(2).next()
+
+    def test_next_odd_is_odd(self):
+        rng = splitmix64(7)
+        for _ in range(20):
+            assert rng.next_odd() & 1
+
+    def test_values_fit_64_bits(self):
+        rng = splitmix64(0)
+        for _ in range(100):
+            assert 0 <= rng.next() < 1 << 64
+
+
+def cuts(candidates, n, min_size=10, max_size=50):
+    return list(
+        select_cut_points(np.asarray(candidates, dtype=np.int64), n, min_size, max_size)
+    )
+
+
+class TestSelection:
+    def test_empty_input(self):
+        assert cuts([], 0) == []
+
+    def test_no_candidates_forces_max_size(self):
+        assert cuts([], 120) == [50, 100, 120]
+
+    def test_candidate_in_window_is_used(self):
+        assert cuts([30], 120) == [30, 80, 120]
+
+    def test_candidate_below_min_ignored(self):
+        assert cuts([5], 120) == [50, 100, 120]
+
+    def test_candidate_at_exactly_min_size(self):
+        assert cuts([10], 120) == [10, 60, 110, 120]
+
+    def test_candidate_at_exactly_max_size(self):
+        assert cuts([50], 120) == [50, 100, 120]
+
+    def test_tail_shorter_than_min_not_split(self):
+        # tail of 9 bytes after cut at 50: no candidate can split it
+        assert cuts([50, 55], 59) == [50, 59]
+
+    def test_tail_candidate_splits(self):
+        assert cuts([30, 45], 49) == [30, 45, 49]
+
+    def test_consecutive_candidates_respect_min(self):
+        assert cuts([12, 14, 16, 40], 60) == [12, 40, 60]
+
+    @given(
+        cands=st.lists(st.integers(1, 1000), max_size=50).map(sorted),
+        n=st.integers(1, 1000),
+        min_size=st.integers(1, 40),
+        extra=st.integers(0, 100),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_contract_property(self, cands, n, min_size, extra):
+        max_size = min_size + extra
+        out = cuts([c for c in cands if c <= n], n, min_size, max_size)
+        assert out[-1] == n
+        assert all(a < b for a, b in zip(out, out[1:]))
+        sizes = np.diff(np.concatenate([[0], out]))
+        assert np.all(sizes[:-1] >= min_size) or len(sizes) == 1
+        assert np.all(sizes <= max_size) or out == [n] and n <= max_size
+        # every chunk except possibly the final one obeys max_size
+        assert np.all(sizes[:-1] <= max_size)
+        assert sizes[-1] <= max_size

@@ -1,0 +1,73 @@
+"""Edge-condition tests specific to the vectorised chunker."""
+
+import numpy as np
+import pytest
+
+from repro.chunking import ChunkerConfig, ReferenceChunker, VectorizedChunker
+
+from .conftest import random_bytes
+
+
+def test_block_size_must_exceed_window():
+    with pytest.raises(ValueError):
+        VectorizedChunker(ChunkerConfig(expected_size=256, window=48), block_size=48)
+
+
+def test_block_size_one_more_than_window():
+    cfg = ChunkerConfig(expected_size=256, window=16)
+    data = random_bytes(5_000, seed=1)
+    tight = VectorizedChunker(cfg, block_size=17)
+    wide = VectorizedChunker(cfg)
+    assert np.array_equal(tight.candidates(data), wide.candidates(data))
+
+
+def test_input_exactly_window_length():
+    cfg = ChunkerConfig(expected_size=256, window=16)
+    data = random_bytes(16, seed=2)
+    v = VectorizedChunker(cfg)
+    r = ReferenceChunker(cfg)
+    assert np.array_equal(v.candidates(data), r.candidates(data))
+    assert list(v.cut_points(data)) == [16]
+
+
+def test_input_one_byte_short_of_window():
+    cfg = ChunkerConfig(expected_size=256, window=16)
+    data = random_bytes(15, seed=3)
+    assert VectorizedChunker(cfg).candidates(data).size == 0
+
+
+def test_power_table_cache_reused_across_calls():
+    cfg = ChunkerConfig(expected_size=256, window=16)
+    v = VectorizedChunker(cfg)
+    a = random_bytes(50_000, seed=4)
+    b = random_bytes(30_000, seed=5)
+    first = v.cut_points(a)
+    table_id = id(v._pow_minv)
+    v.cut_points(b)  # shorter input: cache must be reused, not rebuilt
+    assert id(v._pow_minv) == table_id
+    assert np.array_equal(v.cut_points(a), first)  # cache is content-neutral
+
+
+def test_non_power_of_two_ecs_mean():
+    """ECS=768 (the paper's Fig. 10 point) really averages ~768+min."""
+    cfg = ChunkerConfig(expected_size=768)
+    data = random_bytes(3_000_000, seed=6)
+    cuts = VectorizedChunker(cfg).cut_points(data)
+    mean = len(data) / len(cuts)
+    assert 700 < mean < 1700, mean
+
+
+def test_non_power_of_two_matches_reference():
+    cfg = ChunkerConfig(expected_size=768, window=16, min_size=64, max_size=4096)
+    data = random_bytes(100_000, seed=7)
+    assert np.array_equal(
+        ReferenceChunker(cfg).cut_points(data),
+        VectorizedChunker(cfg).cut_points(data),
+    )
+
+
+def test_memoryview_input():
+    cfg = ChunkerConfig(expected_size=256, window=16)
+    data = random_bytes(20_000, seed=8)
+    v = VectorizedChunker(cfg)
+    assert np.array_equal(v.cut_points(data), v.cut_points(memoryview(data)))

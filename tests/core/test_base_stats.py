@@ -1,0 +1,110 @@
+"""Tests for DedupConfig validation and DedupStats derived metrics."""
+
+import pytest
+
+from repro.core import CpuWork, DedupConfig, DedupStats
+from repro.storage import INODE_SIZE, IOSnapshot
+
+
+class TestDedupConfig:
+    def test_defaults(self):
+        cfg = DedupConfig()
+        assert cfg.ecs == 4096
+        assert cfg.sd == 16
+        assert cfg.segment_bytes == 4096 * 16 * 5
+
+    def test_rejects_bad_sd(self):
+        with pytest.raises(ValueError):
+            DedupConfig(sd=1)
+
+    def test_accepts_paper_sd_values(self):
+        for sd in (250, 500, 1000):
+            assert DedupConfig(sd=sd).sd == sd
+
+    def test_rejects_negative_bloom(self):
+        with pytest.raises(ValueError):
+            DedupConfig(bloom_bytes=-1)
+
+    def test_rejects_zero_cache(self):
+        with pytest.raises(ValueError):
+            DedupConfig(cache_manifests=0)
+
+    def test_rejects_bad_ecs(self):
+        with pytest.raises(ValueError):
+            DedupConfig(ecs=4)
+
+    def test_big_chunker_config(self):
+        cfg = DedupConfig(ecs=1024, sd=16)
+        assert cfg.big_chunker_config().expected_size == 16384
+
+    def test_chunker_configs_share_seed(self):
+        cfg = DedupConfig(seed=99)
+        assert cfg.small_chunker_config().seed == 99
+        assert cfg.big_chunker_config().seed == 99
+
+
+def make_stats(**overrides) -> DedupStats:
+    base = dict(
+        algorithm="test",
+        config=DedupConfig(ecs=1024, sd=8),
+        input_bytes=1_000_000,
+        input_files=10,
+        stored_chunk_bytes=400_000,
+        manifest_bytes=5_000,
+        hook_bytes=1_000,
+        file_manifest_bytes=2_000,
+        chunk_inodes=10,
+        manifest_inodes=10,
+        hook_inodes=50,
+        file_manifest_inodes=10,
+        unique_chunks=400,
+        duplicate_chunks=600,
+        duplicate_slices=30,
+        io=IOSnapshot(),
+        cpu=CpuWork(chunked=1_000_000, hashed=1_000_000, compared=5_000),
+        peak_ram_bytes=100_000,
+    )
+    base.update(overrides)
+    return DedupStats(**base)
+
+
+class TestDedupStats:
+    def test_inode_bytes(self):
+        s = make_stats()
+        assert s.inode_bytes == (10 + 10 + 50 + 10) * INODE_SIZE
+
+    def test_metadata_bytes_composition(self):
+        s = make_stats()
+        assert s.metadata_bytes == 5_000 + 1_000 + 2_000 + s.inode_bytes
+
+    def test_extra_index_counts_as_metadata(self):
+        s = make_stats(extra_index_bytes=10_000)
+        assert s.metadata_bytes == make_stats().metadata_bytes + 10_000
+
+    def test_output_bytes(self):
+        s = make_stats()
+        assert s.output_bytes == 400_000 + s.metadata_bytes
+
+    def test_ders(self):
+        s = make_stats()
+        assert s.data_only_der == pytest.approx(2.5)
+        assert s.real_der < s.data_only_der
+        assert s.real_der == pytest.approx(1_000_000 / s.output_bytes)
+
+    def test_metadata_ratio(self):
+        s = make_stats()
+        assert s.metadata_ratio == pytest.approx(s.metadata_bytes / 1_000_000)
+
+    def test_inodes_per_mb(self):
+        s = make_stats(input_bytes=2 << 20)
+        assert s.inodes_per_mb == pytest.approx(80 / 2)
+
+    def test_fig7_panel_ratios(self):
+        s = make_stats()
+        assert s.manifest_metadata_ratio == pytest.approx(6_000 / 1_000_000)
+        assert s.file_manifest_metadata_ratio == pytest.approx(2_000 / 1_000_000)
+
+    def test_zero_input_degenerates_gracefully(self):
+        s = make_stats(input_bytes=0, stored_chunk_bytes=0)
+        assert s.data_only_der == 0
+        assert s.metadata_ratio >= 0

@@ -1,0 +1,119 @@
+"""Stateful property test: the manifest cache against a model.
+
+Hypothesis drives random add/load/search/mutate/evict interleavings
+and checks the cache against a simple reference model: capacity is
+respected (modulo pins), search answers match a brute-force scan of
+the cached manifests, dirty manifests are never lost, and everything
+written back round-trips.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import Bundle, RuleBasedStateMachine, invariant, rule
+
+from repro.core import ManifestCache
+from repro.hashing import sha1
+from repro.storage import DiskModel, Manifest, ManifestEntry, ManifestStore, MemoryBackend
+
+CAPACITY = 3
+
+
+class CacheMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.backend = MemoryBackend()
+        self.store = ManifestStore(self.backend, DiskModel())
+        self.cache = ManifestCache(self.store, capacity=CAPACITY)
+        self.serial = 0
+        self.alive: dict[bytes, Manifest] = {}  # everything ever added
+        self.pinned: set[bytes] = set()
+
+    manifests = Bundle("manifests")
+
+    def _new_manifest(self, n_entries: int) -> Manifest:
+        self.serial += 1
+        mid = sha1(f"m{self.serial}".encode())
+        entries = []
+        pos = 0
+        for i in range(n_entries):
+            size = 10 + i
+            entries.append(
+                ManifestEntry(sha1(f"{self.serial}:{i}".encode()), pos, size)
+            )
+            pos += size
+        return Manifest(mid, sha1(f"c{self.serial}".encode()), entries)
+
+    @rule(target=manifests, n=st.integers(1, 4), pin=st.booleans())
+    def add(self, n, pin):
+        m = self._new_manifest(n)
+        self.cache.add(m, pin=pin)
+        self.alive[m.manifest_id] = m
+        if pin:
+            self.pinned.add(m.manifest_id)
+        return m
+
+    @rule(m=manifests)
+    def unpin(self, m):
+        self.cache.unpin(m.manifest_id)
+        self.pinned.discard(m.manifest_id)
+
+    @rule(m=manifests)
+    def search_cached_digest(self, m):
+        if m.manifest_id not in self.cache or not m.entries:
+            return
+        found = self.cache.search(m.entries[0].digest)
+        assert found is not None
+        assert m.entries[0].digest in found.index
+
+    @rule(m=manifests)
+    def mutate_and_reindex(self, m):
+        if m.manifest_id not in self.cache or not m.entries:
+            return
+        old = m.entries[0]
+        if old.size < 2:
+            return
+        self.serial += 1
+        parts = [
+            ManifestEntry(sha1(f"s{self.serial}a".encode()), old.offset, 1),
+            ManifestEntry(sha1(f"s{self.serial}b".encode()), old.offset + 1, old.size - 1),
+        ]
+        m.replace_entry(0, parts)
+        self.cache.reindex(m)
+        assert self.cache.search(old.digest) is None or old.digest in [
+            e.digest for mm in self.alive.values() for e in mm.entries
+        ]
+
+    @rule(m=manifests)
+    def reload_if_evicted(self, m):
+        if m.manifest_id in self.cache:
+            return
+        if self.store.exists(m.manifest_id):
+            loaded = self.cache.load(m.manifest_id)
+            assert loaded.manifest_id == m.manifest_id
+            # the written-back copy carries the latest entry layout
+            assert [e.digest for e in loaded.entries] == [
+                e.digest for e in self.alive[m.manifest_id].entries
+            ]
+
+    @invariant()
+    def capacity_respected_modulo_pins(self):
+        overflow = max(0, len(self.cache) - CAPACITY)
+        # only pinned manifests can push the cache past capacity
+        assert overflow <= max(0, len(self.pinned) - 0)
+
+    @invariant()
+    def dirty_never_lost(self):
+        """Every manifest is either cached or recoverable from disk
+        with its latest mutation (dirty write-back on eviction)."""
+        for mid, m in self.alive.items():
+            if mid in self.cache:
+                continue
+            if m.dirty or self.store.exists(mid):
+                # a dirty manifest that left the cache must be on disk
+                assert self.store.exists(mid), mid.hex()[:8]
+
+
+TestManifestCacheStateful = CacheMachine.TestCase
+TestManifestCacheStateful.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)

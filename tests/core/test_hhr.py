@@ -1,0 +1,135 @@
+"""Unit tests for the pure HHR helpers (match + split planning)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    match_prefix_chunks,
+    match_suffix_chunks,
+    plan_backward_split,
+    plan_forward_split,
+)
+
+
+class TestMatchSuffix:
+    def test_full_match(self):
+        old = b"aaabbbccc"
+        matched, nbytes, compared = match_suffix_chunks(old, [b"aaa", b"bbb", b"ccc"])
+        assert (matched, nbytes) == (3, 9)
+        assert compared == 9
+
+    def test_partial_match_stops_at_mismatch(self):
+        old = b"XXXbbbccc"
+        matched, nbytes, compared = match_suffix_chunks(old, [b"aaa", b"bbb", b"ccc"])
+        assert (matched, nbytes) == (2, 6)
+        assert compared == 9  # the failing compare is also charged
+
+    def test_no_match(self):
+        matched, nbytes, _ = match_suffix_chunks(b"abcdef", [b"zzz"])
+        assert (matched, nbytes) == (0, 0)
+
+    def test_chunk_larger_than_old_stops(self):
+        matched, nbytes, compared = match_suffix_chunks(b"ab", [b"abcdef"])
+        assert (matched, nbytes, compared) == (0, 0, 0)
+
+    def test_old_exhausted_midway(self):
+        # old holds only the last two chunks' worth of bytes
+        old = b"bbbccc"
+        matched, nbytes, _ = match_suffix_chunks(old, [b"aaa", b"bbb", b"ccc"])
+        assert (matched, nbytes) == (2, 6)
+
+    def test_empty_inputs(self):
+        assert match_suffix_chunks(b"", [b"a"]) == (0, 0, 0)
+        assert match_suffix_chunks(b"abc", []) == (0, 0, 0)
+
+
+class TestMatchPrefix:
+    def test_full_match(self):
+        matched, nbytes, _ = match_prefix_chunks(b"aaabbb", [b"aaa", b"bbb"])
+        assert (matched, nbytes) == (2, 6)
+
+    def test_stops_at_first_mismatch(self):
+        matched, nbytes, _ = match_prefix_chunks(b"aaaZZZccc", [b"aaa", b"bbb", b"ccc"])
+        assert (matched, nbytes) == (1, 3)
+
+    def test_overflow_stops(self):
+        matched, nbytes, _ = match_prefix_chunks(b"aaab", [b"aaa", b"bbbb"])
+        assert (matched, nbytes) == (1, 3)
+
+
+class TestBackwardSplit:
+    def test_three_way(self):
+        spans = plan_backward_split(1000, matched_bytes=300, edge_chunk_size=100)
+        assert [(s.offset, s.size, s.role) for s in spans] == [
+            (0, 600, "remainder"),
+            (600, 100, "edge"),
+            (700, 300, "duplicate"),
+        ]
+
+    def test_edge_clipped_to_available(self):
+        spans = plan_backward_split(400, matched_bytes=300, edge_chunk_size=500)
+        assert [(s.offset, s.size, s.role) for s in spans] == [
+            (0, 100, "edge"),
+            (100, 300, "duplicate"),
+        ]
+
+    def test_no_edge(self):
+        spans = plan_backward_split(500, matched_bytes=200, edge_chunk_size=None)
+        assert [s.role for s in spans] == ["remainder", "duplicate"]
+
+    def test_all_matched(self):
+        spans = plan_backward_split(500, matched_bytes=500, edge_chunk_size=None)
+        assert [s.role for s in spans] == ["duplicate"]
+
+    def test_nothing_matched_edge_only(self):
+        spans = plan_backward_split(500, matched_bytes=0, edge_chunk_size=80)
+        assert [(s.offset, s.size, s.role) for s in spans] == [
+            (0, 420, "remainder"),
+            (420, 80, "edge"),
+        ]
+
+    def test_rejects_bad_matched(self):
+        with pytest.raises(ValueError):
+            plan_backward_split(100, 200, None)
+        with pytest.raises(ValueError):
+            plan_backward_split(100, -1, None)
+
+
+class TestForwardSplit:
+    def test_three_way(self):
+        spans = plan_forward_split(1000, matched_bytes=300, edge_chunk_size=100)
+        assert [(s.offset, s.size, s.role) for s in spans] == [
+            (0, 300, "duplicate"),
+            (300, 100, "edge"),
+            (400, 600, "remainder"),
+        ]
+
+    def test_edge_clipped(self):
+        spans = plan_forward_split(400, matched_bytes=350, edge_chunk_size=100)
+        assert [(s.offset, s.size, s.role) for s in spans] == [
+            (0, 350, "duplicate"),
+            (350, 50, "edge"),
+        ]
+
+
+@given(
+    entry=st.integers(1, 10_000),
+    matched=st.integers(0, 10_000),
+    edge=st.one_of(st.none(), st.integers(1, 4096)),
+    backward=st.booleans(),
+)
+@settings(max_examples=200, deadline=None)
+def test_splits_always_tile_the_entry(entry, matched, edge, backward):
+    """Property: spans are contiguous, start at 0, end at entry size."""
+    matched = min(matched, entry)
+    plan = plan_backward_split if backward else plan_forward_split
+    spans = plan(entry, matched, edge)
+    assert spans[0].offset == 0
+    assert spans[-1].end == entry
+    for a, b in zip(spans, spans[1:]):
+        assert a.end == b.offset
+    assert all(s.size > 0 for s in spans)
+    assert sum(s.size for s in spans) == entry
+    dup = sum(s.size for s in spans if s.role == "duplicate")
+    assert dup == matched

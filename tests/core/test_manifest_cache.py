@@ -1,0 +1,149 @@
+"""Tests for the LRU manifest cache."""
+
+import pytest
+
+from repro.core import ManifestCache
+from repro.hashing import sha1
+from repro.storage import DiskModel, Manifest, ManifestEntry, ManifestStore, MemoryBackend
+
+
+def make_manifest(tag: str, digests=("x",)):
+    mid = sha1(f"m-{tag}".encode())
+    cid = sha1(f"c-{tag}".encode())
+    entries = [
+        ManifestEntry(sha1(d.encode()), i * 10, 10) for i, d in enumerate(digests)
+    ]
+    return Manifest(mid, cid, entries)
+
+
+@pytest.fixture
+def store():
+    return ManifestStore(MemoryBackend(), DiskModel())
+
+
+@pytest.fixture
+def cache(store):
+    return ManifestCache(store, capacity=2)
+
+
+def test_capacity_validation(store):
+    with pytest.raises(ValueError):
+        ManifestCache(store, capacity=0)
+
+
+def test_add_and_get(cache):
+    m = make_manifest("a")
+    cache.add(m)
+    assert cache.get(m.manifest_id) is m
+    assert m.manifest_id in cache
+    assert len(cache) == 1
+
+
+def test_add_duplicate_rejected(cache):
+    m = make_manifest("a")
+    cache.add(m)
+    with pytest.raises(ValueError):
+        cache.add(m)
+
+
+def test_search_finds_digest(cache):
+    m = make_manifest("a", digests=("p", "q"))
+    cache.add(m)
+    assert cache.search(sha1(b"q")) is m
+    assert cache.search(sha1(b"nope")) is None
+    assert cache.hits == 1
+
+
+def test_lru_eviction_order(cache, store):
+    a, b, c = make_manifest("a"), make_manifest("b", ("y",)), make_manifest("c", ("z",))
+    cache.add(a)
+    cache.add(b)
+    cache.get(a.manifest_id)  # touch a; b becomes LRU
+    cache.add(c)
+    assert a.manifest_id in cache
+    assert b.manifest_id not in cache
+    assert c.manifest_id in cache
+
+
+def test_eviction_writes_back_dirty(cache, store):
+    a = make_manifest("a")
+    a.dirty = True
+    cache.add(a)
+    cache.add(make_manifest("b", ("y",)))
+    cache.add(make_manifest("c", ("z",)))  # evicts a
+    assert store.exists(a.manifest_id)
+    assert cache.writebacks == 1
+
+
+def test_eviction_skips_clean(cache, store):
+    a = make_manifest("a")
+    cache.add(a)
+    cache.add(make_manifest("b", ("y",)))
+    cache.add(make_manifest("c", ("z",)))
+    assert not store.exists(a.manifest_id)
+
+
+def test_evicted_digests_leave_index(cache):
+    a = make_manifest("a", digests=("p",))
+    cache.add(a)
+    cache.add(make_manifest("b", ("y",)))
+    cache.add(make_manifest("c", ("z",)))  # evicts a
+    assert cache.search(sha1(b"p")) is None
+
+
+def test_pinned_not_evicted(cache):
+    a = make_manifest("a")
+    cache.add(a, pin=True)
+    cache.add(make_manifest("b", ("y",)))
+    cache.add(make_manifest("c", ("z",)))  # would evict a, but pinned
+    assert a.manifest_id in cache
+    cache.unpin(a.manifest_id)
+    cache.add(make_manifest("d", ("w",)))
+    assert a.manifest_id not in cache
+
+
+def test_load_from_disk_counts(cache, store):
+    a = make_manifest("a")
+    store.put(a)
+    got = cache.load(a.manifest_id)
+    assert got.manifest_id == a.manifest_id
+    assert cache.loads == 1
+    # second load is a RAM hit
+    assert cache.load(a.manifest_id) is got
+    assert cache.loads == 1
+
+
+def test_reindex_tracks_mutation(cache):
+    a = make_manifest("a", digests=("p",))
+    cache.add(a)
+    a.replace_entry(
+        0,
+        [
+            ManifestEntry(sha1(b"new1"), 0, 4),
+            ManifestEntry(sha1(b"new2"), 4, 6),
+        ],
+    )
+    cache.reindex(a)
+    assert cache.search(sha1(b"p")) is None
+    assert cache.search(sha1(b"new2")) is a
+
+
+def test_reindex_requires_cached(cache):
+    with pytest.raises(KeyError):
+        cache.reindex(make_manifest("zz"))
+
+
+def test_flush_writes_all_dirty(cache, store):
+    a, b = make_manifest("a"), make_manifest("b", ("y",))
+    a.dirty = True
+    cache.add(a)
+    cache.add(b)
+    cache.flush()
+    assert store.exists(a.manifest_id)
+    assert not store.exists(b.manifest_id)
+
+
+def test_ram_bytes(cache):
+    a = make_manifest("a", digests=("p", "q"))
+    cache.add(a)
+    assert cache.ram_bytes() == a.ram_size()

@@ -1,0 +1,102 @@
+"""Measured-vs-formula semantics: the Table I structure, per algorithm.
+
+Not the bench's aggregate comparison — these pin the *structural*
+relationships the Section IV analysis derives, on controlled inputs
+where the formulas should be near-exact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BimodalDeduplicator, CDCDeduplicator, SubChunkDeduplicator
+from repro.core import DedupConfig, MHDDeduplicator
+from repro.hashing import sha1
+from repro.storage import MANIFEST_HEADER_SIZE, MHD_ENTRY_SIZE
+from repro.storage.manifest import ENTRY_SIZE
+from repro.storage.multi_manifest import GROUP_HEADER_SIZE
+from repro.workloads import BackupFile
+
+
+def rand(n, seed):
+    return np.random.default_rng(seed).integers(0, 256, size=n, dtype=np.uint8).tobytes()
+
+
+def cfg(**kw):
+    defaults = dict(ecs=512, sd=8, bloom_bytes=1 << 16, cache_manifests=16, window=16)
+    defaults.update(kw)
+    return DedupConfig(**defaults)
+
+
+class TestMHDStructure:
+    """Fresh single file: N unique chunks, SD=8."""
+
+    @pytest.fixture
+    def run(self):
+        d = MHDDeduplicator(cfg())
+        stats = d.process([BackupFile("a", rand(400_000, 1))])
+        return d, stats
+
+    def test_hooks_equal_ceil_n_over_sd(self, run):
+        d, stats = run
+        groups = -(-stats.unique_chunks // 8)  # ceil
+        assert stats.hook_inodes == groups
+
+    def test_manifest_bytes_are_37_per_entry(self, run):
+        d, stats = run
+        m = d.manifests.get(sha1(b"a|manifest"))
+        assert stats.manifest_bytes == MANIFEST_HEADER_SIZE + len(m.entries) * MHD_ENTRY_SIZE
+
+    def test_entries_at_most_two_per_group(self, run):
+        d, stats = run
+        m = d.manifests.get(sha1(b"a|manifest"))
+        groups = -(-stats.unique_chunks // 8)
+        assert len(m.entries) <= 2 * groups
+
+    def test_one_container_one_manifest_per_file(self, run):
+        _d, stats = run
+        assert stats.chunk_inodes == 1  # F
+        assert stats.manifest_inodes == 1  # F
+
+
+class TestCDCStructure:
+    def test_36_bytes_per_unique_chunk(self):
+        d = CDCDeduplicator(cfg())
+        stats = d.process([BackupFile("a", rand(300_000, 2))])
+        assert (
+            stats.manifest_bytes
+            == MANIFEST_HEADER_SIZE + stats.unique_chunks * ENTRY_SIZE
+        )
+        assert stats.hook_inodes == stats.unique_chunks  # Table I: N hooks
+        assert stats.hook_bytes == 20 * stats.unique_chunks
+
+
+class TestSubChunkStructure:
+    def test_manifest_cost_36n_plus_28_groups(self):
+        d = SubChunkDeduplicator(cfg())
+        stats = d.process([BackupFile("a", rand(300_000, 3))])
+        # one file -> one manifest; groups == containers (one per big chunk)
+        expected = (
+            24  # MultiManifest header
+            + GROUP_HEADER_SIZE * stats.chunk_inodes
+            + 36 * stats.unique_chunks
+        )
+        assert stats.manifest_bytes == expected
+
+    def test_one_hook_per_manifest(self):
+        d = SubChunkDeduplicator(cfg())
+        stats = d.process(
+            [BackupFile("a", rand(200_000, 4)), BackupFile("b", rand(200_000, 5))]
+        )
+        assert stats.hook_inodes == stats.manifest_inodes == 2  # F
+
+
+class TestBimodalStructure:
+    def test_hook_per_stored_chunk(self):
+        """Fresh data, no transitions: stored chunks are all big; each
+        gets one hook and one 36-byte manifest entry."""
+        d = BimodalDeduplicator(cfg())
+        stats = d.process([BackupFile("a", rand(400_000, 6))])
+        assert d.rechunked_big == 0
+        m = d.manifests.get(sha1(b"a|manifest"))
+        assert stats.hook_inodes == len(m.entries)
+        assert stats.manifest_bytes == MANIFEST_HEADER_SIZE + len(m.entries) * ENTRY_SIZE

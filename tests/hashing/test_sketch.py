@@ -1,0 +1,65 @@
+"""Tests for the Count-Min sketch."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import CountMinSketch, sha1
+
+
+def test_rejects_bad_dimensions():
+    with pytest.raises(ValueError):
+        CountMinSketch(width=8)
+    with pytest.raises(ValueError):
+        CountMinSketch(depth=0)
+
+
+def test_rejects_bad_count():
+    with pytest.raises(ValueError):
+        CountMinSketch().add(sha1(b"x"), count=0)
+
+
+def test_unseen_estimates_zero():
+    cms = CountMinSketch()
+    assert cms.estimate(sha1(b"never")) == 0
+    assert sha1(b"never") not in cms
+
+
+def test_single_item_counting():
+    cms = CountMinSketch()
+    d = sha1(b"item")
+    for _ in range(5):
+        cms.add(d)
+    assert cms.estimate(d) >= 5  # never under-estimates
+    assert d in cms
+    assert cms.items_added == 5
+
+
+def test_add_with_count():
+    cms = CountMinSketch()
+    cms.add(sha1(b"x"), count=7)
+    assert cms.estimate(sha1(b"x")) >= 7
+
+
+@given(st.dictionaries(st.integers(0, 10**6), st.integers(1, 20), min_size=1, max_size=100))
+@settings(max_examples=25, deadline=None)
+def test_never_underestimates(true_counts):
+    cms = CountMinSketch(width=1 << 12)
+    for key, count in true_counts.items():
+        cms.add(sha1(str(key).encode()), count)
+    for key, count in true_counts.items():
+        assert cms.estimate(sha1(str(key).encode())) >= count
+
+
+def test_overestimation_is_bounded_at_low_load():
+    cms = CountMinSketch(width=1 << 14, depth=4)
+    for i in range(1000):
+        cms.add(sha1(f"k{i}".encode()))
+    # At ~6% load, most estimates should be exact.
+    exact = sum(1 for i in range(1000) if cms.estimate(sha1(f"k{i}".encode())) == 1)
+    assert exact > 900
+
+
+def test_size_bytes():
+    cms = CountMinSketch(width=1024, depth=4)
+    assert cms.size_bytes == 1024 * 4 * 4  # uint32 counters

@@ -1,0 +1,99 @@
+"""Backend contract tests, run against both implementations."""
+
+import pytest
+
+from repro.storage import INODE_SIZE, DirectoryBackend, MemoryBackend
+
+
+@pytest.fixture(params=["memory", "directory"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        return MemoryBackend()
+    return DirectoryBackend(tmp_path / "store")
+
+
+KEY1 = b"\x01" * 20
+KEY2 = b"\x02" * 20
+
+
+def test_put_get_roundtrip(backend):
+    backend.put("chunk", KEY1, b"payload")
+    assert backend.get("chunk", KEY1) == b"payload"
+
+
+def test_get_missing_raises_keyerror(backend):
+    with pytest.raises(KeyError):
+        backend.get("chunk", KEY1)
+
+
+def test_exists(backend):
+    assert not backend.exists("chunk", KEY1)
+    backend.put("chunk", KEY1, b"x")
+    assert backend.exists("chunk", KEY1)
+
+
+def test_namespaces_are_isolated(backend):
+    backend.put("chunk", KEY1, b"a")
+    backend.put("hook", KEY1, b"b")
+    assert backend.get("chunk", KEY1) == b"a"
+    assert backend.get("hook", KEY1) == b"b"
+    assert backend.object_count("chunk") == 1
+
+
+def test_overwrite_replaces(backend):
+    backend.put("chunk", KEY1, b"old")
+    backend.put("chunk", KEY1, b"new longer payload")
+    assert backend.get("chunk", KEY1) == b"new longer payload"
+    assert backend.object_count("chunk") == 1
+
+
+def test_object_count_and_bytes(backend):
+    backend.put("chunk", KEY1, b"abc")
+    backend.put("chunk", KEY2, b"defgh")
+    assert backend.object_count("chunk") == 2
+    assert backend.bytes_stored("chunk") == 8
+    assert backend.inode_bytes("chunk") == 2 * INODE_SIZE
+
+
+def test_keys(backend):
+    backend.put("chunk", KEY1, b"a")
+    backend.put("chunk", KEY2, b"b")
+    assert sorted(backend.keys("chunk")) == [KEY1, KEY2]
+    assert backend.keys("empty-ns") == []
+
+
+def test_total_stored_includes_inodes(backend):
+    backend.put("chunk", KEY1, b"1234")
+    backend.put("hook", KEY2, b"56")
+    assert backend.total_stored() == 4 + 2 + 2 * INODE_SIZE
+    assert backend.total_stored(["chunk"]) == 4 + INODE_SIZE
+
+
+def test_namespaces_listing(backend):
+    assert backend.namespaces() == []
+    backend.put("chunk", KEY1, b"a")
+    assert backend.namespaces() == ["chunk"]
+
+
+def test_empty_namespace_counts(backend):
+    assert backend.object_count("nothing") == 0
+    assert backend.bytes_stored("nothing") == 0
+
+
+def test_delete_existing(backend):
+    backend.put("chunk", KEY1, b"x")
+    assert backend.delete("chunk", KEY1) is True
+    assert not backend.exists("chunk", KEY1)
+    assert backend.object_count("chunk") == 0
+
+
+def test_delete_missing_returns_false(backend):
+    assert backend.delete("chunk", KEY1) is False
+    assert backend.delete("never-seen-namespace", KEY1) is False
+
+
+def test_delete_is_namespace_scoped(backend):
+    backend.put("chunk", KEY1, b"a")
+    backend.put("hook", KEY1, b"b")
+    backend.delete("chunk", KEY1)
+    assert backend.exists("hook", KEY1)

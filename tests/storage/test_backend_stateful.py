@@ -1,0 +1,82 @@
+"""Stateful property test: both backends against a model dict.
+
+Hypothesis drives random interleavings of put/get/exists/count against
+MemoryBackend and DirectoryBackend simultaneously; any divergence from
+the reference model (or between the two backends) fails.
+"""
+
+import shutil
+import tempfile
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import Bundle, RuleBasedStateMachine, invariant, rule
+
+from repro.hashing import sha1
+from repro.storage import DirectoryBackend, MemoryBackend
+
+_NS = ("chunk", "manifest", "hook")
+
+
+class BackendMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.model: dict[tuple[str, bytes], bytes] = {}
+        self.memory = MemoryBackend()
+        self.tmpdir = tempfile.mkdtemp(prefix="repro-backend-")
+        self.directory = DirectoryBackend(self.tmpdir)
+
+    keys = Bundle("keys")
+
+    @rule(target=keys, tag=st.integers(0, 50))
+    def make_key(self, tag):
+        return sha1(str(tag).encode())
+
+    @rule(key=keys, ns=st.sampled_from(_NS), data=st.binary(max_size=200))
+    def put(self, key, ns, data):
+        self.model[(ns, key)] = data
+        self.memory.put(ns, key, data)
+        self.directory.put(ns, key, data)
+
+    @rule(key=keys, ns=st.sampled_from(_NS))
+    def get(self, key, ns):
+        expected = self.model.get((ns, key))
+        for backend in (self.memory, self.directory):
+            if expected is None:
+                try:
+                    backend.get(ns, key)
+                    raise AssertionError("expected KeyError")
+                except KeyError:
+                    pass
+            else:
+                assert backend.get(ns, key) == expected
+
+    @rule(key=keys, ns=st.sampled_from(_NS))
+    def exists(self, key, ns):
+        expected = (ns, key) in self.model
+        assert self.memory.exists(ns, key) == expected
+        assert self.directory.exists(ns, key) == expected
+
+    @invariant()
+    def counts_and_bytes_agree(self):
+        for ns in _NS:
+            n = sum(1 for (m_ns, _k) in self.model if m_ns == ns)
+            total = sum(len(v) for (m_ns, _k), v in self.model.items() if m_ns == ns)
+            assert self.memory.object_count(ns) == n
+            assert self.directory.object_count(ns) == n
+            assert self.memory.bytes_stored(ns) == total
+            assert self.directory.bytes_stored(ns) == total
+
+    @invariant()
+    def keys_agree(self):
+        for ns in _NS:
+            expected = sorted(k for (m_ns, k) in self.model if m_ns == ns)
+            assert sorted(self.memory.keys(ns)) == expected
+            assert sorted(self.directory.keys(ns)) == expected
+
+    def teardown(self):
+        shutil.rmtree(self.tmpdir, ignore_errors=True)
+
+
+TestBackends = BackendMachine.TestCase
+TestBackends.settings = settings(max_examples=20, stateful_step_count=30, deadline=None)

@@ -1,0 +1,75 @@
+"""Tests for the disk-access meter."""
+
+import pytest
+
+from repro.storage import INODE_SIZE, DiskModel
+
+
+def test_inode_size_constant():
+    assert INODE_SIZE == 256  # the paper's Section IV assumption
+
+
+def test_record_and_count():
+    m = DiskModel()
+    m.record(DiskModel.HOOK, "query", 0)
+    m.record(DiskModel.HOOK, "read", 20)
+    m.record(DiskModel.MANIFEST, "read", 500)
+    assert m.count() == 3
+    assert m.count(DiskModel.HOOK) == 2
+    assert m.count(DiskModel.HOOK, "read") == 1
+    assert m.nbytes(DiskModel.MANIFEST) == 500
+    assert m.total_bytes == 520
+
+
+def test_record_multi_count():
+    m = DiskModel()
+    m.record(DiskModel.CHUNK, "write", 4096, count=4)
+    assert m.count(DiskModel.CHUNK, "write") == 4
+    assert m.nbytes(DiskModel.CHUNK) == 4096
+
+
+def test_record_rejects_negative_bytes():
+    m = DiskModel()
+    with pytest.raises(ValueError):
+        m.record(DiskModel.CHUNK, "write", -1)
+
+
+def test_snapshot_is_frozen():
+    m = DiskModel()
+    m.record(DiskModel.CHUNK, "write", 10)
+    snap = m.snapshot()
+    m.record(DiskModel.CHUNK, "write", 10)
+    assert snap.count() == 1
+    assert m.count() == 2
+
+
+def test_snapshot_subtraction_gives_phase_delta():
+    m = DiskModel()
+    m.record(DiskModel.CHUNK, "write", 10)
+    before = m.snapshot()
+    m.record(DiskModel.CHUNK, "write", 30)
+    m.record(DiskModel.HOOK, "query", 0)
+    delta = m.snapshot() - before
+    assert delta.count() == 2
+    assert delta.nbytes(DiskModel.CHUNK) == 30
+    assert delta.count(DiskModel.HOOK, "query") == 1
+
+
+def test_breakdown_structure():
+    m = DiskModel()
+    m.record(DiskModel.HOOK, "write", 20)
+    m.record(DiskModel.HOOK, "write", 20)
+    m.record(DiskModel.MANIFEST, "read", 100)
+    bd = m.breakdown()
+    assert bd[DiskModel.HOOK]["write"] == 2
+    assert bd[DiskModel.MANIFEST]["read"] == 1
+
+
+def test_merge():
+    a, b = DiskModel(), DiskModel()
+    a.record(DiskModel.CHUNK, "write", 5)
+    b.record(DiskModel.CHUNK, "write", 7)
+    b.record(DiskModel.HOOK, "query", 0)
+    a.merge([b])
+    assert a.count() == 3
+    assert a.nbytes(DiskModel.CHUNK) == 12

@@ -1,0 +1,113 @@
+"""Property-based tests for manifest structures.
+
+Serialisation round-trips and mutation chains over randomly generated
+entry layouts — the HHR mutation path in particular must preserve the
+tiling invariant through arbitrary split sequences.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import sha1
+from repro.storage import (
+    ENTRY_SIZE,
+    MHD_ENTRY_SIZE,
+    Manifest,
+    ManifestEntry,
+    MultiEntry,
+    MultiManifest,
+)
+
+MID = sha1(b"m")
+CID = sha1(b"c")
+CONTAINERS = [sha1(f"c{i}".encode()) for i in range(4)]
+
+
+@st.composite
+def tiled_entries(draw):
+    """Contiguous entries starting at 0 (the manifest invariant)."""
+    sizes = draw(st.lists(st.integers(1, 10_000), min_size=0, max_size=30))
+    entries = []
+    pos = 0
+    for i, size in enumerate(sizes):
+        entries.append(
+            ManifestEntry(
+                sha1(f"e{i}".encode()), pos, size, is_hook=draw(st.booleans())
+            )
+        )
+        pos += size
+    return entries
+
+
+@given(tiled_entries(), st.sampled_from([ENTRY_SIZE, MHD_ENTRY_SIZE]))
+@settings(max_examples=60, deadline=None)
+def test_manifest_roundtrip_property(entries, entry_size):
+    m = Manifest(MID, CID, entries, entry_size=entry_size)
+    m2 = Manifest.from_bytes(m.to_bytes())
+    if entries:  # empty manifests can't carry their entry size
+        assert m2.entry_size == entry_size
+    assert [(e.digest, e.offset, e.size) for e in m2.entries] == [
+        (e.digest, e.offset, e.size) for e in entries
+    ]
+    if entry_size == MHD_ENTRY_SIZE:
+        assert [e.is_hook for e in m2.entries] == [e.is_hook for e in entries]
+    assert len(m.to_bytes()) == m.byte_size()
+
+
+@given(
+    tiled_entries(),
+    st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_split_chains_preserve_tiling(entries, data):
+    """Random sequences of HHR-style splits keep the manifest tiled."""
+    m = Manifest(MID, CID, entries)
+    total = sum(e.size for e in entries)
+    for _round in range(data.draw(st.integers(0, 4))):
+        if not m.entries:
+            break
+        i = data.draw(st.integers(0, len(m.entries) - 1))
+        victim = m.entries[i]
+        if victim.size < 2:
+            continue
+        cut = data.draw(st.integers(1, victim.size - 1))
+        parts = [
+            ManifestEntry(sha1(b"p1" + victim.digest), victim.offset, cut),
+            ManifestEntry(
+                sha1(b"p2" + victim.digest), victim.offset + cut, victim.size - cut
+            ),
+        ]
+        m.replace_entry(i, parts)
+        # find stays consistent with positions after every mutation
+        for j, e in enumerate(m.entries):
+            assert m.find(e.digest) is not None
+    m.validate_tiling(total if entries else None)
+
+
+@st.composite
+def multi_entries(draw):
+    out = []
+    for i in range(draw(st.integers(0, 25))):
+        out.append(
+            MultiEntry(
+                sha1(f"d{i}".encode()),
+                CONTAINERS[draw(st.integers(0, 3))],
+                draw(st.integers(0, 2**40)),
+                draw(st.integers(1, 2**30)),
+            )
+        )
+    return out
+
+
+@given(multi_entries())
+@settings(max_examples=60, deadline=None)
+def test_multi_manifest_roundtrip_property(entries):
+    m = MultiManifest(MID, entries)
+    m2 = MultiManifest.from_bytes(m.to_bytes())
+    assert m2.entries == entries
+    assert len(m.to_bytes()) == m.byte_size()
+    # group count never exceeds entry count; group sizes sum to total
+    groups = m.groups()
+    assert sum(count for _c, count in groups) == len(entries)
+    assert len(groups) <= max(1, len(entries))

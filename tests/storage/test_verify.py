@@ -1,0 +1,154 @@
+"""Integrity-verification tests, including failure injection.
+
+Every corruption we can inject must be detected; a healthy store from
+any deduplicator must verify clean.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BimodalDeduplicator,
+    CDCDeduplicator,
+    SparseIndexingDeduplicator,
+    SubChunkDeduplicator,
+)
+from repro.core import DedupConfig, MHDDeduplicator
+from repro.hashing import sha1
+from repro.storage import DiskModel, verify_store
+from repro.workloads import BackupFile, tiny_corpus
+
+ALL = [
+    CDCDeduplicator,
+    BimodalDeduplicator,
+    SubChunkDeduplicator,
+    SparseIndexingDeduplicator,
+    MHDDeduplicator,
+]
+
+
+def rand(n, seed):
+    return np.random.default_rng(seed).integers(0, 256, size=n, dtype=np.uint8).tobytes()
+
+
+def build_store(cls=MHDDeduplicator, n_files=6):
+    d = cls(DedupConfig(ecs=512, sd=4, bloom_bytes=1 << 16, window=16))
+    base = rand(60_000, 1)
+    files = [BackupFile("base", base)]
+    for i in range(1, n_files):
+        files.append(BackupFile(f"f{i}", rand(5_000, i) + base[10_000:40_000]))
+    d.process(files)
+    return d
+
+
+@pytest.mark.parametrize("cls", ALL, ids=[c.name for c in ALL])
+def test_healthy_store_verifies_clean(cls):
+    d = cls(DedupConfig(ecs=1024, sd=8, bloom_bytes=1 << 18))
+    d.process(tiny_corpus().files()[:60])
+    report = d.verify_integrity(check_entry_hashes=True)
+    assert report.ok, report.errors[:5]
+    assert report.manifests_checked > 0
+    assert report.file_manifests_checked == 60
+    assert "OK" in report.summary()
+
+
+def test_verify_requires_finalized():
+    d = MHDDeduplicator(DedupConfig(ecs=512, sd=4))
+    d.ingest(BackupFile("a", rand(1000, 1)))
+    with pytest.raises(RuntimeError):
+        d.verify_integrity()
+
+
+class TestFailureInjection:
+    def test_detects_corrupted_container_bytes(self):
+        d = build_store()
+        # flip a byte inside a stored container
+        backend = d.backend
+        key = backend.keys(DiskModel.CHUNK)[0]
+        data = bytearray(backend.get(DiskModel.CHUNK, key))
+        data[len(data) // 2] ^= 0xFF
+        backend.put(DiskModel.CHUNK, key, bytes(data))
+        report = verify_store(backend, check_entry_hashes=True)
+        assert not report.ok
+        assert any("digest mismatch" in e for e in report.errors)
+
+    def test_shallow_check_misses_byte_corruption(self):
+        """Without entry-hash checking, byte flips are invisible —
+        documents why check_entry_hashes exists."""
+        d = build_store()
+        backend = d.backend
+        key = backend.keys(DiskModel.CHUNK)[0]
+        data = bytearray(backend.get(DiskModel.CHUNK, key))
+        data[len(data) // 2] ^= 0xFF
+        backend.put(DiskModel.CHUNK, key, bytes(data))
+        assert verify_store(backend, check_entry_hashes=False).ok
+
+    def test_detects_missing_container(self):
+        d = build_store()
+        backend = d.backend
+        key = backend.keys(DiskModel.CHUNK)[0]
+        backend._data[DiskModel.CHUNK].pop(key)  # simulate lost file
+        report = verify_store(backend)
+        assert not report.ok
+        assert any("missing" in e for e in report.errors)
+
+    def test_detects_dangling_hook(self):
+        d = build_store()
+        backend = d.backend
+        backend.put(DiskModel.HOOK, sha1(b"rogue"), sha1(b"no-such-manifest"))
+        report = verify_store(backend)
+        assert not report.ok
+        assert any("dangling" in e for e in report.errors)
+
+    def test_detects_hook_digest_dropped_from_manifest(self):
+        d = build_store()
+        backend = d.backend
+        hook_key = backend.keys(DiskModel.HOOK)[0]
+        manifest_id = backend.get(DiskModel.HOOK, hook_key)
+        # repoint the hook at a manifest that does not contain it
+        other = [
+            k for k in backend.keys(DiskModel.MANIFEST) if k != manifest_id
+        ]
+        if not other:
+            pytest.skip("store produced a single manifest")
+        from repro.storage import Manifest
+
+        target = Manifest.from_bytes(backend.get(DiskModel.MANIFEST, other[0]))
+        if hook_key in target:
+            pytest.skip("digest happens to exist in the other manifest")
+        backend.put(DiskModel.HOOK, hook_key, other[0])
+        report = verify_store(backend)
+        assert not report.ok
+        assert any("no longer present" in e for e in report.errors)
+
+    def test_detects_truncated_manifest(self):
+        d = build_store()
+        backend = d.backend
+        key = backend.keys(DiskModel.MANIFEST)[0]
+        raw = backend.get(DiskModel.MANIFEST, key)
+        backend.put(DiskModel.MANIFEST, key, raw[: len(raw) - 10])
+        report = verify_store(backend)
+        assert not report.ok
+
+    def test_detects_file_manifest_beyond_container(self):
+        d = build_store()
+        backend = d.backend
+        from repro.storage import FileManifest, FileManifestStore
+
+        fm = FileManifest("evil")
+        some_container = backend.keys(DiskModel.CHUNK)[0]
+        fm.append(some_container, 0, 10**9)
+        backend.put(DiskModel.FILE_MANIFEST, FileManifestStore.key_for("evil"), fm.to_bytes())
+        report = verify_store(backend)
+        assert not report.ok
+        assert any("beyond container" in e for e in report.errors)
+
+    def test_detects_manifest_under_wrong_key(self):
+        d = build_store()
+        backend = d.backend
+        key = backend.keys(DiskModel.MANIFEST)[0]
+        raw = backend.get(DiskModel.MANIFEST, key)
+        backend.put(DiskModel.MANIFEST, sha1(b"wrong-key"), raw)
+        report = verify_store(backend)
+        assert not report.ok
+        assert any("wrong key" in e for e in report.errors)

@@ -1,0 +1,253 @@
+"""Tests for the repro-dedup command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = ["--machines", "2", "--generations", "2", "--ecs", "1024", "--sd", "8"]
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_default_algo(capsys):
+    assert main(["run", *FAST]) == 0
+    out = capsys.readouterr().out
+    assert "bf-mhd results" in out
+    assert "real DER" in out
+
+
+@pytest.mark.parametrize("algo", ["cdc", "bimodal", "subchunk", "sparse-indexing"])
+def test_run_each_algo(algo, capsys):
+    assert main(["run", "--algo", algo, *FAST]) == 0
+    assert f"{algo} results" in capsys.readouterr().out
+
+
+def test_run_with_verify(capsys):
+    assert main(["run", "--verify", *FAST]) == 0
+    assert "restore byte-identically" in capsys.readouterr().out
+
+
+def test_compare(capsys):
+    assert main(["compare", *FAST]) == 0
+    out = capsys.readouterr().out
+    for algo in ("bf-mhd", "cdc", "bimodal", "subchunk", "sparse-indexing"):
+        assert algo in out
+
+
+def test_trace(capsys):
+    assert main(["trace", *FAST]) == 0
+    out = capsys.readouterr().out
+    assert "duplicate slices (L)" in out
+    assert "DAD" in out
+
+
+def test_run_on_real_directory(tmp_path, capsys):
+    rng = np.random.default_rng(1)
+    shared = rng.integers(0, 256, size=50_000, dtype=np.uint8).tobytes()
+    (tmp_path / "a.bin").write_bytes(shared)
+    (tmp_path / "b.bin").write_bytes(shared + b"tail")
+    sub = tmp_path / "sub"
+    sub.mkdir()
+    (sub / "c.bin").write_bytes(rng.integers(0, 256, size=10_000, dtype=np.uint8).tobytes())
+    assert main(["run", "--verify", "--input-dir", str(tmp_path), "--ecs", "1024", "--sd", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "all 3 files restore byte-identically" in out
+
+
+def test_input_dir_empty_fails(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["run", "--input-dir", str(tmp_path / "nope")])
+
+
+class TestPersistentStore:
+    def test_run_with_store_dir_and_fsck(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["run", *FAST, "--store-dir", store, "--fsck"]) == 0
+        out = capsys.readouterr().out
+        assert "integrity OK" in out
+        assert "store persisted" in out
+
+    def test_restore_list(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(["run", *FAST, "--store-dir", store])
+        capsys.readouterr()
+        assert main(["restore", "--store-dir", store, "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "pc00/gen000" in out
+
+    def test_restore_all_files_byte_identical(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        outdir = str(tmp_path / "out")
+        main(["run", *FAST, "--store-dir", store])
+        assert main(["restore", "--store-dir", store, "--output-dir", outdir]) == 0
+        # cross-check against the generator
+        from repro.workloads import BackupCorpus, CorpusConfig
+
+        corpus = BackupCorpus(
+            CorpusConfig(
+                machines=2, generations=2, os_count=2,
+                os_bytes=1 << 20, app_bytes=1 << 18, user_bytes=1 << 19,
+                mean_file=1 << 16, seed=2013,
+            )
+        )
+        import os
+
+        for f in corpus:
+            path = os.path.join(outdir, f.file_id)
+            with open(path, "rb") as fh:
+                assert fh.read() == f.data
+
+    def test_restore_selected_file(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        outdir = str(tmp_path / "out")
+        main(["run", *FAST, "--store-dir", store])
+        capsys.readouterr()
+        main(["restore", "--store-dir", store, "--list"])
+        first = capsys.readouterr().out.splitlines()[0]
+        assert main(["restore", "--store-dir", store, "--output-dir", outdir, first]) == 0
+
+    def test_restore_unknown_file_fails(self, tmp_path):
+        store = str(tmp_path / "store")
+        main(["run", *FAST, "--store-dir", store])
+        assert main(["restore", "--store-dir", store, "no/such/file"]) == 1
+
+
+class TestGC:
+    def test_gc_expires_generation(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(["run", *FAST, "--store-dir", store])
+        capsys.readouterr()
+        assert main(["gc", "--store-dir", store, "--delete", "*/gen000/*"]) == 0
+        out = capsys.readouterr().out
+        assert "deleted pc00/gen000" in out
+        assert "reclaimed" in out
+        assert "integrity OK" in out
+
+    def test_gc_sweep_only(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(["run", *FAST, "--store-dir", store])
+        capsys.readouterr()
+        assert main(["gc", "--store-dir", store]) == 0
+        out = capsys.readouterr().out
+        assert "reclaimed 0" in out
+
+    def test_gc_unmatched_pattern_fails(self, tmp_path):
+        store = str(tmp_path / "store")
+        main(["run", *FAST, "--store-dir", store])
+        assert main(["gc", "--store-dir", store, "--delete", "zzz*"]) == 1
+
+    def test_restore_after_gc(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        outdir = str(tmp_path / "out")
+        main(["run", *FAST, "--store-dir", store])
+        main(["gc", "--store-dir", store, "--delete", "*/gen000/*"])
+        capsys.readouterr()
+        assert main(["restore", "--store-dir", store, "--output-dir", outdir]) == 0
+        out = capsys.readouterr().out
+        assert "restored" in out
+
+
+class TestStats:
+    def test_stats_summarises_store(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(["run", *FAST, "--store-dir", store])
+        capsys.readouterr()
+        assert main(["stats", "--store-dir", store]) == 0
+        out = capsys.readouterr().out
+        assert "chunk" in out and "manifest" in out and "hook" in out
+        assert "chunk data" in out
+
+    def test_stats_with_fsck(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(["run", *FAST, "--store-dir", store])
+        capsys.readouterr()
+        assert main(["stats", "--store-dir", store, "--fsck"]) == 0
+        assert "integrity OK" in capsys.readouterr().out
+
+
+class TestGenCorpus:
+    def test_gen_corpus_roundtrips_through_input_dir(self, tmp_path, capsys):
+        outdir = str(tmp_path / "corpus")
+        assert main(["gen-corpus", "--output-dir", outdir,
+                     "--machines", "2", "--generations", "1"]) == 0
+        assert "wrote" in capsys.readouterr().out
+        # the materialised corpus is valid --input-dir input
+        assert main(["run", "--input-dir", outdir, "--ecs", "1024",
+                     "--sd", "8", "--verify"]) == 0
+
+    def test_gen_corpus_deterministic(self, tmp_path):
+        import hashlib, os
+
+        def tree_hash(root):
+            h = hashlib.sha1()
+            for dirpath, _dirs, names in sorted(os.walk(root)):
+                for name in sorted(names):
+                    path = os.path.join(dirpath, name)
+                    h.update(os.path.relpath(path, root).encode())
+                    with open(path, "rb") as fh:
+                        h.update(fh.read())
+            return h.hexdigest()
+
+        a, b = str(tmp_path / "a"), str(tmp_path / "b")
+        main(["gen-corpus", "--output-dir", a, "--machines", "2", "--generations", "1"])
+        main(["gen-corpus", "--output-dir", b, "--machines", "2", "--generations", "1"])
+        assert tree_hash(a) == tree_hash(b)
+
+
+class TestInspect:
+    def test_inspect_recipe(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(["run", *FAST, "--store-dir", store])
+        capsys.readouterr()
+        main(["restore", "--store-dir", store, "--list"])
+        first = capsys.readouterr().out.splitlines()[0]
+        assert main(["inspect", "--store-dir", store, "--file", first]) == 0
+        out = capsys.readouterr().out
+        assert "recipe" in out and "container" in out
+
+    def test_inspect_with_manifests(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(["run", *FAST, "--store-dir", store])
+        capsys.readouterr()
+        main(["restore", "--store-dir", store, "--list"])
+        first = capsys.readouterr().out.splitlines()[0]
+        assert main(["inspect", "--store-dir", store, "--file", first, "--manifests"]) == 0
+        out = capsys.readouterr().out
+        assert "manifest" in out
+        assert "hook" in out
+
+    def test_inspect_missing_file(self, tmp_path):
+        store = str(tmp_path / "store")
+        main(["run", *FAST, "--store-dir", store])
+        assert main(["inspect", "--store-dir", store, "--file", "nope"]) == 1
+
+
+def test_verbose_flag_enables_logging(tmp_path, capsys, caplog):
+    import logging
+
+    with caplog.at_level(logging.INFO, logger="repro.dedup"):
+        assert main(["-v", "run", *FAST]) == 0
+    assert any("finalized" in r.message for r in caplog.records)
+
+
+def test_gc_keep_last(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    main(["run", *FAST, "--store-dir", store])
+    capsys.readouterr()
+    assert main(["gc", "--store-dir", store, "--keep-last", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "deleted pc00/gen000" in out
+    # the newest generation survives
+    capsys.readouterr()
+    main(["restore", "--store-dir", store, "--list"])
+    listing = capsys.readouterr().out
+    assert "gen001" in listing and "gen000" not in listing
+
+
+def test_run_with_profile(capsys):
+    assert main(["run", "--profile", "server-fleet", "--ecs", "2048", "--sd", "16"]) == 0
+    assert "bf-mhd results" in capsys.readouterr().out

@@ -1,0 +1,153 @@
+"""End-to-end system tests: real directory backend, incremental backup
+sessions, cross-component integration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DedupConfig, MHDDeduplicator
+from repro.baselines import CDCDeduplicator
+from repro.storage import DirectoryBackend, DiskModel, verify_store
+from repro.workloads import BackupFile, EditConfig, mutate, tiny_corpus
+
+
+def rand(n, seed):
+    return np.random.default_rng(seed).integers(0, 256, size=n, dtype=np.uint8).tobytes()
+
+
+class TestDirectoryBackendEndToEnd:
+    """The paper's prototype layout: one real file per object on disk."""
+
+    def test_mhd_on_real_filesystem(self, tmp_path):
+        backend = DirectoryBackend(tmp_path / "store")
+        d = MHDDeduplicator(DedupConfig(ecs=1024, sd=8, bloom_bytes=1 << 18), backend)
+        files = tiny_corpus().files()[:40]
+        stats = d.process(files)
+        # objects really are on the host filesystem
+        assert (tmp_path / "store" / DiskModel.CHUNK).is_dir()
+        assert (tmp_path / "store" / DiskModel.MANIFEST).is_dir()
+        assert (tmp_path / "store" / DiskModel.HOOK).is_dir()
+        for f in files[::7]:
+            assert d.restore(f.file_id) == f.data
+        assert verify_store(backend, check_entry_hashes=True).ok
+        assert stats.chunk_inodes == len(list((tmp_path / "store" / DiskModel.CHUNK).iterdir()))
+
+    def test_store_survives_process_boundary(self, tmp_path):
+        """A fresh deduplicator instance can restore from the same
+        directory — the store is self-contained on disk."""
+        backend = DirectoryBackend(tmp_path / "store")
+        files = [BackupFile("a", rand(50_000, 1)), BackupFile("b", rand(50_000, 2))]
+        MHDDeduplicator(DedupConfig(ecs=1024, sd=8), backend).process(files)
+
+        # simulate a new process: new deduplicator over the same dir
+        backend2 = DirectoryBackend(tmp_path / "store")
+        reader = MHDDeduplicator(DedupConfig(ecs=1024, sd=8), backend2)
+        for f in files:
+            assert reader.restore(f.file_id) == f.data
+
+
+class TestIncrementalSessions:
+    def test_nightly_backup_convergence(self):
+        """DER grows with history; every generation stays restorable."""
+        rng = np.random.default_rng(7)
+        d = MHDDeduplicator(DedupConfig(ecs=1024, sd=8, bloom_bytes=1 << 18))
+        content = rand(300_000, 8)
+        generations = []
+        for g in range(5):
+            generations.append(content)
+            d.ingest(BackupFile(f"gen{g}", content))
+            content = mutate(content, rng, EditConfig(change_rate=0.1))
+        stats = d.finalize()
+        for g, data in enumerate(generations):
+            assert d.restore(f"gen{g}") == data
+        # ~90% of each later generation dedups against the previous one
+        assert stats.data_only_der > 2.5
+        assert d.verify_integrity(check_entry_hashes=True).ok
+
+    def test_interleaved_machines(self):
+        """Cross-machine dedup of the shared base image."""
+        base_os = rand(200_000, 9)
+        d = MHDDeduplicator(DedupConfig(ecs=1024, sd=8, bloom_bytes=1 << 18))
+        for m in range(3):
+            user = rand(60_000, 10 + m)
+            d.ingest(BackupFile(f"pc{m}/os", base_os))
+            d.ingest(BackupFile(f"pc{m}/user", user))
+        stats = d.finalize()
+        # the OS image is stored about once, not three times
+        assert stats.stored_chunk_bytes < len(base_os) * 1.4 + 3 * 60_000
+        for m in range(3):
+            assert d.restore(f"pc{m}/os") == base_os
+
+
+class TestCrossAlgorithmConsistency:
+    def test_stats_der_close_to_trace_oracle(self):
+        """CDC's byte counters agree with the trace oracle's."""
+        from repro.chunking import VectorizedChunker
+        from repro.workloads import trace_corpus
+
+        files = tiny_corpus().files()[:80]
+        config = DedupConfig(ecs=1024, sd=8, cache_manifests=512)
+        d = CDCDeduplicator(config)
+        stats = d.process(files)
+        oracle = trace_corpus(files, VectorizedChunker(config.small_chunker_config()))
+        assert stats.stored_chunk_bytes == oracle.unique_bytes
+
+    def test_meter_reads_match_restore_traffic(self):
+        files = tiny_corpus().files()[:20]
+        d = MHDDeduplicator(DedupConfig(ecs=1024, sd=8))
+        d.process(files)
+        before = d.meter.count(DiskModel.CHUNK, "read")
+        total = sum(len(d.restore(f.file_id)) for f in files)
+        read_bytes = d.meter.nbytes(DiskModel.CHUNK, "read")
+        assert total == sum(f.size for f in files)
+        assert d.meter.count(DiskModel.CHUNK, "read") > before
+        assert read_bytes >= total  # restore plus earlier HHR reloads
+
+
+class TestWarmStart:
+    def test_second_session_dedups_against_first(self, tmp_path):
+        """Two backup sessions in separate 'processes' over one store:
+        the second session's warm start makes it find the first
+        session's data."""
+        config = DedupConfig(ecs=1024, sd=8, bloom_bytes=1 << 18)
+        base = rand(200_000, 20)
+
+        session1 = MHDDeduplicator(config, DirectoryBackend(tmp_path / "s"))
+        stats1 = session1.process([BackupFile("day1/img", base)])
+
+        edited = mutate(base, np.random.default_rng(3), EditConfig(change_rate=0.1))
+        session2 = MHDDeduplicator(config, DirectoryBackend(tmp_path / "s"))
+        assert session2.warm_start() > 0
+        stats2 = session2.process([BackupFile("day2/img", edited)])
+        # stored_chunk_bytes reads the *shared* backend, so session 2's
+        # new bytes are the delta — most of day2 deduplicated away.
+        new_bytes = stats2.stored_chunk_bytes - stats1.stored_chunk_bytes
+        assert new_bytes < len(edited) * 0.4
+        assert stats2.duplicate_chunks > 0
+        assert session2.restore("day2/img") == edited
+        assert session2.restore("day1/img") == base
+
+    def test_cold_second_session_finds_nothing(self, tmp_path):
+        """Without warm start the bloom filter rejects everything."""
+        config = DedupConfig(ecs=1024, sd=8, bloom_bytes=1 << 18)
+        base = rand(200_000, 21)
+        MHDDeduplicator(config, DirectoryBackend(tmp_path / "s")).process(
+            [BackupFile("day1/img", base)]
+        )
+        cold = MHDDeduplicator(config, DirectoryBackend(tmp_path / "s"))
+        stats = cold.process([BackupFile("day2/img", base)])
+        assert stats.duplicate_chunks == 0  # bloom empty -> all misses
+
+    def test_si_mhd_warm_start(self, tmp_path):
+        from repro.core import SIMHDDeduplicator
+
+        config = DedupConfig(ecs=1024, sd=8)
+        base = rand(150_000, 22)
+        SIMHDDeduplicator(config, DirectoryBackend(tmp_path / "s")).process(
+            [BackupFile("a", base)]
+        )
+        session2 = SIMHDDeduplicator(config, DirectoryBackend(tmp_path / "s"))
+        assert session2.warm_start() > 0
+        stats = session2.process([BackupFile("b", base)])
+        assert stats.duplicate_chunks > 0
+        assert session2.restore("b") == base

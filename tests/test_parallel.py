@@ -1,0 +1,106 @@
+"""Tests for sharded multi-process deduplication."""
+
+import pytest
+
+from repro.core import DedupConfig, MHDDeduplicator
+from repro.parallel import dedup_sharded, shard_by_machine
+from repro.workloads import BackupFile, tiny_corpus
+
+CFG = DedupConfig(ecs=1024, sd=8, bloom_bytes=1 << 18)
+
+
+@pytest.fixture(scope="module")
+def files():
+    return tiny_corpus().files()
+
+
+def test_shard_by_machine(files):
+    shards = shard_by_machine(files)
+    assert set(shards) == {"pc00", "pc01", "pc02"}
+    assert sum(len(v) for v in shards.values()) == len(files)
+    for shard, shard_files in shards.items():
+        assert all(f.file_id.startswith(shard) for f in shard_files)
+
+
+def test_empty_corpus():
+    fleet = dedup_sharded([], config=CFG, workers=1)
+    assert fleet.shards == ()
+    assert fleet.makespan_seconds == 0.0
+
+
+def test_unknown_algorithm_fails_fast(files):
+    with pytest.raises(ValueError):
+        dedup_sharded(files[:5], algo="no-such-algo", config=CFG, workers=1)
+
+
+def test_inprocess_matches_per_shard_sequential(files):
+    """workers=1 must equal running each shard by hand."""
+    fleet = dedup_sharded(files, config=CFG, workers=1)
+    shards = shard_by_machine(files)
+    for result in fleet.shards:
+        manual = MHDDeduplicator(CFG).process(shards[result.shard])
+        assert result.stats.stored_chunk_bytes == manual.stored_chunk_bytes
+        assert result.stats.unique_chunks == manual.unique_chunks
+
+
+def test_multiprocess_matches_inprocess(files):
+    """The pool changes wall time, never results."""
+    seq = dedup_sharded(files, config=CFG, workers=1)
+    par = dedup_sharded(files, config=CFG, workers=3)
+    assert len(seq.shards) == len(par.shards)
+    for a, b in zip(seq.shards, par.shards):
+        assert a.shard == b.shard
+        assert a.stats.stored_chunk_bytes == b.stats.stored_chunk_bytes
+        assert a.stats.io.ops == b.stats.io.ops
+
+
+def test_aggregate_identities(files):
+    fleet = dedup_sharded(files, config=CFG, workers=1)
+    assert fleet.input_bytes == sum(f.size for f in files)
+    assert fleet.data_only_der >= fleet.real_der >= 1.0
+    assert fleet.makespan_seconds <= fleet.aggregate_seconds
+    assert fleet.speedup() >= 1.0
+
+
+def test_sharding_misses_cross_shard_duplicates(files):
+    """The scale-out trade-off: machines share OS content, so a global
+    run dedups more than the sharded fleet."""
+    fleet = dedup_sharded(files, config=CFG, workers=1)
+    global_stats = MHDDeduplicator(CFG).process(files)
+    assert fleet.stored_chunk_bytes >= global_stats.stored_chunk_bytes
+    assert fleet.data_only_der <= global_stats.data_only_der
+
+
+def test_custom_shard_function(files):
+    """Shard by generation instead of machine."""
+
+    def by_generation(fs):
+        shards = {}
+        for f in fs:
+            shards.setdefault(f.file_id.split("/")[1], []).append(f)
+        return shards
+
+    fleet = dedup_sharded(files, config=CFG, workers=1, shard_fn=by_generation)
+    assert {s.shard for s in fleet.shards} == {"gen000", "gen001", "gen002"}
+
+
+def test_single_machine_corpus():
+    files = [BackupFile("pc00/gen000/x", b"a" * 10_000)]
+    fleet = dedup_sharded(files, config=CFG, workers=4)
+    assert len(fleet.shards) == 1
+
+
+def test_single_shard_speedup_is_one():
+    files = [BackupFile("pc00/gen000/x", b"a" * 50_000)]
+    fleet = dedup_sharded(files, config=CFG, workers=1)
+    assert fleet.speedup() == pytest.approx(1.0)
+
+
+def test_device_model_passed_through(files):
+    from repro.analysis import DeviceModel
+
+    slow = dedup_sharded(files[:30], config=CFG, workers=1,
+                         device=DeviceModel(seek_s=0.05))
+    fast = dedup_sharded(files[:30], config=CFG, workers=1,
+                         device=DeviceModel(seek_s=0.001))
+    assert slow.makespan_seconds > fast.makespan_seconds

@@ -1,0 +1,59 @@
+"""Performance guardrails.
+
+Generous wall-clock bounds that catch order-of-magnitude regressions
+(an accidentally quadratic loop, a lost vectorisation) without being
+flaky on slow CI machines.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.chunking import ChunkerConfig, VectorizedChunker
+from repro.core import DedupConfig, MHDDeduplicator
+from repro.workloads import tiny_corpus
+
+
+def test_vectorized_chunker_throughput_floor():
+    """≥ 5 MB/s (typically 40-80); the reference runs at ~1 MB/s, so
+    this also guards against silently falling back to scalar code."""
+    data = np.random.default_rng(0).integers(0, 256, size=16 << 20, dtype=np.uint8).tobytes()
+    chunker = VectorizedChunker(ChunkerConfig(expected_size=4096))
+    start = time.perf_counter()
+    chunker.cut_points(data)
+    elapsed = time.perf_counter() - start
+    mbps = 16 / elapsed
+    assert mbps > 5, f"chunker at {mbps:.1f} MB/s"
+
+
+def test_mhd_pipeline_throughput_floor():
+    """End-to-end MHD ≥ 2 MB/s on the tiny corpus (typically 20-40)."""
+    files = tiny_corpus().files()
+    total = sum(f.size for f in files)
+    d = MHDDeduplicator(DedupConfig(ecs=2048, sd=8))
+    start = time.perf_counter()
+    d.process(files)
+    elapsed = time.perf_counter() - start
+    mbps = total / 1e6 / elapsed
+    assert mbps > 2, f"MHD at {mbps:.1f} MB/s"
+
+
+def test_ingest_scales_linearly():
+    """Doubling the input must not quadruple the time (quadratic-loop
+    guard).  Uses one big unique file so chunk counts dominate."""
+    rng = np.random.default_rng(1)
+    small = rng.integers(0, 256, size=2 << 20, dtype=np.uint8).tobytes()
+    big = rng.integers(0, 256, size=8 << 20, dtype=np.uint8).tobytes()
+    from repro.workloads import BackupFile
+
+    def run(data):
+        d = MHDDeduplicator(DedupConfig(ecs=1024, sd=8))
+        start = time.perf_counter()
+        d.process([BackupFile("x", data)])
+        return time.perf_counter() - start
+
+    t_small = run(small)
+    t_big = run(big)
+    # 4x the data may cost at most ~10x the time (noise headroom).
+    assert t_big < t_small * 10 + 0.5, (t_small, t_big)

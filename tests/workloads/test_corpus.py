@@ -1,0 +1,203 @@
+"""Tests for templates, machines and the backup corpus."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    BackupCorpus,
+    CorpusConfig,
+    EditConfig,
+    Machine,
+    MachineConfig,
+    TemplateLibrary,
+    tiny_corpus,
+)
+
+
+class TestTemplateLibrary:
+    def test_deterministic(self):
+        a = TemplateLibrary(seed=1, os_bytes=1 << 16, app_bytes=1 << 14)
+        b = TemplateLibrary(seed=1, os_bytes=1 << 16, app_bytes=1 << 14)
+        assert a.os_images[0][0].data == b.os_images[0][0].data
+
+    def test_different_seeds_differ(self):
+        a = TemplateLibrary(seed=1, os_bytes=1 << 16)
+        b = TemplateLibrary(seed=2, os_bytes=1 << 16)
+        assert a.os_images[0][0].data != b.os_images[0][0].data
+
+    def test_os_image_total_size(self):
+        lib = TemplateLibrary(seed=0, os_bytes=1 << 18)
+        total = sum(f.size for f in lib.os_images[0])
+        assert total == 1 << 18
+
+    def test_index_wraps(self):
+        lib = TemplateLibrary(seed=0, os_count=2, os_bytes=1 << 14)
+        assert lib.os_image(0) is lib.os_image(2)
+
+    def test_rejects_zero_os(self):
+        with pytest.raises(ValueError):
+            TemplateLibrary(os_count=0)
+
+
+def make_machine(seed=5, **kw):
+    lib = TemplateLibrary(seed=0, os_bytes=1 << 16, app_bytes=1 << 14)
+    defaults = dict(user_bytes=1 << 16, mean_user_file=1 << 14)
+    defaults.update(kw)
+    return Machine("pcX", lib, MachineConfig(**defaults), seed=seed)
+
+
+class TestMachine:
+    def test_generation_zero_contains_os_and_user(self):
+        files = make_machine().generation(0)
+        names = [f.file_id for f in files]
+        assert any("os0" in n for n in names)
+        assert any("user/" in n for n in names)
+
+    def test_generations_monotonic(self):
+        m = make_machine()
+        m.generation(1)
+        with pytest.raises(ValueError):
+            m.generation(0)
+
+    def test_generations_share_most_content(self):
+        m = make_machine()
+        g0 = {f.file_id.split("/", 2)[-1]: f.data for f in m.generation(0)}
+        g1 = {f.file_id.split("/", 2)[-1]: f.data for f in m.generation(1)}
+        shared_names = set(g0) & set(g1)
+        assert len(shared_names) >= len(g0) * 0.7
+
+    def test_same_seed_reproducible(self):
+        a = make_machine(seed=9).generation(2)
+        b = make_machine(seed=9).generation(2)
+        assert [(f.file_id, f.data) for f in a] == [(f.file_id, f.data) for f in b]
+
+    def test_file_ids_carry_generation(self):
+        m = make_machine()
+        for f in m.generation(0):
+            assert f.file_id.startswith("pcX/gen000/")
+
+
+class TestCorpus:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(machines=0)
+
+    def test_iteration_is_repeatable(self):
+        c = tiny_corpus()
+        a = [(f.file_id, f.data) for f in c]
+        b = [(f.file_id, f.data) for f in c]
+        assert a == b
+
+    def test_generation_major_order(self):
+        c = tiny_corpus()
+        gens = [int(f.file_id.split("/")[1][3:]) for f in c]
+        assert gens == sorted(gens)
+
+    def test_machines_share_os_template_content(self):
+        cfg = CorpusConfig(
+            machines=2,
+            generations=1,
+            os_count=1,
+            os_bytes=1 << 16,
+            app_bytes=1 << 14,
+            user_bytes=1 << 14,
+            mean_file=1 << 13,
+        )
+        files = BackupCorpus(cfg).files()
+        by_machine: dict[str, set[bytes]] = {}
+        for f in files:
+            by_machine.setdefault(f.file_id.split("/")[0], set()).add(f.data)
+        pc0, pc1 = by_machine["pc00"], by_machine["pc01"]
+        assert pc0 & pc1  # identical OS files across machines
+
+    def test_total_bytes_positive(self):
+        assert tiny_corpus().total_bytes() > 1 << 20
+
+    def test_unique_file_ids(self):
+        ids = [f.file_id for f in tiny_corpus()]
+        assert len(ids) == len(set(ids))
+
+
+class TestLogFiles:
+    def make(self, **kw):
+        return make_machine(log_bytes=1 << 15, log_append_bytes=1 << 12, **kw)
+
+    def test_log_present_when_enabled(self):
+        files = self.make().generation(0)
+        logs = [f for f in files if "var/log" in f.file_id]
+        assert len(logs) == 1
+        assert logs[0].size == 1 << 15
+
+    def test_log_absent_by_default(self):
+        files = make_machine().generation(0)
+        assert not any("var/log" in f.file_id for f in files)
+
+    def test_log_is_append_only(self):
+        m = self.make()
+        g0 = next(f for f in m.generation(0) if "var/log" in f.file_id)
+        g2 = next(f for f in m.generation(2) if "var/log" in f.file_id)
+        assert g2.size == g0.size + 2 * (1 << 12)
+        assert g2.data[: g0.size] == g0.data  # history never rewritten
+
+    def test_logs_dedup_almost_fully(self):
+        """Append-only files are the best case for any chunk dedup."""
+        from repro.core import DedupConfig, MHDDeduplicator
+
+        m = self.make()
+        logs = [
+            next(f for f in m.generation(g) if "var/log" in f.file_id)
+            for g in range(4)
+        ]
+        d = MHDDeduplicator(DedupConfig(ecs=512, sd=4, bloom_bytes=1 << 16, window=16))
+        stats = d.process(logs)
+        # stored ~= final log size (every prefix deduplicates)
+        assert stats.stored_chunk_bytes < logs[-1].size * 1.2
+        for f in logs:
+            assert d.restore(f.file_id) == f.data
+
+
+class TestDiskImageMode:
+    def cfg(self, **kw):
+        from repro.workloads import CorpusConfig
+
+        defaults = dict(
+            machines=2, generations=2, os_count=1, os_bytes=1 << 17,
+            app_bytes=1 << 14, user_bytes=1 << 15, mean_file=1 << 14,
+            as_disk_images=True,
+        )
+        defaults.update(kw)
+        return CorpusConfig(**defaults)
+
+    def test_one_image_per_machine_generation(self):
+        files = BackupCorpus(self.cfg()).files()
+        assert len(files) == 4
+        assert all(f.file_id.endswith("disk.img") for f in files)
+
+    def test_image_bytes_equal_member_files(self):
+        from dataclasses import replace
+
+        cfg = self.cfg()
+        images = BackupCorpus(cfg).files()
+        members = BackupCorpus(replace(cfg, as_disk_images=False)).files()
+        by_gen = {}
+        for f in members:
+            key = "/".join(f.file_id.split("/")[:2])
+            by_gen.setdefault(key, []).append(f)
+        for image in images:
+            key = "/".join(image.file_id.split("/")[:2])
+            expected = b"".join(
+                f.data for f in sorted(by_gen[key], key=lambda f: f.file_id)
+            )
+            assert image.data == expected
+
+    def test_generations_share_content(self):
+        """Consecutive images of one machine stay mostly identical."""
+        from repro.chunking import ChunkerConfig, VectorizedChunker
+        from repro.hashing import sha1
+
+        files = BackupCorpus(self.cfg()).files()
+        pc0 = [f for f in files if f.file_id.startswith("pc00")]
+        chunker = VectorizedChunker(ChunkerConfig(expected_size=1024))
+        g0 = {sha1(c.data) for c in chunker.chunk(pc0[0].data)}
+        shared = sum(1 for c in chunker.chunk(pc0[1].data) if sha1(c.data) in g0)
+        assert shared > 0.5 * len(g0)

@@ -1,0 +1,87 @@
+"""Tests for the byte-level edit operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import EditConfig, mutate
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestEditConfig:
+    def test_defaults_valid(self):
+        EditConfig()
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_rejects_bad_rate(self, rate):
+        with pytest.raises(ValueError):
+            EditConfig(change_rate=rate)
+
+    def test_rejects_bad_edits_per_mb(self):
+        with pytest.raises(ValueError):
+            EditConfig(edits_per_mb=0)
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            EditConfig(insert_fraction=2.0)
+        with pytest.raises(ValueError):
+            EditConfig(delete_fraction=-1.0)
+
+
+class TestMutate:
+    def test_empty_input(self):
+        assert mutate(b"", rng(), EditConfig()) == b""
+
+    def test_zero_rate_is_identity(self):
+        data = bytes(range(256)) * 10
+        assert mutate(data, rng(), EditConfig(change_rate=0.0)) is data
+
+    def test_changes_content(self):
+        data = rng(1).integers(0, 256, size=100_000, dtype=np.uint8).tobytes()
+        out = mutate(data, rng(2), EditConfig(change_rate=0.1))
+        assert out != data
+
+    def test_deterministic_given_rng_state(self):
+        data = rng(1).integers(0, 256, size=50_000, dtype=np.uint8).tobytes()
+        a = mutate(data, rng(7), EditConfig())
+        b = mutate(data, rng(7), EditConfig())
+        assert a == b
+
+    @given(seed=st.integers(0, 2**31), rate=st.sampled_from([0.05, 0.2, 0.5]))
+    @settings(max_examples=20, deadline=None)
+    def test_size_stays_close(self, seed, rate):
+        """Overwrites preserve size; insert/delete roughly cancel."""
+        n = 200_000
+        data = rng(seed).integers(0, 256, size=n, dtype=np.uint8).tobytes()
+        out = mutate(data, rng(seed + 1), EditConfig(change_rate=rate))
+        assert 0.6 * n < len(out) < 1.8 * n
+
+    def test_most_bytes_survive_at_low_rate(self):
+        """An 0.1 change rate must leave long common substrings (the
+        duplicate slices the dedupers will find), detectable by CDC."""
+        from repro.chunking import ChunkerConfig, VectorizedChunker
+        from repro.hashing import sha1
+
+        n = 500_000
+        data = rng(3).integers(0, 256, size=n, dtype=np.uint8).tobytes()
+        out = mutate(data, rng(4), EditConfig(change_rate=0.1, edits_per_mb=4))
+        chunker = VectorizedChunker(ChunkerConfig(expected_size=2048))
+        orig = {sha1(c.data) for c in chunker.chunk(data)}
+        survived = sum(1 for c in chunker.chunk(out) if sha1(c.data) in orig)
+        assert survived >= len(orig) // 2
+
+    def test_pure_overwrite_keeps_length(self):
+        data = rng(5).integers(0, 256, size=100_000, dtype=np.uint8).tobytes()
+        cfg = EditConfig(change_rate=0.3, insert_fraction=0.0)
+        out = mutate(data, rng(6), cfg)
+        assert len(out) == len(data)
+
+    def test_insert_only_grows(self):
+        data = rng(5).integers(0, 256, size=100_000, dtype=np.uint8).tobytes()
+        cfg = EditConfig(change_rate=0.2, insert_fraction=1.0, delete_fraction=0.0)
+        out = mutate(data, rng(6), cfg)
+        assert len(out) > len(data)

@@ -1,0 +1,60 @@
+"""Tests for the named corpus profiles."""
+
+import pytest
+
+from repro.workloads import PROFILES, make_corpus, profile_names
+
+
+def test_profile_names_sorted():
+    assert profile_names() == sorted(PROFILES)
+    assert "office-fleet" in profile_names()
+
+
+def test_unknown_profile_raises():
+    with pytest.raises(ValueError, match="unknown profile"):
+        make_corpus("no-such-thing")
+
+
+@pytest.mark.parametrize("name", sorted(PROFILES))
+def test_profiles_generate_nonempty_corpora(name):
+    files = []
+    for f in make_corpus(name):
+        files.append(f)
+        if len(files) > 400:
+            break
+    assert files
+    assert all(f.size > 0 for f in files)
+
+
+def test_profiles_deterministic():
+    a = make_corpus("office-fleet").files()[:5]
+    b = make_corpus("office-fleet").files()[:5]
+    assert [(f.file_id, f.data) for f in a] == [(f.file_id, f.data) for f in b]
+
+
+def test_seed_changes_content():
+    a = make_corpus("office-fleet", seed=1).files()[0]
+    b = make_corpus("office-fleet", seed=2).files()[0]
+    assert a.data != b.data
+
+
+def test_vm_images_shape():
+    files = make_corpus("vm-images").files()
+    assert all(f.file_id.endswith("disk.img") for f in files)
+
+
+def test_server_fleet_has_logs():
+    files = make_corpus("server-fleet").files()
+    assert any("var/log" in f.file_id for f in files)
+
+
+def test_server_fleet_most_dedupable():
+    """Ordering sanity: the server fleet dedups better than the churny
+    workstations at the same granularity."""
+    from repro.chunking import ChunkerConfig, VectorizedChunker
+    from repro.workloads import trace_corpus
+
+    chunker = VectorizedChunker(ChunkerConfig(expected_size=2048))
+    server = trace_corpus(make_corpus("server-fleet"), chunker)
+    churny = trace_corpus(make_corpus("churny-workstations"), chunker)
+    assert server.byte_der > churny.byte_der
