@@ -8,7 +8,6 @@
   (locality loss).
 """
 
-import pytest
 
 from conftest import ALGORITHMS, DEVICE, SD_MAIN, write_report
 from repro.analysis import evaluate, format_table

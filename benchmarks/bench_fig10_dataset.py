@@ -10,7 +10,7 @@
 
 import pytest
 
-from conftest import ALGORITHMS, DEVICE, ECS_VALUES, SD_MAIN, write_report
+from conftest import ALGORITHMS, DEVICE, SD_MAIN, write_report
 from repro.analysis import evaluate, format_series, format_table
 from repro.chunking import VectorizedChunker
 from repro.core import DedupConfig

@@ -25,16 +25,8 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import AlgorithmRun, DeviceModel, evaluate
-from repro.baselines import (
-    BimodalDeduplicator,
-    CDCDeduplicator,
-    ExtremeBinningDeduplicator,
-    FBCDeduplicator,
-    FingerdiffDeduplicator,
-    SparseIndexingDeduplicator,
-    SubChunkDeduplicator,
-)
-from repro.core import DedupConfig, MHDDeduplicator, SIMHDDeduplicator
+from repro.core import DedupConfig
+from repro.registry import available, resolve
 from repro.workloads import BackupCorpus, CorpusConfig, small_corpus, tiny_corpus
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -49,17 +41,9 @@ SD_BY_SCALE = {"tiny": [8, 4, 2], "small": [32, 16, 8], "large": [64, 32, 16]}
 SD_VALUES = SD_BY_SCALE[SCALE]
 SD_MAIN = SD_VALUES[0]
 
-ALGORITHMS = {
-    "bf-mhd": MHDDeduplicator,
-    "si-mhd": SIMHDDeduplicator,
-    "bimodal": BimodalDeduplicator,
-    "subchunk": SubChunkDeduplicator,
-    "sparse-indexing": SparseIndexingDeduplicator,
-    "cdc": CDCDeduplicator,
-    "fingerdiff": FingerdiffDeduplicator,
-    "fbc": FBCDeduplicator,
-    "extreme-binning": ExtremeBinningDeduplicator,
-}
+#: Name → deduplicator class, straight from the shared registry (the
+#: benches index it like a dict, so materialise one).
+ALGORITHMS = {name: resolve(name) for name in available()}
 
 #: The four algorithms the paper's figures compare (CDC appears only
 #: in Tables I/II).

@@ -12,23 +12,14 @@ Run:  python examples/algorithm_comparison.py [--ecs 2048] [--sd 16]
 import argparse
 import time
 
-from repro import (
-    BimodalDeduplicator,
-    CDCDeduplicator,
-    DedupConfig,
-    MHDDeduplicator,
-    SparseIndexingDeduplicator,
-    SubChunkDeduplicator,
-)
+from repro import DedupConfig
 from repro.analysis import DeviceModel, format_table
+from repro.registry import resolve
 from repro.workloads import small_corpus
 
 ALGORITHMS = [
-    CDCDeduplicator,
-    BimodalDeduplicator,
-    SubChunkDeduplicator,
-    SparseIndexingDeduplicator,
-    MHDDeduplicator,
+    resolve(name)
+    for name in ("cdc", "bimodal", "subchunk", "sparse-indexing", "bf-mhd")
 ]
 
 

@@ -34,6 +34,7 @@ from .baselines import (
 )
 from .chunking import ChunkerConfig, VectorizedChunker
 from .core import DedupConfig, DedupStats, Deduplicator, MHDDeduplicator, SIMHDDeduplicator
+from .registry import available, resolve
 from .workloads import BackupCorpus, CorpusConfig
 
 __version__ = "1.0.0"
@@ -58,5 +59,7 @@ __all__ = [
     "MHDDeduplicator",
     "BackupCorpus",
     "CorpusConfig",
+    "available",
+    "resolve",
     "__version__",
 ]

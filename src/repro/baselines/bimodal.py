@@ -19,6 +19,8 @@ points is missed — the DER deficit the paper's Fig. 8 shows.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from ..chunking import Chunk, VectorizedChunker
 from ..hashing import Digest, sha1
 from ..storage import FileManifest, Manifest
@@ -28,6 +30,27 @@ from ..core.base import Deduplicator
 from ..core.manifest_cache import ManifestCache
 
 __all__ = ["BimodalDeduplicator"]
+
+#: A resolved big-chunk lookup: (owning manifest, entry) or None.
+_Hit = "tuple[Manifest, ManifestEntry] | None"
+
+
+@dataclass
+class _FileState:
+    """Per-file state: the one-big-chunk lookahead window.
+
+    Bimodal's transition rule needs the duplicate status of the *next*
+    big chunk, so a big chunk is committed only once its successor has
+    been looked up (or the file ended).
+    """
+
+    container_id: Digest
+    manifest: Manifest
+    fm: FileManifest
+    writer: object | None = None
+    # (chunk, digest, hit) awaiting their successor's hit status.
+    pending: list = field(default_factory=list)
+    prev_hit: object = None  # hit status of the last committed big chunk
 
 
 class BimodalDeduplicator(Deduplicator):
@@ -42,64 +65,79 @@ class BimodalDeduplicator(Deduplicator):
         self.cache = ManifestCache(self.manifests, self.config.cache_manifests)
         #: big chunks re-chunked at transition points (diagnostic)
         self.rechunked_big = 0
+        self._ctx: _FileState | None = None
 
-    def _ingest_file(self, file: BackupFile) -> None:
-        data = file.data
+    def _stream_chunker(self) -> VectorizedChunker:
+        return self.big_chunker
+
+    def _begin_file(self, file: BackupFile) -> None:
         fid = file.file_id.encode()
         container_id = sha1(fid)
         manifest = Manifest(
             sha1(fid + b"|manifest"), container_id, entry_size=ENTRY_SIZE
         )
         self.cache.add(manifest, pin=True)
-        writer = None
-        fm = FileManifest(file.file_id)
+        self._ctx = _FileState(
+            container_id=container_id,
+            manifest=manifest,
+            fm=FileManifest(file.file_id),
+        )
 
-        big_chunks = self.big_chunker.chunk(data)
-        self.cpu.chunked += len(data)
-        # Phase 1: duplicate status of every big chunk (the paper's
-        # "(N+D)/SD big chunk queries" when unfiltered).
-        digests: list[Digest] = []
-        hits: list[tuple[Manifest, ManifestEntry] | None] = []
-        for chunk in big_chunks:
+    def _ingest_chunks(self, batch) -> None:
+        ctx = self._ctx
+        for chunk in batch:
             digest = sha1(chunk.data)
-            digests.append(digest)
             self.cpu.hashed += chunk.size
-            hits.append(self._lookup(digest, manifest, key=digest))
+            hit = self._lookup(digest, ctx.manifest, key=digest)
+            if hit is not None and hit[0] is ctx.manifest:
+                # The big-chunk query is defined against *previous*
+                # files' state (the classic design looks every big
+                # chunk up before storing any); a hit on this file's
+                # own in-progress manifest is therefore a miss.
+                hit = None
+            ctx.pending.append((chunk, digest, hit))
+            while len(ctx.pending) >= 2:
+                entry = ctx.pending.pop(0)
+                self._commit_big(ctx, *entry, next_hit=ctx.pending[0][2])
 
-        # Phase 2: store / re-chunk.
-        for i, chunk in enumerate(big_chunks):
-            hit = hits[i]
-            if hit is not None:
-                owner, entry = hit
-                self._count_duplicate(chunk.size)
-                fm.append(owner.chunk_id, entry.offset, entry.size)
-                continue
-            if self._should_rechunk(i, big_chunks, hits):
-                self.rechunked_big += 1
-                writer = self._ingest_small(chunk, manifest, container_id, writer, fm)
-            else:
-                self._count_unique(chunk.size)
-                writer = writer or self.chunks.open_container(container_id)
-                offset = writer.append(chunk.data)
-                self._store_entry(manifest, digests[i], offset, chunk.size)
-                fm.append(container_id, offset, chunk.size)
-
-        self.cache.reindex(manifest)
-        if writer is not None:
-            writer.close()
-        if manifest.entries:
-            self.manifests.put(manifest)
-        self.cache.unpin(manifest.manifest_id)
-        self.file_manifests.put(fm)
+    def _end_file(self) -> None:
+        ctx = self._ctx
+        if ctx.pending:
+            self._commit_big(ctx, *ctx.pending.pop(0), next_hit=None)
+        self.cache.reindex(ctx.manifest)
+        if ctx.writer is not None:
+            ctx.writer.close()
+        if ctx.manifest.entries:
+            self.manifests.put(ctx.manifest)
+        self.cache.unpin(ctx.manifest.manifest_id)
+        self.file_manifests.put(ctx.fm)
         self._observe_ram(self.cache.ram_bytes())
+        self._ctx = None
 
-    def _should_rechunk(self, i: int, big_chunks: list[Chunk], hits: list) -> bool:
+    def _commit_big(self, ctx: _FileState, chunk, digest, hit, next_hit) -> None:
+        """Store / re-chunk one big chunk whose neighbours are decided."""
+        if hit is not None:
+            owner, entry = hit
+            self._count_duplicate(chunk.size)
+            ctx.fm.append(owner.chunk_id, entry.offset, entry.size)
+        elif self._should_rechunk(chunk, ctx.prev_hit, next_hit):
+            self.rechunked_big += 1
+            ctx.writer = self._ingest_small(
+                chunk, ctx.manifest, ctx.container_id, ctx.writer, ctx.fm
+            )
+        else:
+            self._count_unique(chunk.size)
+            ctx.writer = ctx.writer or self.chunks.open_container(ctx.container_id)
+            offset = ctx.writer.append(chunk.data)
+            self._store_entry(ctx.manifest, digest, offset, chunk.size)
+            ctx.fm.append(ctx.container_id, offset, chunk.size)
+        ctx.prev_hit = hit
+
+    def _should_rechunk(self, big: Chunk, prev_hit, next_hit) -> bool:
         """Bimodal's transition-point rule: re-chunk a non-duplicate big
         chunk iff a stream neighbour is duplicate.  Subclasses (FBC)
         substitute their own selection strategy."""
-        return (i > 0 and hits[i - 1] is not None) or (
-            i + 1 < len(hits) and hits[i + 1] is not None
-        )
+        return prev_hit is not None or next_hit is not None
 
     def _ingest_small(
         self,

@@ -12,6 +12,8 @@ filter suppresses disk lookups for never-seen hashes, matching the
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from ..chunking import VectorizedChunker
 from ..hashing import Digest, sha1
 from ..storage import FileManifest, Manifest
@@ -23,6 +25,16 @@ from ..core.manifest_cache import ManifestCache
 __all__ = ["CDCDeduplicator"]
 
 
+@dataclass
+class _FileState:
+    """Per-file ingest state threaded through the batch hooks."""
+
+    container_id: Digest
+    manifest: Manifest
+    fm: FileManifest
+    writer: object | None = None
+
+
 class CDCDeduplicator(Deduplicator):
     """Full-index content-defined-chunking deduplicator."""
 
@@ -32,19 +44,23 @@ class CDCDeduplicator(Deduplicator):
         super().__init__(config, backend)
         self.chunker = chunker_cls(self.config.small_chunker_config())
         self.cache = ManifestCache(self.manifests, self.config.cache_manifests)
+        self._ctx: _FileState | None = None
 
-    def _ingest_file(self, file: BackupFile) -> None:
-        data = file.data
+    def _begin_file(self, file: BackupFile) -> None:
         fid = file.file_id.encode()
         container_id = sha1(fid)
         manifest = Manifest(sha1(fid + b"|manifest"), container_id, entry_size=ENTRY_SIZE)
         self.cache.add(manifest, pin=True)
-        writer = None
-        fm = FileManifest(file.file_id)
+        self._ctx = _FileState(
+            container_id=container_id,
+            manifest=manifest,
+            fm=FileManifest(file.file_id),
+        )
 
-        chunks = self.chunker.chunk(data)
-        self.cpu.chunked += len(data)
-        for chunk in chunks:
+    def _ingest_chunks(self, batch) -> None:
+        ctx = self._ctx
+        manifest, fm = ctx.manifest, ctx.fm
+        for chunk in batch:
             digest = sha1(chunk.data)
             self.cpu.hashed += chunk.size
             hit = self._lookup(digest, manifest)
@@ -54,23 +70,26 @@ class CDCDeduplicator(Deduplicator):
                 fm.append(owner.chunk_id, entry.offset, entry.size)
                 continue
             self._count_unique(chunk.size)
-            if writer is None:
-                writer = self.chunks.open_container(container_id)
-            offset = writer.append(chunk.data)
+            if ctx.writer is None:
+                ctx.writer = self.chunks.open_container(ctx.container_id)
+            offset = ctx.writer.append(chunk.data)
             manifest.append(ManifestEntry(digest, offset, chunk.size, is_hook=True))
             self.hooks.put(digest, manifest.manifest_id)
             if self.bloom is not None:
                 self.bloom.add(digest)
-            fm.append(container_id, offset, chunk.size)
-        self.cache.reindex(manifest)
+            fm.append(ctx.container_id, offset, chunk.size)
 
-        if writer is not None:
-            writer.close()
-        if manifest.entries:
-            self.manifests.put(manifest)
-        self.cache.unpin(manifest.manifest_id)
-        self.file_manifests.put(fm)
+    def _end_file(self) -> None:
+        ctx = self._ctx
+        self.cache.reindex(ctx.manifest)
+        if ctx.writer is not None:
+            ctx.writer.close()
+        if ctx.manifest.entries:
+            self.manifests.put(ctx.manifest)
+        self.cache.unpin(ctx.manifest.manifest_id)
+        self.file_manifests.put(ctx.fm)
         self._observe_ram(self.cache.ram_bytes())
+        self._ctx = None
 
     def _lookup(
         self, digest: Digest, current: Manifest

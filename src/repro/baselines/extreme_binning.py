@@ -25,9 +25,10 @@ Design reproduced here:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
-from ..chunking import VectorizedChunker
+from ..chunking import Chunk, VectorizedChunker
 from ..hashing import Digest, sha1
 from ..storage import FileManifest
 from ..storage.multi_manifest import MultiEntry, MultiManifest, MultiManifestStore
@@ -58,23 +59,41 @@ class ExtremeBinningDeduplicator(Deduplicator):
         self._bin_serial = 0
         #: whole files skipped via the whole-file-hash shortcut
         self.whole_file_hits = 0
+        # Per-file accumulation state (reset by _begin_file).
+        self._file_id: str | None = None
+        self._chunks: list[Chunk] = []
+        self._digests: list[Digest] = []
+        self._whole = hashlib.sha1()
 
     def primary_index_bytes(self) -> int:
         """RAM held by the primary index (representative -> bin)."""
         return len(self._primary) * (20 + 20 + 20 + 16)
 
-    def _ingest_file(self, file: BackupFile) -> None:
-        data = file.data
-        fm = FileManifest(file.file_id)
-        if len(data) == 0:
+    def _begin_file(self, file: BackupFile) -> None:
+        self._file_id = file.file_id
+        # Binning is a per-file decision (representative = min digest,
+        # whole-file hash): chunks accumulate until end of file.  The
+        # whole-file hash is computed incrementally so the stream is
+        # still read through the bounded window.
+        self._chunks: list[Chunk] = []
+        self._digests: list[Digest] = []
+        self._whole = hashlib.sha1()
+
+    def _ingest_chunks(self, batch) -> None:
+        for chunk in batch:
+            self._digests.append(sha1(chunk.data))
+            self._whole.update(chunk.data)
+            self.cpu.hashed += 2 * chunk.size
+        self._chunks.extend(batch)
+
+    def _end_file(self) -> None:
+        chunks, digests = self._chunks, self._digests
+        self._chunks, self._digests = [], []
+        fm = FileManifest(self._file_id)
+        if not chunks:
             self.file_manifests.put(fm)
             return
-        chunks = self.chunker.chunk(data)
-        self.cpu.chunked += len(data)
-        digests = [sha1(c.data) for c in chunks]
-        self.cpu.hashed += len(data)
-        whole = sha1(data)
-        self.cpu.hashed += len(data)
+        whole = self._whole.digest()
         representative = min(digests)
 
         primary = self._primary.get(representative)
@@ -94,7 +113,7 @@ class ExtremeBinningDeduplicator(Deduplicator):
                 sha1(b"bin|%d" % self._bin_serial + representative)
             )
 
-        container_id = sha1(file.file_id.encode())
+        container_id = sha1(self._file_id.encode())
         writer = None
         for chunk, digest in zip(chunks, digests):
             idx = bin_manifest.find(digest)

@@ -58,8 +58,8 @@ class FBCDeduplicator(BimodalDeduplicator):
         self.cpu.hashed += big.size
         return digests
 
-    def _should_rechunk(self, i, big_chunks, hits) -> bool:
-        digests = self._small_digests(big_chunks[i])
+    def _should_rechunk(self, big: Chunk, prev_hit, next_hit) -> bool:
+        digests = self._small_digests(big)
         frequent = sum(
             1
             for d in digests

@@ -49,65 +49,78 @@ class FingerdiffDeduplicator(Deduplicator):
         self.max_subchunks = max_subchunks if max_subchunks is not None else self.config.sd
         # The in-RAM subchunk database: digest -> (container, offset, size).
         self._db: dict[Digest, tuple[Digest, int, int]] = {}
+        # Per-file state (reset by _begin_file).
+        self._container_id: Digest | None = None
+        self._manifest: Manifest | None = None
+        self._fm: FileManifest | None = None
+        self._writer = None
+        self._pending: list[tuple[Digest, memoryview, int]] = []
 
     def database_bytes(self) -> int:
         """RAM held by the subchunk database (the paper's objection)."""
         return len(self._db) * (20 + 36 + 16)
 
-    def _ingest_file(self, file: BackupFile) -> None:
+    def _begin_file(self, file: BackupFile) -> None:
         fid = file.file_id.encode()
-        container_id = sha1(fid)
-        manifest = Manifest(sha1(fid + b"|manifest"), container_id, entry_size=ENTRY_SIZE)
-        self.cache.add(manifest, pin=True)
-        writer = None
-        fm = FileManifest(file.file_id)
-        pending: list[tuple[Digest, memoryview, int]] = []  # (digest, data, size)
+        self._container_id = sha1(fid)
+        self._manifest = Manifest(
+            sha1(fid + b"|manifest"), self._container_id, entry_size=ENTRY_SIZE
+        )
+        self.cache.add(self._manifest, pin=True)
+        self._fm = FileManifest(file.file_id)
+        self._writer = None
+        self._pending = []  # (digest, data, size) of the open coalesce run
 
-        def flush_pending():
-            nonlocal writer
-            if not pending:
-                return
-            if writer is None:
-                writer = self.chunks.open_container(container_id)
-            base = writer.size
-            total = 0
-            for digest, data, size in pending:
-                offset = writer.append(data)
-                self._db[digest] = (container_id, offset, size)
-                fm.append(container_id, offset, size)
-                total += size
-            # One coalesced manifest entry for the whole run.
-            coalesced = sha1(b"".join(bytes(d) for _, d, _ in pending))
-            self.cpu.hashed += total
-            manifest.append(ManifestEntry(coalesced, base, total, is_hook=True))
-            pending.clear()
+    def _flush_pending(self) -> None:
+        pending = self._pending
+        if not pending:
+            return
+        if self._writer is None:
+            self._writer = self.chunks.open_container(self._container_id)
+        writer = self._writer
+        base = writer.size
+        total = 0
+        for digest, data, size in pending:
+            offset = writer.append(data)
+            self._db[digest] = (self._container_id, offset, size)
+            self._fm.append(self._container_id, offset, size)
+            total += size
+        # One coalesced manifest entry for the whole run.
+        coalesced = sha1(b"".join(bytes(d) for _, d, _ in pending))
+        self.cpu.hashed += total
+        self._manifest.append(ManifestEntry(coalesced, base, total, is_hook=True))
+        pending.clear()
 
-        chunks = self.chunker.chunk(file.data)
-        self.cpu.chunked += len(file.data)
-        for chunk in chunks:
+    def _ingest_chunks(self, batch) -> None:
+        for chunk in batch:
             digest = sha1(chunk.data)
             self.cpu.hashed += chunk.size
             extent = self._db.get(digest)
             if extent is not None:
-                flush_pending()
+                self._flush_pending()
                 self._count_duplicate(chunk.size)
-                fm.append(*extent)
+                self._fm.append(*extent)
                 continue
             self._count_unique(chunk.size)
-            pending.append((digest, chunk.data, chunk.size))
-            if len(pending) >= self.max_subchunks:
-                flush_pending()
-        flush_pending()
+            self._pending.append((digest, chunk.data, chunk.size))
+            if len(self._pending) >= self.max_subchunks:
+                self._flush_pending()
 
-        if writer is not None:
-            writer.close()
+    def _end_file(self) -> None:
+        self._flush_pending()
+        manifest = self._manifest
+        if self._writer is not None:
+            self._writer.close()
         if manifest.entries:
             self.manifests.put(manifest)
             self.hooks.put(manifest.entries[0].digest, manifest.manifest_id)
         self.cache.reindex(manifest)
         self.cache.unpin(manifest.manifest_id)
-        self.file_manifests.put(fm)
+        self.file_manifests.put(self._fm)
         self._observe_ram(self.cache.ram_bytes() + self.database_bytes())
+        self._manifest = None
+        self._fm = None
+        self._writer = None
 
     def _flush(self) -> None:
         self.cache.flush()

@@ -59,6 +59,10 @@ class SparseIndexingDeduplicator(Deduplicator):
         # most recent last.
         self._sparse: dict[Digest, list[Digest]] = {}
         self._segment_serial = 0
+        self._file_id: str | None = None
+        self._fm: FileManifest | None = None
+        self._segment: list[tuple] = []  # (digest, chunk)
+        self._seg_bytes = 0
 
     # -- sampling --------------------------------------------------------
 
@@ -75,25 +79,29 @@ class SparseIndexingDeduplicator(Deduplicator):
 
     # -- ingest ----------------------------------------------------------
 
-    def _ingest_file(self, file: BackupFile) -> None:
-        data = file.data
-        chunks = self.chunker.chunk(data)
-        self.cpu.chunked += len(data)
-        fm = FileManifest(file.file_id)
-        segment: list[tuple] = []  # (digest, chunk)
-        seg_bytes = 0
-        for chunk in chunks:
+    def _begin_file(self, file: BackupFile) -> None:
+        self._file_id = file.file_id
+        self._fm = FileManifest(file.file_id)
+        self._segment, self._seg_bytes = [], 0
+
+    def _ingest_chunks(self, batch) -> None:
+        for chunk in batch:
             digest = sha1(chunk.data)
             self.cpu.hashed += chunk.size
-            segment.append((digest, chunk))
-            seg_bytes += chunk.size
-            if seg_bytes >= self.config.segment_bytes:
-                self._dedup_segment(file.file_id, segment, fm)
-                segment, seg_bytes = [], 0
-        if segment:
-            self._dedup_segment(file.file_id, segment, fm)
-        self.file_manifests.put(fm)
+            self._segment.append((digest, chunk))
+            self._seg_bytes += chunk.size
+            if self._seg_bytes >= self.config.segment_bytes:
+                self._dedup_segment(self._file_id, self._segment, self._fm)
+                self._segment, self._seg_bytes = [], 0
+
+    def _end_file(self) -> None:
+        if self._segment:
+            self._dedup_segment(self._file_id, self._segment, self._fm)
+            self._segment, self._seg_bytes = [], 0
+        self.file_manifests.put(self._fm)
         self._observe_ram(self.cache.ram_bytes() + self.sparse_index_bytes())
+        self._file_id = None
+        self._fm = None
 
     def _dedup_segment(self, file_id: str, segment: list[tuple], fm: FileManifest) -> None:
         seg_id = sha1(f"{file_id}|seg{self._segment_serial}".encode())

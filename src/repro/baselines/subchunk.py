@@ -53,17 +53,21 @@ class SubChunkDeduplicator(Deduplicator):
         # each probe is metered as an on-disk query per Table II.
         self._big_index: dict[Digest, tuple[tuple[Digest, int, int], ...]] = {}
         self._container_serial = 0
+        self._manifest: MultiManifest | None = None
+        self._fm: FileManifest | None = None
 
-    def _ingest_file(self, file: BackupFile) -> None:
-        data = file.data
+    def _stream_chunker(self) -> VectorizedChunker:
+        return self.big_chunker
+
+    def _begin_file(self, file: BackupFile) -> None:
         fid = file.file_id.encode()
-        manifest = MultiManifest(sha1(fid + b"|manifest"))
-        self.cache.add(manifest, pin=True)
-        fm = FileManifest(file.file_id)
+        self._manifest = MultiManifest(sha1(fid + b"|manifest"))
+        self.cache.add(self._manifest, pin=True)
+        self._fm = FileManifest(file.file_id)
 
-        big_chunks = self.big_chunker.chunk(data)
-        self.cpu.chunked += len(data)
-        for big in big_chunks:
+    def _ingest_chunks(self, batch) -> None:
+        manifest, fm = self._manifest, self._fm
+        for big in batch:
             big_digest = sha1(big.data)
             self.cpu.hashed += big.size
             # Big-chunk duplication query (one metered disk query).
@@ -76,14 +80,18 @@ class SubChunkDeduplicator(Deduplicator):
                 continue
             self._ingest_small(big, big_digest, manifest, fm)
 
+    def _end_file(self) -> None:
+        manifest = self._manifest
         if manifest.entries:
             self.multi_store.put(manifest)
             # One Hook per manifest (the paper's conservative allocation).
             self.hooks.put(manifest.entries[0].digest, manifest.manifest_id)
         self.cache.reindex(manifest)
         self.cache.unpin(manifest.manifest_id)
-        self.file_manifests.put(fm)
+        self.file_manifests.put(self._fm)
         self._observe_ram(self.cache.ram_bytes() + self.extra_index_bytes())
+        self._manifest = None
+        self._fm = None
 
     def _ingest_small(
         self,

@@ -8,16 +8,52 @@ c_k]`` with ``c_k == len(data)``; chunk ``i`` covers bytes
 (Karp–Rabin, Gear, TTTD) choose cut points from the data so that
 boundaries resynchronise after insertions/deletions — the property
 that defeats the boundary-shifting problem of fixed-size chunking.
+
+Streaming
+---------
+:meth:`Chunker.chunk_stream` is the bounded-memory entry point: it
+pulls ``window_bytes``-sized reads from a file-like object and yields
+batches of :class:`Chunk` objects whose cut points are **identical**
+to a whole-buffer :meth:`Chunker.chunk` call.  The driver holds back
+the unconsumed tail (at most ``max_size`` plus the chunker's declared
+lookahead) between windows, so peak buffering is
+``window_bytes + max_size + lookahead + lookback`` regardless of
+stream length.  Exactness rests on two properties every in-repo
+chunker satisfies:
+
+* candidate positions are *content-local*: whether position ``p`` is a
+  cut candidate depends only on bytes within ``lookback`` before and
+  ``lookahead`` after ``p`` (declared via :meth:`Chunker.stream_params`);
+* cut selection is *sequential from the last cut*: the decision that
+  produces the next cut inspects only candidates within ``max_size``
+  of the current chunk start.
+
+Chunks whose decisions could still be changed by unread bytes are
+carried over to the next window; at EOF the remainder is flushed with
+the genuine end-of-input rules.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import BinaryIO, Iterator
 
 import numpy as np
 
-__all__ = ["Chunk", "ChunkerConfig", "Chunker", "chunks_from_cut_points"]
+from ._select import select_cut_points
+
+__all__ = [
+    "Chunk",
+    "ChunkerConfig",
+    "Chunker",
+    "StreamStats",
+    "chunks_from_cut_points",
+    "DEFAULT_STREAM_WINDOW",
+]
+
+#: Default read size for :meth:`Chunker.chunk_stream` (1 MiB).
+DEFAULT_STREAM_WINDOW = 1 << 20
 
 
 @dataclass(frozen=True)
@@ -118,6 +154,19 @@ def chunks_from_cut_points(data: bytes | memoryview, cuts: np.ndarray) -> list[C
     return out
 
 
+@dataclass
+class StreamStats:
+    """Per-stream counters :meth:`Chunker.chunk_stream` fills in.
+
+    The deduplicators fold these into their pipeline statistics so a
+    run can prove its chunking stage really was bounded-memory.
+    """
+
+    windows: int = 0  # non-empty reads pulled from the source
+    stalls: int = 0  # windows that could not emit a single stable cut
+    peak_buffer_bytes: int = 0  # high-water mark of carry + window
+
+
 class Chunker(ABC):
     """Interface implemented by every chunking algorithm."""
 
@@ -131,10 +180,111 @@ class Chunker(ABC):
         """
 
     def chunk(self, data: bytes | memoryview) -> list[Chunk]:
-        """Split ``data`` into :class:`Chunk` views."""
+        """Split ``data`` into :class:`Chunk` views.
+
+        This is the one-big-window degenerate case of
+        :meth:`chunk_stream` and remains the fast path for inputs that
+        are already materialised in memory.
+        """
         if len(data) == 0:
             return []
         return chunks_from_cut_points(data, self.cut_points(data))
+
+    # ---- streaming -------------------------------------------------------
+
+    def stream_params(self) -> tuple[int, int]:
+        """``(lookback, lookahead)`` context bytes candidate decisions need.
+
+        ``lookback`` bytes before a position and ``lookahead`` bytes
+        after it must be buffered for the candidate test at that
+        position to be byte-identical to a whole-input run.  The
+        default covers every rolling-hash chunker (the hash window);
+        chunkers with wider context (LMC's extremum radius) override.
+        """
+        return self.config.window, self.config.window
+
+    def _cut_points_ctx(self, data: bytes, hist: int) -> np.ndarray:
+        """Cut points of ``data[hist:]`` given ``data[:hist]`` as context.
+
+        Positions are relative to ``data`` (i.e. ``> hist``, ending at
+        ``len(data)``).  The context prefix participates in candidate
+        *computation* (rolling-hash windows may reach into it) but cut
+        *selection* starts at ``hist`` — exactly the state of a
+        whole-input run whose previous cut landed at ``hist``.
+
+        The default implementation covers chunkers of the
+        ``select_cut_points(candidates(...))`` shape; chunkers with
+        bespoke selection (TTTD, FastCDC, fixed) override.
+        """
+        if hist == 0:
+            return self.cut_points(data)
+        cands = self.candidates(data)  # type: ignore[attr-defined]
+        local = cands[cands > hist] - hist
+        cuts = select_cut_points(
+            local, len(data) - hist, self.config.min_size, self.config.max_size
+        )
+        return cuts + hist
+
+    def chunk_stream(
+        self,
+        reader: BinaryIO,
+        window_bytes: int = DEFAULT_STREAM_WINDOW,
+        stats: StreamStats | None = None,
+    ) -> Iterator[list[Chunk]]:
+        """Chunk a file-like object incrementally, in bounded memory.
+
+        Yields batches of :class:`Chunk` objects whose offsets are
+        absolute stream positions and whose concatenation reproduces
+        the stream byte-for-byte.  Cut points are identical to
+        ``chunk(whole_stream)`` for any ``window_bytes`` — the unstable
+        tail (up to ``max_size + lookahead`` bytes) is carried into the
+        next window instead of being cut early.
+        """
+        if window_bytes <= 0:
+            raise ValueError(f"window_bytes must be positive, got {window_bytes}")
+        lookback, lookahead = self.stream_params()
+        holdback = self.config.max_size + lookahead
+        buf = b""  # lookback context + pending (unemitted) bytes
+        hist = 0  # length of the already-emitted context prefix of buf
+        pos = 0  # absolute stream offset of buf[hist]
+        while True:
+            piece = reader.read(window_bytes)
+            if not piece:
+                if len(buf) > hist:
+                    cuts = [int(c) for c in self._cut_points_ctx(buf, hist)]
+                    yield _emit_batch(buf, hist, cuts, pos)
+                return
+            buf += piece
+            if stats is not None:
+                stats.windows += 1
+                if len(buf) > stats.peak_buffer_bytes:
+                    stats.peak_buffer_bytes = len(buf)
+            # A decision starting at `start` is final only once
+            # `start + holdback` bytes are buffered: the selector looks
+            # at candidates up to start+max_size, and each candidate
+            # needs `lookahead` bytes beyond itself.
+            if hist + holdback > len(buf):
+                if stats is not None:
+                    stats.stalls += 1
+                continue
+            emit: list[int] = []
+            last = hist
+            for c in self._cut_points_ctx(buf, hist):
+                c = int(c)
+                if last + holdback > len(buf):
+                    break
+                emit.append(c)
+                last = c
+            if not emit:
+                if stats is not None:
+                    stats.stalls += 1
+                continue
+            batch = _emit_batch(buf, hist, emit, pos)
+            pos += emit[-1] - hist
+            keep_from = emit[-1] - min(lookback, emit[-1])
+            hist = emit[-1] - keep_from
+            buf = buf[keep_from:]
+            yield batch
 
     def validate_cuts(self, data_len: int, cuts: np.ndarray) -> None:
         """Assert the cut-point contract (used by tests and debug runs)."""
@@ -146,3 +296,14 @@ class Chunker(ABC):
             raise AssertionError("last cut must equal input length")
         if np.any(np.diff(cuts) <= 0) or int(cuts[0]) <= 0:
             raise AssertionError("cut points must be strictly increasing and positive")
+
+
+def _emit_batch(buf: bytes, hist: int, cuts: list[int], pos: int) -> list[Chunk]:
+    """Build absolute-offset :class:`Chunk` views over one buffer."""
+    view = memoryview(buf)
+    out: list[Chunk] = []
+    start = hist
+    for c in cuts:
+        out.append(Chunk(offset=pos + start - hist, size=c - start, data=view[start:c]))
+        start = c
+    return out

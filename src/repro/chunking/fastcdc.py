@@ -69,8 +69,22 @@ class FastCDCChunker(Chunker):
         n = len(data)
         if n == 0:
             return np.empty(0, dtype=np.int64)
+        return self._select(
+            self._strict.candidates(data), self._loose.candidates(data), n
+        )
+
+    def _cut_points_ctx(self, data: bytes, hist: int) -> np.ndarray:
+        if hist == 0:
+            return self.cut_points(data)
         strict = self._strict.candidates(data)
         loose = self._loose.candidates(data)
+        cuts = self._select(
+            strict[strict > hist] - hist, loose[loose > hist] - hist, len(data) - hist
+        )
+        return cuts + hist
+
+    def _select(self, strict: np.ndarray, loose: np.ndarray, n: int) -> np.ndarray:
+        """Normalized-chunking cut selection over candidate arrays."""
         min_size, max_size = self.config.min_size, self.config.max_size
         target = self.config.expected_size
         cuts: list[int] = []

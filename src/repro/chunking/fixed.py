@@ -29,3 +29,12 @@ class FixedChunker(Chunker):
         step = self.config.expected_size
         cuts = np.arange(step, n, step, dtype=np.int64)
         return np.concatenate([cuts, np.asarray([n], dtype=np.int64)])
+
+    def stream_params(self) -> tuple[int, int]:
+        # Cut decisions are position-only: no byte context at all.
+        return 0, 0
+
+    def _cut_points_ctx(self, data: bytes, hist: int) -> np.ndarray:
+        if hist == 0:
+            return self.cut_points(data)
+        return self.cut_points(memoryview(data)[hist:]) + hist

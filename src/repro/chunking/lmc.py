@@ -64,6 +64,12 @@ class LocalMaxChunker(Chunker):
         # A candidate at pair position i cuts after byte i+1.
         return np.nonzero(strict)[0].astype(np.int64) + 2
 
+    def stream_params(self) -> tuple[int, int]:
+        # The strict-maximum test at pair index i inspects pair values
+        # in [i - radius, i + radius]; each pair value covers two bytes.
+        ctx = 2 * self._radius + 4
+        return ctx, ctx
+
     def cut_points(self, data: bytes | memoryview) -> np.ndarray:
         n = len(data)
         if n == 0:

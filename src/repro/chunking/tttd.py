@@ -48,8 +48,22 @@ class TTTDChunker(Chunker):
         n = len(data)
         if n == 0:
             return np.empty(0, dtype=np.int64)
+        return self._select(
+            self._main.candidates(data), self._backup.candidates(data), n
+        )
+
+    def _cut_points_ctx(self, data: bytes, hist: int) -> np.ndarray:
+        if hist == 0:
+            return self.cut_points(data)
         main = self._main.candidates(data)
         backup = self._backup.candidates(data)
+        cuts = self._select(
+            main[main > hist] - hist, backup[backup > hist] - hist, len(data) - hist
+        )
+        return cuts + hist
+
+    def _select(self, main: np.ndarray, backup: np.ndarray, n: int) -> np.ndarray:
+        """TTTD cut selection over precomputed candidate arrays."""
         min_size, max_size = self.config.min_size, self.config.max_size
         cuts: list[int] = []
         start = 0

@@ -46,30 +46,10 @@ from .storage import (
     sweep,
     verify_store,
 )
-from .baselines import (
-    BimodalDeduplicator,
-    CDCDeduplicator,
-    ExtremeBinningDeduplicator,
-    FBCDeduplicator,
-    FingerdiffDeduplicator,
-    SparseIndexingDeduplicator,
-    SubChunkDeduplicator,
-)
 from .chunking import VectorizedChunker
-from .core import DedupConfig, MHDDeduplicator, SIMHDDeduplicator
+from .core import DedupConfig
+from .registry import available, resolve
 from .workloads import BackupCorpus, BackupFile, CorpusConfig, make_corpus, profile_names, trace_corpus
-
-ALGORITHMS = {
-    "bf-mhd": MHDDeduplicator,
-    "si-mhd": SIMHDDeduplicator,
-    "cdc": CDCDeduplicator,
-    "bimodal": BimodalDeduplicator,
-    "subchunk": SubChunkDeduplicator,
-    "sparse-indexing": SparseIndexingDeduplicator,
-    "fingerdiff": FingerdiffDeduplicator,
-    "fbc": FBCDeduplicator,
-    "extreme-binning": ExtremeBinningDeduplicator,
-}
 
 
 def _add_corpus_args(p: argparse.ArgumentParser) -> None:
@@ -118,13 +98,16 @@ def _corpus(args) -> Iterable[BackupFile]:
 
 
 def _walk_dir(root: str) -> list[BackupFile]:
+    # Source-backed records: content is streamed through the bounded
+    # ingest window at process time, never loaded whole.
     files = []
     for dirpath, _dirnames, filenames in os.walk(root):
         for name in sorted(filenames):
             path = os.path.join(dirpath, name)
             try:
-                with open(path, "rb") as fh:
-                    files.append(BackupFile(os.path.relpath(path, root), fh.read()))
+                with open(path, "rb"):
+                    pass  # probe readability now, like the old eager read
+                files.append(BackupFile.from_path(path, os.path.relpath(path, root)))
             except OSError as e:
                 print(f"skipping {path}: {e}", file=sys.stderr)
     if not files:
@@ -159,12 +142,12 @@ def _print_stats(stats, device: DeviceModel) -> None:
 
 def cmd_run(args) -> int:
     backend = DirectoryBackend(args.store_dir) if args.store_dir else None
-    dedup = ALGORITHMS[args.algo](_config(args), backend)
+    dedup = resolve(args.algo)(_config(args), backend)
     stats = dedup.process(_corpus(args))
     _print_stats(stats, DeviceModel())
     if args.verify:
         files = list(_corpus(args))
-        bad = [f.file_id for f in files if dedup.restore(f.file_id) != f.data]
+        bad = [f.file_id for f in files if dedup.restore(f.file_id) != f.read_bytes()]
         if bad:
             print(f"RESTORE FAILURES: {bad}", file=sys.stderr)
             return 1
@@ -211,8 +194,8 @@ def cmd_compare(args) -> int:
     files = list(_corpus(args))
     device = DeviceModel()
     rows = []
-    for name, cls in ALGORITHMS.items():
-        stats = cls(_config(args)).process(files)
+    for name in available():
+        stats = resolve(name)(_config(args)).process(files)
         rows.append(
             [
                 name,
@@ -255,7 +238,6 @@ def cmd_trace(args) -> int:
 def cmd_inspect(args) -> int:
     from .hashing import hex_short
     from .storage import Manifest
-    from .storage.multi_manifest import MultiManifest
     from .storage.verify import _load_manifest
 
     backend = DirectoryBackend(args.store_dir)
@@ -381,7 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run", help="run one algorithm and print its metrics")
-    p_run.add_argument("--algo", choices=sorted(ALGORITHMS), default="bf-mhd")
+    p_run.add_argument("--algo", choices=sorted(available()), default="bf-mhd")
     p_run.add_argument("--verify", action="store_true", help="verify all restores")
     p_run.add_argument(
         "--fsck", action="store_true", help="run a deep store-integrity check"

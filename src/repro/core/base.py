@@ -4,8 +4,21 @@ Every algorithm in the repository — BF-MHD and the Bimodal, SubChunk,
 CDC and SparseIndexing baselines — subclasses :class:`Deduplicator`,
 which owns the storage substrate (metered stores over a pluggable
 backend), the CPU-work counters the timing model consumes, duplicate-
-slice tracking, and the restore/verification path.  Subclasses
-implement :meth:`_ingest_file`.
+slice tracking, and the restore/verification path.
+
+Ingest is a bounded-memory streaming pipeline with explicit stages::
+
+    source -> chunker -> hasher -> dedup core -> store
+
+:meth:`Deduplicator.ingest` opens the file's source, drives the
+subclass's chunker incrementally (:meth:`Chunker.chunk_stream`) and
+hands each batch of chunks to the algorithm through three hooks:
+:meth:`_begin_file`, :meth:`_ingest_chunks` (per batch) and
+:meth:`_end_file`.  Peak memory is the chunker's carry window plus the
+algorithm's own buffer (MHD's ``2·SD`` token buffer, a bimodal big
+chunk, a sparse-indexing segment) — independent of file size.  Files
+constructed with in-memory ``data`` take the same code path as one big
+window, so whole-bytes and streamed ingest are decision-identical.
 
 The statistics exposed by :class:`DedupStats` are exactly the paper's
 evaluation quantities (Section V):
@@ -26,6 +39,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from ..chunking.base import Chunk, Chunker, DEFAULT_STREAM_WINDOW, StreamStats
 from ..hashing import BloomFilter
 from ..storage import (
     INODE_SIZE,
@@ -41,7 +55,7 @@ from ..storage import (
 from ..workloads.machine import BackupFile
 from .config import DedupConfig
 
-__all__ = ["CpuWork", "DedupStats", "Deduplicator"]
+__all__ = ["CpuWork", "DedupStats", "Deduplicator", "PipelineStats"]
 
 logger = logging.getLogger("repro.dedup")
 
@@ -53,6 +67,23 @@ class CpuWork:
     chunked: int = 0  # bytes scanned by rolling-hash chunkers
     hashed: int = 0  # bytes digested by SHA-1
     compared: int = 0  # bytes memcmp'd during HHR / byte verification
+
+
+@dataclass
+class PipelineStats:
+    """Per-stage counters of the streaming ingest pipeline.
+
+    Aggregated across all files of a run; the proof that the
+    chunk→hash→index→store path really ran in bounded memory is
+    ``peak_buffer_bytes`` staying at window + carry size while
+    ``input_bytes`` grows without limit.
+    """
+
+    batches: int = 0  # chunk batches delivered to the dedup core
+    windows: int = 0  # reads pulled from file sources by the chunkers
+    stalls: int = 0  # windows that yielded no stable cut (carried over)
+    peak_buffer_bytes: int = 0  # high-water of the chunker carry buffer
+    streamed_files: int = 0  # files ingested from a source (not bytes)
 
 
 @dataclass(frozen=True)
@@ -78,6 +109,9 @@ class DedupStats:
     cpu: CpuWork
     peak_ram_bytes: int
     extra_index_bytes: int = 0  # algorithm-private persistent metadata
+    unique_bytes: int = 0  # bytes of the input stored as unique chunks
+    duplicate_bytes: int = 0  # bytes of the input found duplicate
+    pipeline: PipelineStats = field(default_factory=PipelineStats)
 
     # ---- the paper's derived metrics ----------------------------------
 
@@ -164,6 +198,8 @@ class DedupStats:
             "unique_chunks": self.unique_chunks,
             "duplicate_chunks": self.duplicate_chunks,
             "duplicate_slices": self.duplicate_slices,
+            "unique_bytes": self.unique_bytes,
+            "duplicate_bytes": self.duplicate_bytes,
             "data_only_der": self.data_only_der,
             "real_der": self.real_der,
             "metadata_ratio": self.metadata_ratio,
@@ -174,6 +210,11 @@ class DedupStats:
             "cpu_hashed": self.cpu.hashed,
             "cpu_compared": self.cpu.compared,
             "peak_ram_bytes": self.peak_ram_bytes,
+            "stream_batches": self.pipeline.batches,
+            "stream_windows": self.pipeline.windows,
+            "stream_stalls": self.pipeline.stalls,
+            "stream_peak_buffer_bytes": self.pipeline.peak_buffer_bytes,
+            "streamed_files": self.pipeline.streamed_files,
         }
 
 
@@ -199,11 +240,14 @@ class Deduplicator(ABC):
             BloomFilter(self.config.bloom_bytes) if self.config.bloom_bytes else None
         )
         self.cpu = CpuWork()
+        self.pipeline = PipelineStats()
         self._input_bytes = 0
         self._input_files = 0
         self._unique_chunks = 0
         self._duplicate_chunks = 0
         self._duplicate_slices = 0
+        self._unique_bytes = 0
+        self._duplicate_bytes = 0
         self._in_dup_run = False
         self._peak_ram = 0
         self._finalized = False
@@ -214,31 +258,106 @@ class Deduplicator(ABC):
     #: ingesting it (off by default; costs a full restore per file).
     verify_writes: bool = False
 
+    #: Read size for the streaming ingest path (source-backed files).
+    stream_window_bytes: int = DEFAULT_STREAM_WINDOW
+
     def ingest(self, file: BackupFile) -> None:
         """Deduplicate one file into the store.
 
-        With :attr:`verify_writes` enabled the file is restored and
-        byte-compared immediately; a mismatch raises ``RuntimeError``
-        before any further data is accepted.
+        Drives the streaming pipeline: chunks are pulled from the
+        file's source a window at a time and handed to the algorithm in
+        batches, so peak memory is bounded by the chunker carry window
+        plus the algorithm's own buffering.  With :attr:`verify_writes`
+        enabled the file is restored and byte-compared immediately; a
+        mismatch raises ``RuntimeError`` before any further data is
+        accepted.
         """
         if self._finalized:
             raise RuntimeError("deduplicator already finalized")
-        self._input_bytes += len(file.data)
         self._input_files += 1
         self._in_dup_run = False  # duplicate slices do not span files
         logger.debug("%s ingesting %s (%d bytes)", self.name, file.file_id, file.size)
-        self._ingest_file(file)
+        stream = StreamStats()
+        nbytes = 0
+        self._begin_file(file)
+        for batch in self._file_batches(file, stream):
+            if not batch:
+                continue
+            nbytes += sum(c.size for c in batch)
+            self.pipeline.batches += 1
+            self._ingest_chunks(batch)
+        self._input_bytes += nbytes
+        self.cpu.chunked += nbytes
+        self.pipeline.windows += stream.windows
+        self.pipeline.stalls += stream.stalls
+        if stream.peak_buffer_bytes > self.pipeline.peak_buffer_bytes:
+            self.pipeline.peak_buffer_bytes = stream.peak_buffer_bytes
+        self._observe_ram(stream.peak_buffer_bytes)
+        self._end_file()
         if self.verify_writes:
+            expected = file.read_bytes()
             restored = self.restore(file.file_id)
-            if restored != file.data:
+            if restored != expected:
                 raise RuntimeError(
                     f"write verification failed for {file.file_id!r}: "
-                    f"restored {len(restored)} bytes != input {len(file.data)}"
+                    f"restored {len(restored)} bytes != input {len(expected)}"
                 )
 
+    def _file_batches(self, file: BackupFile, stream: StreamStats):
+        """Chunk-batch iterator feeding :meth:`_ingest_chunks`.
+
+        In-memory files go through the degenerate one-big-window path
+        (no copy, no carry bookkeeping); source-backed files stream
+        through :meth:`Chunker.chunk_stream` in bounded memory.  Both
+        paths produce identical cut points, and every algorithm's batch
+        hooks are batch-boundary invariant, so the two are
+        decision-identical.
+        """
+        if file.data is not None:
+            data = file.data
+            if data:
+                stream.windows += 1
+                if len(data) > stream.peak_buffer_bytes:
+                    stream.peak_buffer_bytes = len(data)
+                yield self._stream_chunker().chunk(data)
+            return
+        self.pipeline.streamed_files += 1
+        with file.open() as reader:
+            yield from self._stream_chunker().chunk_stream(
+                reader, self.stream_window_bytes, stream
+            )
+
+    def _stream_chunker(self) -> Chunker:
+        """The chunker that defines this algorithm's primary stream.
+
+        Defaults to the conventional ``self.chunker`` attribute; the
+        bimodal-family algorithms override to chunk at the big
+        granularity (small chunks are derived per big chunk).
+        """
+        chunker = getattr(self, "chunker", None)
+        if chunker is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} must define self.chunker or override "
+                "_stream_chunker()"
+            )
+        return chunker
+
+    # ---- per-file hooks implemented by the algorithms -------------------
+
+    def _begin_file(self, file: BackupFile) -> None:
+        """Open per-file state (manifest, container writer, ...)."""
+
     @abstractmethod
-    def _ingest_file(self, file: BackupFile) -> None:
-        """Algorithm-specific processing of one file."""
+    def _ingest_chunks(self, batch: list[Chunk]) -> None:
+        """Process one batch of stream chunks (absolute offsets).
+
+        Implementations must be batch-boundary invariant: splitting the
+        same chunk sequence into different batches must not change any
+        decision, so whole-bytes and streamed ingest stay identical.
+        """
+
+    def _end_file(self) -> None:
+        """Flush per-file state; the file's chunk stream is complete."""
 
     def process(self, files: Iterable[BackupFile]) -> DedupStats:
         """Ingest a whole corpus and finalize."""
@@ -281,11 +400,13 @@ class Deduplicator(ABC):
 
     def _count_unique(self, nbytes: int) -> None:
         self._unique_chunks += 1
+        self._unique_bytes += nbytes
         self._in_dup_run = False
 
     def _count_duplicate(self, nbytes: int, run_continues: bool = False) -> None:
         """Record a duplicate chunk; a new run opens a duplicate slice."""
         self._duplicate_chunks += 1
+        self._duplicate_bytes += nbytes
         if not self._in_dup_run:
             self._duplicate_slices += 1
         self._in_dup_run = True
@@ -365,4 +486,7 @@ class Deduplicator(ABC):
             cpu=self.cpu,
             peak_ram_bytes=self._peak_ram,
             extra_index_bytes=self.extra_index_bytes(),
+            unique_bytes=self._unique_bytes,
+            duplicate_bytes=self._duplicate_bytes,
+            pipeline=self.pipeline,
         )

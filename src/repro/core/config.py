@@ -10,7 +10,7 @@ infrastructure sizes (Bloom filter budget, manifest-cache capacity).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..chunking import ChunkerConfig
 

@@ -32,7 +32,6 @@ from ..storage import ContainerWriter, FileManifest, Manifest, ManifestEntry
 from ..storage.manifest import MHD_ENTRY_SIZE
 from ..workloads.machine import BackupFile
 from .base import Deduplicator
-from .config import DedupConfig
 from .hhr import (
     align_prefix,
     align_suffix,
@@ -48,7 +47,12 @@ __all__ = ["MHDDeduplicator"]
 
 
 class _Token:
-    """One stream chunk's fate: pending in RAM, or resolved to an extent."""
+    """One stream chunk's fate: pending in RAM, or resolved to an extent.
+
+    Resolving releases the chunk's byte view, so the stream buffers it
+    points into can be garbage-collected — the token buffer, not the
+    whole file, is MHD's memory footprint.
+    """
 
     __slots__ = ("digest", "data", "size", "container_id", "offset", "is_dup")
 
@@ -66,6 +70,7 @@ class _Token:
         self.container_id = container_id
         self.offset = offset
         self.is_dup = is_dup
+        self.data = None  # free the stream bytes
 
 
 @dataclass
@@ -75,9 +80,17 @@ class _FileContext:
     file_id: str
     container_id: Digest
     manifest: Manifest
+    fm: FileManifest
     tokens: list[_Token] = field(default_factory=list)
     buffer: list[_Token] = field(default_factory=list)  # unresolved tail
     writer: ContainerWriter | None = None
+    # Stream chunks not yet consumed by the dedup loop (FME may need
+    # forward lookahead that crosses a batch boundary).
+    pending_chunks: list[Chunk] = field(default_factory=list)
+    pending_digests: list[Digest] = field(default_factory=list)
+    # Paused Forward Match Extension: (manifest, entry index) waiting
+    # for more stream data before its next decision is final.
+    fme: tuple[Manifest, int] | None = None
 
 
 class MHDDeduplicator(Deduplicator):
@@ -127,29 +140,63 @@ class MHDDeduplicator(Deduplicator):
         self.hhr_splits = 0
         self.hhr_reads = 0
         self._buffer_peak_bytes = 0
+        self._ctx: _FileContext | None = None
 
     # ------------------------------------------------------------------
     # ingest
     # ------------------------------------------------------------------
 
-    def _ingest_file(self, file: BackupFile) -> None:
-        data = file.data
+    def _begin_file(self, file: BackupFile) -> None:
         fid = file.file_id.encode()
-        ctx = _FileContext(
+        self._ctx = _FileContext(
             file_id=file.file_id,
             container_id=sha1(fid),
             manifest=Manifest(
                 sha1(fid + b"|manifest"), sha1(fid), entry_size=MHD_ENTRY_SIZE
             ),
+            fm=FileManifest(file.file_id),
         )
-        self.cache.add(ctx.manifest, pin=True)
-        chunks = self.chunker.chunk(data)
-        self.cpu.chunked += len(data)
-        digests = [sha1(c.data) for c in chunks]
-        self.cpu.hashed += len(data)
+        self.cache.add(self._ctx.manifest, pin=True)
 
-        i, n = 0, len(chunks)
-        while i < n:
+    def _ingest_chunks(self, batch: list[Chunk]) -> None:
+        ctx = self._ctx
+        ctx.pending_chunks.extend(batch)
+        for c in batch:
+            ctx.pending_digests.append(sha1(c.data))
+            self.cpu.hashed += c.size
+        self._drain(ctx, eof=False)
+
+    def _end_file(self) -> None:
+        ctx = self._ctx
+        self._drain(ctx, eof=True)
+        while ctx.buffer:
+            self._flush_group(ctx, min(self.config.sd, len(ctx.buffer)))
+        if ctx.writer is not None:
+            ctx.writer.close()
+        if ctx.manifest.entries:
+            self.manifests.put(ctx.manifest)
+        self.cache.unpin(ctx.manifest.manifest_id)
+        self._emit_resolved(ctx)
+        if ctx.tokens:
+            raise AssertionError("unresolved token at end of file")
+        self.file_manifests.put(ctx.fm)
+        self._observe_ram(self.cache.ram_bytes() + self._buffer_peak_bytes)
+        self._ctx = None
+
+    def _drain(self, ctx: _FileContext, eof: bool) -> None:
+        """Run the dedup loop over the pending chunks.
+
+        Stops early (leaving the tail pending) whenever a decision
+        would need stream data beyond what has arrived; at ``eof`` every
+        decision is final and the pending list is fully consumed.
+        """
+        chunks, digests = ctx.pending_chunks, ctx.pending_digests
+        i = 0
+        if ctx.fme is not None:
+            manifest, j = ctx.fme
+            ctx.fme = None
+            i = self._fme(manifest, j, chunks, digests, i, ctx, eof)
+        while ctx.fme is None and i < len(chunks):
             chunk, digest = chunks[i], digests[i]
             hit = self._lookup(digest)
             if hit is None:
@@ -164,6 +211,7 @@ class MHDDeduplicator(Deduplicator):
             entry = manifest.entries[idx]
             self._duplicate_slices += 1
             self._duplicate_chunks += 1
+            self._duplicate_bytes += chunk.size
             idx += self._bme(manifest, idx, ctx)
             if self.contiguous_shm:
                 # BME has claimed every buffered chunk it can; what is
@@ -175,25 +223,25 @@ class MHDDeduplicator(Deduplicator):
             hit_token.resolve(manifest.chunk_id, entry.offset, is_dup=True)
             ctx.tokens.append(hit_token)
             i += 1
-            i = self._fme(manifest, idx, chunks, digests, i, ctx)
+            i = self._fme(manifest, idx + 1, chunks, digests, i, ctx, eof)
+        del chunks[:i]
+        del digests[:i]
+        self._emit_resolved(ctx)
 
-        self._finish_file(ctx)
+    def _emit_resolved(self, ctx: _FileContext) -> None:
+        """Move the resolved token prefix into the file manifest.
 
-    def _finish_file(self, ctx: _FileContext) -> None:
-        while ctx.buffer:
-            self._flush_group(ctx, min(self.config.sd, len(ctx.buffer)))
-        if ctx.writer is not None:
-            ctx.writer.close()
-        if ctx.manifest.entries:
-            self.manifests.put(ctx.manifest)
-        self.cache.unpin(ctx.manifest.manifest_id)
-        fm = FileManifest(ctx.file_id)
-        for t in ctx.tokens:
-            if t.container_id is None:
-                raise AssertionError("unresolved token at end of file")
-            fm.append(t.container_id, t.offset, t.size)
-        self.file_manifests.put(fm)
-        self._observe_ram(self.cache.ram_bytes() + self._buffer_peak_bytes)
+        Keeps the token list bounded: only tokens still awaiting a
+        container extent (the SHM buffer and anything after it) stay in
+        RAM.
+        """
+        tokens = ctx.tokens
+        k = 0
+        while k < len(tokens) and tokens[k].container_id is not None:
+            t = tokens[k]
+            ctx.fm.append(t.container_id, t.offset, t.size)
+            k += 1
+        del tokens[:k]
 
     # ------------------------------------------------------------------
     # duplicate detection (Fig. 4 front half)
@@ -224,16 +272,17 @@ class MHDDeduplicator(Deduplicator):
     def _flush_group(self, ctx: _FileContext, count: int) -> None:
         group = ctx.buffer[:count]
         del ctx.buffer[:count]
+        datas = [t.data for t in group]  # resolve() drops t.data
         if ctx.writer is None:
             ctx.writer = self.chunks.open_container(ctx.container_id)
         base = ctx.writer.size
-        for t in group:
-            off = ctx.writer.append(t.data)
+        for t, data in zip(group, datas):
+            off = ctx.writer.append(data)
             t.resolve(ctx.container_id, off, is_dup=False)
         entries, extra_hashed = build_group_entries(
             [t.digest for t in group],
             [t.size for t in group],
-            [t.data for t in group],
+            datas,
             base,
         )
         self.cpu.hashed += extra_hashed
@@ -245,6 +294,7 @@ class MHDDeduplicator(Deduplicator):
             self.bloom.add(group[0].digest)
         self._unique_chunks += len(group)
         group_bytes = sum(t.size for t in group)
+        self._unique_bytes += group_bytes
         if 2 * group_bytes > self._buffer_peak_bytes:
             self._buffer_peak_bytes = 2 * group_bytes
 
@@ -272,6 +322,7 @@ class MHDDeduplicator(Deduplicator):
                 ctx.buffer.pop()
                 tail.resolve(manifest.chunk_id, entry.offset, is_dup=True)
                 self._duplicate_chunks += 1
+                self._duplicate_bytes += tail.size
                 j -= 1
                 continue
             if entry.is_hook:
@@ -287,6 +338,7 @@ class MHDDeduplicator(Deduplicator):
                         t.resolve(manifest.chunk_id, pos, is_dup=True)
                         pos += t.size
                         self._duplicate_chunks += 1
+                        self._duplicate_bytes += t.size
                     j -= 1
                     continue
             if entry.size > tail.size:
@@ -297,22 +349,42 @@ class MHDDeduplicator(Deduplicator):
     def _fme(
         self,
         manifest: Manifest,
-        idx: int,
+        j: int,
         chunks: list[Chunk],
         digests: list[Digest],
         i: int,
         ctx: _FileContext,
+        eof: bool,
     ) -> int:
-        """Forward Match Extension; returns the next stream index."""
-        j = idx + 1
+        """Forward Match Extension from entry ``j``; returns the next
+        stream index.
+
+        Every per-entry decision needs at most ``entry.size + max_size``
+        bytes of forward stream: the span tiling stops once cumulative
+        size reaches ``entry.size``, HHR's head collection likewise, and
+        the edge chunk right after either fits in one more ``max_size``.
+        Mid-stream the decision is only taken once that much data has
+        arrived; otherwise FME pauses (``ctx.fme``) and resumes on the
+        next batch or at EOF, where actuals are final — so any batching
+        of the stream makes identical decisions.
+        """
         n = len(chunks)
-        while j < len(manifest.entries) and i < n:
+        avail = sum(chunks[t].size for t in range(i, n))
+        guard = self.chunker.config.max_size
+        while j < len(manifest.entries):
             entry = manifest.entries[j]
+            if not eof and avail < entry.size + guard:
+                ctx.fme = (manifest, j)
+                return i
+            if i >= n:
+                break
             if entry.digest == digests[i]:
                 token = _Token(digests[i], chunks[i].data, chunks[i].size)
                 token.resolve(manifest.chunk_id, entry.offset, is_dup=True)
                 ctx.tokens.append(token)
                 self._duplicate_chunks += 1
+                self._duplicate_bytes += chunks[i].size
+                avail -= chunks[i].size
                 i += 1
                 j += 1
                 continue
@@ -330,11 +402,15 @@ class MHDDeduplicator(Deduplicator):
                         ctx.tokens.append(token)
                         pos += c.size
                         self._duplicate_chunks += 1
+                        self._duplicate_bytes += c.size
+                        avail -= c.size
                     i += k
                     j += 1
                     continue
             if entry.size > chunks[i].size:
-                i = self._hhr_forward(manifest, j, chunks, digests, i, ctx)
+                new_i = self._hhr_forward(manifest, j, chunks, digests, i, ctx)
+                avail -= sum(chunks[t].size for t in range(i, new_i))
+                i = new_i
             break
         return i
 
@@ -362,6 +438,7 @@ class MHDDeduplicator(Deduplicator):
             pos -= t.size
             t.resolve(manifest.chunk_id, pos, is_dup=True)
             self._duplicate_chunks += 1
+            self._duplicate_bytes += t.size
         return shift
 
     def _hhr_forward(
@@ -403,6 +480,7 @@ class MHDDeduplicator(Deduplicator):
             ctx.tokens.append(token)
             pos += chunks[i + k].size
             self._duplicate_chunks += 1
+            self._duplicate_bytes += chunks[i + k].size
         return i + matched
 
     def _apply_split(self, manifest, j, entry, old, spans) -> int:

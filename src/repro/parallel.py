@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable
 
 from .analysis.timing import DeviceModel
 from .core.base import DedupStats
@@ -98,47 +98,16 @@ class FleetResult:
 
 # -- worker ----------------------------------------------------------------
 
-_REGISTRY: dict[str, Callable] = {}
-
-
-def _resolve(algo: str):
-    """Late import to keep the worker function pickle-friendly."""
-    if not _REGISTRY:
-        from .baselines import (
-            BimodalDeduplicator,
-            CDCDeduplicator,
-            ExtremeBinningDeduplicator,
-            FBCDeduplicator,
-            FingerdiffDeduplicator,
-            SparseIndexingDeduplicator,
-            SubChunkDeduplicator,
-        )
-        from .core import MHDDeduplicator, SIMHDDeduplicator
-
-        _REGISTRY.update(
-            {
-                "bf-mhd": MHDDeduplicator,
-                "si-mhd": SIMHDDeduplicator,
-                "cdc": CDCDeduplicator,
-                "bimodal": BimodalDeduplicator,
-                "subchunk": SubChunkDeduplicator,
-                "sparse-indexing": SparseIndexingDeduplicator,
-                "fingerdiff": FingerdiffDeduplicator,
-                "fbc": FBCDeduplicator,
-                "extreme-binning": ExtremeBinningDeduplicator,
-            }
-        )
-    try:
-        return _REGISTRY[algo]
-    except KeyError:
-        raise ValueError(f"unknown algorithm {algo!r}") from None
-
 
 def _run_shard(
     args: tuple[str, str, DedupConfig, list[BackupFile], DeviceModel]
 ) -> ShardResult:
+    # Name → class resolution happens inside the worker (the registry
+    # populates lazily), keeping this function pickle-friendly.
+    from .registry import resolve
+
     shard, algo, config, files, device = args
-    dedup = _resolve(algo)(config)
+    dedup = resolve(algo)(config)
     stats = dedup.process(files)
     return ShardResult(shard=shard, stats=stats, dedup_seconds=device.dedup_time(stats))
 
@@ -159,9 +128,11 @@ def dedup_sharded(
         Pool size; ``None`` uses one process per shard (capped at CPU
         count), ``1`` runs in-process (deterministic, debuggable).
     """
+    from .registry import resolve
+
     config = config or DedupConfig()
     device = device or DeviceModel()
-    _resolve(algo)  # fail fast on unknown algorithms
+    resolve(algo)  # fail fast on unknown algorithms
     shards = shard_fn(files)
     if not shards:
         return FleetResult(shards=())

@@ -1,0 +1,68 @@
+"""The one place mapping algorithm names to deduplicator classes.
+
+``cli.py``, ``parallel.py``, the examples and the benchmark harness all
+need the same nine-entry name → class table; maintaining parallel
+copies let them drift.  They now all call :func:`resolve` /
+:func:`available` here.
+
+The table is populated lazily so importing :mod:`repro.registry` stays
+cheap and multiprocessing workers (``parallel.py``) can resolve names
+after pickling without dragging every deduplicator through the fork.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["available", "resolve"]
+
+_REGISTRY: dict[str, Callable] = {}
+
+
+def _populate() -> None:
+    from .baselines import (
+        BimodalDeduplicator,
+        CDCDeduplicator,
+        ExtremeBinningDeduplicator,
+        FBCDeduplicator,
+        FingerdiffDeduplicator,
+        SparseIndexingDeduplicator,
+        SubChunkDeduplicator,
+    )
+    from .core import MHDDeduplicator, SIMHDDeduplicator
+
+    _REGISTRY.update(
+        {
+            "bf-mhd": MHDDeduplicator,
+            "si-mhd": SIMHDDeduplicator,
+            "cdc": CDCDeduplicator,
+            "bimodal": BimodalDeduplicator,
+            "subchunk": SubChunkDeduplicator,
+            "sparse-indexing": SparseIndexingDeduplicator,
+            "fingerdiff": FingerdiffDeduplicator,
+            "fbc": FBCDeduplicator,
+            "extreme-binning": ExtremeBinningDeduplicator,
+        }
+    )
+
+
+def available() -> tuple[str, ...]:
+    """Registered algorithm names, in registration order."""
+    if not _REGISTRY:
+        _populate()
+    return tuple(_REGISTRY)
+
+
+def resolve(name: str) -> Callable:
+    """The deduplicator class registered under ``name``.
+
+    Raises ``ValueError`` (listing the valid names) for unknown names.
+    """
+    if not _REGISTRY:
+        _populate()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {name!r}; available: {', '.join(_REGISTRY)}"
+        ) from None

@@ -20,27 +20,80 @@ stream evolves.
 
 from __future__ import annotations
 
+import io
+import os
 from dataclasses import dataclass, field, replace
+from typing import BinaryIO, Callable
 
 import numpy as np
 
 from .mutations import EditConfig, mutate
-from .templates import TemplateFile, TemplateLibrary
+from .templates import TemplateLibrary
 
 __all__ = ["BackupFile", "MachineConfig", "Machine"]
 
 
 @dataclass(frozen=True)
 class BackupFile:
-    """One file in one backup generation (identity + bytes)."""
+    """One file in one backup generation (identity + content).
+
+    Content comes from exactly one of two places:
+
+    * ``data`` — the whole file as ``bytes`` (the original in-memory
+      path, still used by the synthetic workload generators);
+    * ``source`` — a zero-argument factory returning a fresh binary
+      reader, for streaming ingest of files larger than RAM.  A factory
+      rather than an open handle so the file can be read more than once
+      (ingest, write-verify).
+
+    ``open()`` is the uniform accessor: the dedup cores only ever pull
+    windows from it, so both kinds ingest through the same
+    bounded-memory pipeline.
+    """
 
     file_id: str
-    data: bytes = field(repr=False)
+    data: bytes | None = field(repr=False, default=None)
+    source: Callable[[], BinaryIO] | None = field(repr=False, default=None)
+    #: Size in bytes for ``source``-backed files (required there; the
+    #: workload reporting helpers sum sizes without reading content).
+    size_hint: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.data is None) == (self.source is None):
+            raise ValueError("BackupFile needs exactly one of data= or source=")
+        if self.source is not None and self.size_hint is None:
+            raise ValueError("source-backed BackupFile requires size_hint")
 
     @property
     def size(self) -> int:
         """File size in bytes."""
-        return len(self.data)
+        if self.data is not None:
+            return len(self.data)
+        return self.size_hint  # type: ignore[return-value]
+
+    def open(self) -> BinaryIO:
+        """A fresh binary reader over the file's content."""
+        if self.data is not None:
+            return io.BytesIO(self.data)
+        return self.source()  # type: ignore[misc]
+
+    def read_bytes(self) -> bytes:
+        """Materialise the whole file (used by write-verify and tools
+        that genuinely need all bytes — not by the ingest pipeline)."""
+        if self.data is not None:
+            return self.data
+        with self.open() as fh:
+            return fh.read()
+
+    @classmethod
+    def from_path(cls, path: str | os.PathLike, file_id: str | None = None) -> "BackupFile":
+        """A source-backed record reading from ``path`` on demand."""
+        p = os.fspath(path)
+        return cls(
+            file_id=file_id if file_id is not None else os.path.basename(p),
+            source=lambda: open(p, "rb"),
+            size_hint=os.path.getsize(p),
+        )
 
 
 @dataclass(frozen=True)

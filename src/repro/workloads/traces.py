@@ -92,22 +92,24 @@ def trace_corpus(files: Iterable[BackupFile], chunker: Chunker) -> TraceStats:
         total_files += 1
         in_dup_run = False
         any_unique = False
-        for chunk in chunker.chunk(f.data):
-            total_chunks += 1
-            total_bytes += chunk.size
-            digest = sha1(chunk.data)
-            if digest in seen:
-                duplicate_chunks += 1
-                duplicate_bytes += chunk.size
-                if not in_dup_run:
-                    slices += 1
-                    in_dup_run = True
-            else:
-                seen.add(digest)
-                unique_chunks += 1
-                unique_bytes += chunk.size
-                in_dup_run = False
-                any_unique = True
+        with f.open() as reader:
+            for batch in chunker.chunk_stream(reader):
+                for chunk in batch:
+                    total_chunks += 1
+                    total_bytes += chunk.size
+                    digest = sha1(chunk.data)
+                    if digest in seen:
+                        duplicate_chunks += 1
+                        duplicate_bytes += chunk.size
+                        if not in_dup_run:
+                            slices += 1
+                            in_dup_run = True
+                    else:
+                        seen.add(digest)
+                        unique_chunks += 1
+                        unique_bytes += chunk.size
+                        in_dup_run = False
+                        any_unique = True
         if any_unique:
             partial_files += 1
     return TraceStats(

@@ -1,6 +1,5 @@
 """Tests for ranking and Pareto-front helpers."""
 
-import pytest
 
 from repro.analysis import AlgorithmRun, dominates, pareto_front, rank_by
 from repro.core import CpuWork, DedupConfig, DedupStats

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis import DeviceModel, RestoreCost, measure_restore_cost
+from repro.analysis import DeviceModel, measure_restore_cost
 from repro.baselines import CDCDeduplicator
 from repro.core import DedupConfig, MHDDeduplicator
 from repro.workloads import BackupFile, tiny_corpus

@@ -1,7 +1,6 @@
 """Algorithm-specific behaviour tests for the four baselines."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import (
     BimodalDeduplicator,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.chunking import Chunk, ChunkerConfig, VectorizedChunker, chunks_from_cut_points
+from repro.chunking import ChunkerConfig, VectorizedChunker, chunks_from_cut_points
 
 
 class TestChunkerConfig:

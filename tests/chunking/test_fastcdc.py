@@ -5,7 +5,7 @@ import pytest
 
 from repro.chunking import ChunkerConfig, FastCDCChunker, VectorizedChunker
 
-from .conftest import buffers, random_bytes
+from .conftest import random_bytes
 
 CFG = ChunkerConfig(expected_size=512, min_size=128, max_size=4096, window=16)
 

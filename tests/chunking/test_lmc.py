@@ -1,7 +1,6 @@
 """Tests for the local-maximum (AE-family) chunker."""
 
 import numpy as np
-import pytest
 
 from repro.chunking import ChunkerConfig, LocalMaxChunker
 

@@ -1,7 +1,6 @@
 """Unit tests for cut-point selection and the SplitMix64 generator."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

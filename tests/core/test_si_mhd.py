@@ -1,7 +1,6 @@
 """Tests for SI-MHD, the sparse-index variant of MHD."""
 
 import numpy as np
-import pytest
 
 from repro.core import DedupConfig, MHDDeduplicator, SIMHDDeduplicator
 from repro.storage import DiskModel

@@ -1,0 +1,162 @@
+"""Streaming-ingest equivalence and bounded-memory guarantees.
+
+The tentpole invariant of the streaming pipeline: for every algorithm,
+ingesting a corpus through `chunk_stream` windows — including windows
+smaller than a single chunk — is *decision-identical* to the classic
+whole-bytes path.  Every counter in `DedupStats` except the stream
+bookkeeping itself must match, and every file must restore
+byte-identically.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core import DedupConfig
+from repro.registry import available, resolve
+from repro.workloads import BackupFile
+
+#: Counters legitimately different between whole-bytes and windowed
+#: ingest: the stream bookkeeping itself, and the observed peak RAM
+#: (the whole-bytes path buffers the entire file by definition).
+STREAM_ONLY_KEYS = {
+    "stream_batches",
+    "stream_windows",
+    "stream_stalls",
+    "stream_peak_buffer_bytes",
+    "streamed_files",
+    "peak_ram_bytes",
+}
+
+CONFIG = dict(ecs=512, sd=4, bloom_bytes=1 << 16, cache_manifests=8)
+
+
+def _rand(n: int, seed: int) -> bytes:
+    return np.random.default_rng(seed).integers(0, 256, size=n, dtype=np.uint8).tobytes()
+
+
+def _corpus_bytes() -> list[tuple[str, bytes]]:
+    """A small corpus with cross-file duplication, edits, and edge sizes."""
+    base = _rand(96_000, 1)
+    edited = bytearray(base)
+    edited[10_000:10_050] = _rand(50, 2)
+    edited[60_000:60_000] = _rand(300, 3)  # insertion shifts boundaries
+    return [
+        ("gen0/img", base),
+        ("gen1/img", bytes(edited)),
+        ("gen1/copy", base),  # whole-file duplicate
+        ("gen1/mix", base[:30_000] + _rand(20_000, 4) + base[50_000:80_000]),
+        ("gen1/tiny", b"x" * 100),
+        ("gen1/empty", b""),
+    ]
+
+
+def _streamed(files: list[tuple[str, bytes]]) -> list[BackupFile]:
+    return [
+        BackupFile(fid, source=lambda d=data: io.BytesIO(d), size_hint=len(data))
+        for fid, data in files
+    ]
+
+
+def _whole(files: list[tuple[str, bytes]]) -> list[BackupFile]:
+    return [BackupFile(fid, data) for fid, data in files]
+
+
+@pytest.mark.parametrize("algo", available())
+@pytest.mark.parametrize("window", [1 << 20, 8192, 1024, 137])
+def test_streamed_ingest_matches_whole_bytes(algo, window):
+    """Windowed and whole-bytes ingest are decision-identical.
+
+    `window=137` is far below the minimum chunk size (ECS=512 →
+    min 128, max 4096), so almost every read stalls and the carry
+    buffer does all the work.
+    """
+    files = _corpus_bytes()
+
+    ref = resolve(algo)(DedupConfig(**CONFIG))
+    ref_stats = ref.process(_whole(files))
+
+    stream = resolve(algo)(DedupConfig(**CONFIG))
+    stream.stream_window_bytes = window
+    stream_stats = stream.process(_streamed(files))
+
+    ref_dict = {k: v for k, v in ref_stats.as_dict().items() if k not in STREAM_ONLY_KEYS}
+    stream_dict = {
+        k: v for k, v in stream_stats.as_dict().items() if k not in STREAM_ONLY_KEYS
+    }
+    assert stream_dict == ref_dict
+
+    for fid, data in files:
+        assert stream.restore(fid) == data, fid
+        assert ref.restore(fid) == data, fid
+
+    assert stream_stats.pipeline.streamed_files == len(files)
+
+
+@pytest.mark.parametrize("algo", available())
+def test_byte_counters_sum_to_input(algo):
+    """unique_bytes + duplicate_bytes account for every input byte."""
+    files = _corpus_bytes()
+    stats = resolve(algo)(DedupConfig(**CONFIG)).process(_whole(files))
+    total = sum(len(d) for _, d in files)
+    assert stats.input_bytes == total
+    assert stats.unique_bytes + stats.duplicate_bytes == total
+    assert stats.as_dict()["unique_bytes"] == stats.unique_bytes
+    assert stats.as_dict()["duplicate_bytes"] == stats.duplicate_bytes
+
+
+class _Synthetic(io.RawIOBase):
+    """A deterministic pseudo-random stream that never materialises
+    its content: page-sized tiles drawn from a fixed pool, so a 64 MiB
+    'file' costs kilobytes of RAM and still chunks realistically."""
+
+    def __init__(self, size: int, seed: int = 7, tile: int = 4096, pool: int = 64):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self._tiles = [
+            rng.integers(0, 256, size=tile, dtype=np.uint8).tobytes()
+            for _ in range(pool)
+        ]
+        self._order = rng.integers(0, pool, size=(size + tile - 1) // tile)
+        self._size = size
+        self._tile = tile
+        self._pos = 0
+
+    def readable(self) -> bool:
+        return True
+
+    def read(self, n: int = -1) -> bytes:
+        if n < 0:
+            n = self._size - self._pos
+        n = min(n, self._size - self._pos)
+        out = bytearray()
+        while len(out) < n:
+            i, off = divmod(self._pos + len(out), self._tile)
+            piece = self._tiles[self._order[i]][off : off + n - len(out)]
+            out += piece
+        self._pos += n
+        return bytes(out)
+
+
+def test_peak_buffer_is_bounded_for_64mib_file():
+    """Acceptance: a ≥64 MiB streamed file never buffers more than
+    window + carry, and reported peak RAM stays far below file size."""
+    size = 64 << 20
+    window = 1 << 20
+    dedup = resolve("cdc")(DedupConfig(ecs=4096, sd=16))
+    dedup.stream_window_bytes = window
+    f = BackupFile("big/img", source=lambda: _Synthetic(size), size_hint=size)
+    stats = dedup.process([f])
+
+    assert stats.input_bytes == size
+    chunker = dedup.chunker
+    lookback, lookahead = chunker.stream_params()
+    bound = window + chunker.config.max_size + lookahead + lookback
+    assert 0 < stats.pipeline.peak_buffer_bytes <= bound
+    # Peak RAM = bloom + manifest cache + stream buffer: a fixed budget,
+    # not a function of the 64 MiB input.
+    assert stats.peak_ram_bytes < 16 << 20
+    assert stats.pipeline.windows >= size // window

@@ -6,7 +6,7 @@ import pytest
 from repro.baselines import SparseIndexingDeduplicator
 from repro.core import DedupConfig, MHDDeduplicator
 from repro.storage import DiskModel, verify_store
-from repro.storage.gc import GCReport, delete_file, sweep
+from repro.storage.gc import delete_file, sweep
 from repro.workloads import BackupFile, EditConfig, mutate
 
 

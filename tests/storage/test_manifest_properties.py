@@ -5,7 +5,6 @@ entry layouts — the HHR mutation path in particular must preserve the
 tiling invariant through arbitrary split sequences.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

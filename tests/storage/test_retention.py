@@ -1,6 +1,5 @@
 """Tests for retention policies."""
 
-import numpy as np
 import pytest
 
 from repro.core import DedupConfig, MHDDeduplicator
@@ -11,7 +10,7 @@ from repro.storage import (
     plan_retention,
     verify_store,
 )
-from repro.workloads import BackupFile, tiny_corpus
+from repro.workloads import tiny_corpus
 
 
 class TestGenerationExtraction:

@@ -3,7 +3,6 @@ sessions, cross-component integration.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import DedupConfig, MHDDeduplicator
 from repro.baselines import CDCDeduplicator
@@ -137,6 +136,43 @@ class TestWarmStart:
         cold = MHDDeduplicator(config, DirectoryBackend(tmp_path / "s"))
         stats = cold.process([BackupFile("day2/img", base)])
         assert stats.duplicate_chunks == 0  # bloom empty -> all misses
+
+    def test_warm_start_across_real_process_boundary(self, tmp_path):
+        """Generation 1 is ingested by a *separate OS process*; this
+        process warm-starts over the directory it left behind and must
+        deduplicate generation 2 against it."""
+        import os
+        import subprocess
+        import sys
+
+        store = tmp_path / "s"
+        base = rand(200_000, 30)
+        (tmp_path / "gen1.bin").write_bytes(base)
+        script = (
+            "import sys\n"
+            "from repro.core import DedupConfig, MHDDeduplicator\n"
+            "from repro.storage import DirectoryBackend\n"
+            "from repro.workloads import BackupFile\n"
+            "d = MHDDeduplicator(DedupConfig(ecs=1024, sd=8, bloom_bytes=1 << 18),\n"
+            "                    DirectoryBackend(sys.argv[1]))\n"
+            "d.process([BackupFile.from_path(sys.argv[2], 'day1/img')])\n"
+        )
+        env = dict(os.environ, PYTHONPATH=os.pathsep.join(sys.path))
+        subprocess.run(
+            [sys.executable, "-c", script, str(store), str(tmp_path / "gen1.bin")],
+            check=True,
+            env=env,
+        )
+
+        edited = mutate(base, np.random.default_rng(31), EditConfig(change_rate=0.1))
+        session2 = MHDDeduplicator(
+            DedupConfig(ecs=1024, sd=8, bloom_bytes=1 << 18), DirectoryBackend(store)
+        )
+        assert session2.warm_start() > 0
+        stats = session2.process([BackupFile("day2/img", edited)])
+        assert stats.duplicate_chunks > 0
+        assert session2.restore("day2/img") == edited
+        assert session2.restore("day1/img") == base
 
     def test_si_mhd_warm_start(self, tmp_path):
         from repro.core import SIMHDDeduplicator

@@ -8,7 +8,6 @@ flaky on slow CI machines.
 import time
 
 import numpy as np
-import pytest
 
 from repro.chunking import ChunkerConfig, VectorizedChunker
 from repro.core import DedupConfig, MHDDeduplicator

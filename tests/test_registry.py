@@ -1,0 +1,43 @@
+"""The shared algorithm registry: one nine-entry table for everyone."""
+
+import pytest
+
+from repro.registry import available, resolve
+
+
+def test_all_nine_algorithms_registered():
+    names = available()
+    assert len(names) == 9
+    assert set(names) == {
+        "bf-mhd",
+        "si-mhd",
+        "cdc",
+        "bimodal",
+        "subchunk",
+        "sparse-indexing",
+        "fingerdiff",
+        "fbc",
+        "extreme-binning",
+    }
+
+
+def test_resolve_returns_constructible_classes():
+    for name in available():
+        cls = resolve(name)
+        assert cls.name == name
+        assert cls().name == name  # default-constructible
+
+
+def test_resolve_unknown_name_lists_alternatives():
+    with pytest.raises(ValueError, match="bf-mhd"):
+        resolve("no-such-algo")
+
+
+def test_consumers_share_the_registry():
+    """cli and parallel no longer keep private copies."""
+    from repro import cli
+
+    assert not hasattr(cli, "ALGORITHMS")
+    parser = cli.build_parser()
+    args = parser.parse_args(["run", "--algo", "extreme-binning"])
+    assert args.algo == "extreme-binning"

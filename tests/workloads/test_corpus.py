@@ -1,12 +1,10 @@
 """Tests for templates, machines and the backup corpus."""
 
-import numpy as np
 import pytest
 
 from repro.workloads import (
     BackupCorpus,
     CorpusConfig,
-    EditConfig,
     Machine,
     MachineConfig,
     TemplateLibrary,

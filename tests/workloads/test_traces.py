@@ -1,7 +1,6 @@
 """Tests for the exact-dedup trace oracle."""
 
 import numpy as np
-import pytest
 
 from repro.chunking import ChunkerConfig, FixedChunker, VectorizedChunker
 from repro.workloads import BackupFile, tiny_corpus, trace_corpus
