@@ -9,7 +9,7 @@ and how algorithms rank on a single metric.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 
 from .metrics import AlgorithmRun
 

@@ -48,7 +48,7 @@ class CorpusParams:
             raise ValueError("parameters must be non-negative with sd >= 2")
 
     @classmethod
-    def from_trace(cls, trace: TraceStats, sd: int) -> "CorpusParams":
+    def from_trace(cls, trace: TraceStats, sd: int) -> CorpusParams:
         """Instantiate from measured corpus ground truth."""
         return cls(f=trace.f, n=trace.n, d=trace.d, l=trace.l, sd=sd)
 

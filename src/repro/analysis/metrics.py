@@ -9,7 +9,7 @@ algorithm per ECS point).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 
 from ..core.base import DedupStats, Deduplicator
 from ..core.config import DedupConfig

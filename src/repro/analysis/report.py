@@ -7,7 +7,7 @@ a diff tool can track between runs).
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 __all__ = ["format_table", "format_series", "ascii_chart", "fmt"]
 

@@ -23,7 +23,7 @@ the baselines.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from ..core.base import Deduplicator
 from .timing import DeviceModel

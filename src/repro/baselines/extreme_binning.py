@@ -25,15 +25,15 @@ Design reproduced here:
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 
 from ..chunking import Chunk, VectorizedChunker
-from ..hashing import Digest, sha1
-from ..storage import FileManifest
+from ..core.base import Deduplicator
+from ..core.config import DedupConfig
+from ..hashing import Digest, Hasher, sha1
+from ..storage import FileManifest, StorageBackend
 from ..storage.multi_manifest import MultiEntry, MultiManifest, MultiManifestStore
 from ..workloads.machine import BackupFile
-from ..core.base import Deduplicator
 
 __all__ = ["ExtremeBinningDeduplicator"]
 
@@ -49,7 +49,11 @@ class ExtremeBinningDeduplicator(Deduplicator):
 
     name = "extreme-binning"
 
-    def __init__(self, config=None, backend=None):
+    def __init__(
+        self,
+        config: DedupConfig | None = None,
+        backend: StorageBackend | None = None,
+    ) -> None:
         super().__init__(config, backend)
         # The primary index replaces the Bloom filter entirely.
         self.bloom = None
@@ -63,7 +67,7 @@ class ExtremeBinningDeduplicator(Deduplicator):
         self._file_id: str | None = None
         self._chunks: list[Chunk] = []
         self._digests: list[Digest] = []
-        self._whole = hashlib.sha1()
+        self._whole = Hasher()
 
     def primary_index_bytes(self) -> int:
         """RAM held by the primary index (representative -> bin)."""
@@ -77,9 +81,9 @@ class ExtremeBinningDeduplicator(Deduplicator):
         # still read through the bounded window.
         self._chunks: list[Chunk] = []
         self._digests: list[Digest] = []
-        self._whole = hashlib.sha1()
+        self._whole = Hasher()
 
-    def _ingest_chunks(self, batch) -> None:
+    def _ingest_chunks(self, batch: list[Chunk]) -> None:
         for chunk in batch:
             self._digests.append(sha1(chunk.data))
             self._whole.update(chunk.data)
@@ -115,7 +119,7 @@ class ExtremeBinningDeduplicator(Deduplicator):
 
         container_id = sha1(self._file_id.encode())
         writer = None
-        for chunk, digest in zip(chunks, digests):
+        for chunk, digest in zip(chunks, digests, strict=True):
             idx = bin_manifest.find(digest)
             if idx is not None:
                 e = bin_manifest.entries[idx]
@@ -136,9 +140,15 @@ class ExtremeBinningDeduplicator(Deduplicator):
         self.file_manifests.put(fm)
         self._observe_ram(self.primary_index_bytes())
 
-    def _count_whole_file_dup(self, chunks, digests, bin_manifest, fm) -> None:
+    def _count_whole_file_dup(
+        self,
+        chunks: list[Chunk],
+        digests: list[Digest],
+        bin_manifest: MultiManifest,
+        fm: FileManifest,
+    ) -> None:
         """Rebuild the file manifest for a complete duplicate from its bin."""
-        for chunk, digest in zip(chunks, digests):
+        for chunk, digest in zip(chunks, digests, strict=True):
             idx = bin_manifest.find(digest)
             if idx is None:
                 raise AssertionError(

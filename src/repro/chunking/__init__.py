@@ -8,7 +8,15 @@ specification.  :class:`TTTDChunker`, :class:`GearChunker` and
 related-work section, used in ablation benches.
 """
 
-from .base import Chunk, Chunker, ChunkerConfig, chunks_from_cut_points
+from .base import (
+    DEFAULT_STREAM_WINDOW,
+    Chunk,
+    Chunker,
+    ChunkerConfig,
+    ChunkSource,
+    StreamStats,
+    chunks_from_cut_points,
+)
 from .fastcdc import FastCDCChunker
 from .fixed import FixedChunker
 from .gear import GearChunker
@@ -21,6 +29,9 @@ __all__ = [
     "Chunk",
     "Chunker",
     "ChunkerConfig",
+    "ChunkSource",
+    "StreamStats",
+    "DEFAULT_STREAM_WINDOW",
     "chunks_from_cut_points",
     "FastCDCChunker",
     "FixedChunker",

@@ -10,11 +10,12 @@ chunker agree bit-for-bit (a property the test-suite enforces).
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 __all__ = ["select_cut_points", "splitmix64"]
 
 
-def splitmix64(seed: int) -> "_SplitMix64":
+def splitmix64(seed: int) -> _SplitMix64:
     """Deterministic 64-bit constant generator for hash parameters."""
     return _SplitMix64(seed)
 
@@ -24,7 +25,7 @@ class _SplitMix64:
 
     _MASK = (1 << 64) - 1
 
-    def __init__(self, seed: int):
+    def __init__(self, seed: int) -> None:
         self._state = seed & self._MASK
 
     def next(self) -> int:
@@ -39,11 +40,11 @@ class _SplitMix64:
 
 
 def select_cut_points(
-    candidates: np.ndarray,
+    candidates: npt.NDArray[np.int64],
     n: int,
     min_size: int,
     max_size: int,
-) -> np.ndarray:
+) -> npt.NDArray[np.int64]:
     """Choose final cut points from sorted candidate positions.
 
     Rules (matching the Rabin-fingerprint chunking described in the

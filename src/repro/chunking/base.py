@@ -36,10 +36,12 @@ the genuine end-of-input rules.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections.abc import Iterator
 from dataclasses import dataclass, field
-from typing import BinaryIO, Iterator
+from typing import Protocol
 
 import numpy as np
+import numpy.typing as npt
 
 from ._select import select_cut_points
 
@@ -47,10 +49,29 @@ __all__ = [
     "Chunk",
     "ChunkerConfig",
     "Chunker",
+    "ChunkSource",
     "StreamStats",
     "chunks_from_cut_points",
     "DEFAULT_STREAM_WINDOW",
 ]
+
+#: Buffer types every chunker accepts (streaming hands over
+#: ``bytearray`` carry buffers; whole-file ingest hands over ``bytes``).
+Buffer = bytes | bytearray | memoryview
+
+
+class ChunkSource(Protocol):
+    """The reader seam of the streaming pipeline.
+
+    Anything with a ``read(n)`` returning at most ``n`` bytes (``b""``
+    at end of stream) can feed :meth:`Chunker.chunk_stream` — open
+    binary files, ``io.BytesIO``, sockets wrapped in a buffer, custom
+    throttled readers.
+    """
+
+    def read(self, n: int, /) -> bytes:
+        """Return up to ``n`` bytes; empty means end of stream."""
+        ...
 
 #: Default read size for :meth:`Chunker.chunk_stream` (1 MiB).
 DEFAULT_STREAM_WINDOW = 1 << 20
@@ -87,8 +108,10 @@ class ChunkerConfig:
         ECS ≥ 16 is supported, matching the paper's 768-byte sweep
         point).
     min_size, max_size:
-        Hard bounds on chunk length.  Defaults follow LBFS-style
-        practice: ``min = max(64, ECS // 4)`` and ``max = 8 * ECS``.
+        Hard bounds on chunk length.  Leave at ``0`` (the default) to
+        derive LBFS-style bounds: ``min = max(64, ECS // 4)`` and
+        ``max = 8 * ECS``; after construction both are always concrete
+        positive sizes.
     window:
         Sliding-window width in bytes for the rolling hash.
     seed:
@@ -97,8 +120,8 @@ class ChunkerConfig:
     """
 
     expected_size: int = 4096
-    min_size: int | None = None
-    max_size: int | None = None
+    min_size: int = 0
+    max_size: int = 0
     window: int = 48
     seed: int = 0x9E3779B9
 
@@ -106,9 +129,9 @@ class ChunkerConfig:
         ecs = self.expected_size
         if ecs < 16:
             raise ValueError(f"expected_size must be >= 16, got {ecs}")
-        if self.min_size is None:
+        if not self.min_size:
             object.__setattr__(self, "min_size", max(64, ecs // 4))
-        if self.max_size is None:
+        if not self.max_size:
             object.__setattr__(self, "max_size", 8 * ecs)
         if self.min_size <= 0:
             raise ValueError(f"min_size must be positive, got {self.min_size}")
@@ -125,7 +148,7 @@ class ChunkerConfig:
         (``2^64 / ECS``, giving an exact ``1/ECS`` probability)."""
         return (1 << 64) // self.expected_size
 
-    def scaled(self, factor: int) -> "ChunkerConfig":
+    def scaled(self, factor: int) -> ChunkerConfig:
         """A config with ``expected_size`` multiplied by ``factor``.
 
         Used by the bimodal-family algorithms whose *big* chunk size is
@@ -135,20 +158,18 @@ class ChunkerConfig:
             raise ValueError(f"factor must be positive, got {factor}")
         return ChunkerConfig(
             expected_size=self.expected_size * factor,
-            min_size=None,
-            max_size=None,
             window=self.window,
             seed=self.seed,
         )
 
 
-def chunks_from_cut_points(data: bytes | memoryview, cuts: np.ndarray) -> list[Chunk]:
+def chunks_from_cut_points(data: Buffer, cuts: npt.NDArray[np.int64]) -> list[Chunk]:
     """Build :class:`Chunk` views from a cut-point array."""
     view = memoryview(data)
     out: list[Chunk] = []
     start = 0
-    for end in cuts:
-        end = int(end)
+    for raw_end in cuts:
+        end = int(raw_end)
         out.append(Chunk(offset=start, size=end - start, data=view[start:end]))
         start = end
     return out
@@ -173,13 +194,25 @@ class Chunker(ABC):
     config: ChunkerConfig
 
     @abstractmethod
-    def cut_points(self, data: bytes | memoryview) -> np.ndarray:
+    def cut_points(self, data: Buffer) -> npt.NDArray[np.int64]:
         """Strictly increasing ``int64`` cut positions ending at ``len(data)``.
 
         An empty input yields an empty array.
         """
 
-    def chunk(self, data: bytes | memoryview) -> list[Chunk]:
+    def candidates(self, data: Buffer) -> npt.NDArray[np.int64]:
+        """Positions where the cut condition fires, before selection.
+
+        Chunkers relying on the default :meth:`_cut_points_ctx` (the
+        ``select_cut_points(candidates(...))`` shape) implement this;
+        chunkers with bespoke selection override :meth:`_cut_points_ctx`
+        instead and may leave it unimplemented.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose cut candidates"
+        )
+
+    def chunk(self, data: Buffer) -> list[Chunk]:
         """Split ``data`` into :class:`Chunk` views.
 
         This is the one-big-window degenerate case of
@@ -203,7 +236,7 @@ class Chunker(ABC):
         """
         return self.config.window, self.config.window
 
-    def _cut_points_ctx(self, data: bytes, hist: int) -> np.ndarray:
+    def _cut_points_ctx(self, data: Buffer, hist: int) -> npt.NDArray[np.int64]:
         """Cut points of ``data[hist:]`` given ``data[:hist]`` as context.
 
         Positions are relative to ``data`` (i.e. ``> hist``, ending at
@@ -218,7 +251,7 @@ class Chunker(ABC):
         """
         if hist == 0:
             return self.cut_points(data)
-        cands = self.candidates(data)  # type: ignore[attr-defined]
+        cands = self.candidates(data)
         local = cands[cands > hist] - hist
         cuts = select_cut_points(
             local, len(data) - hist, self.config.min_size, self.config.max_size
@@ -227,7 +260,7 @@ class Chunker(ABC):
 
     def chunk_stream(
         self,
-        reader: BinaryIO,
+        reader: ChunkSource,
         window_bytes: int = DEFAULT_STREAM_WINDOW,
         stats: StreamStats | None = None,
     ) -> Iterator[list[Chunk]]:
@@ -244,7 +277,12 @@ class Chunker(ABC):
             raise ValueError(f"window_bytes must be positive, got {window_bytes}")
         lookback, lookahead = self.stream_params()
         holdback = self.config.max_size + lookahead
-        buf = b""  # lookback context + pending (unemitted) bytes
+        # A bytearray so appending the next window is amortised O(n)
+        # over the stream (``bytes +=`` would re-copy the whole carry
+        # buffer per window — the quadratic pattern DDC005 rejects).
+        # Re-slicing below rebinds to a fresh bytearray, so no exported
+        # chunk view is ever resized under a consumer.
+        buf = bytearray()  # lookback context + pending (unemitted) bytes
         hist = 0  # length of the already-emitted context prefix of buf
         pos = 0  # absolute stream offset of buf[hist]
         while True:
@@ -269,12 +307,12 @@ class Chunker(ABC):
                 continue
             emit: list[int] = []
             last = hist
-            for c in self._cut_points_ctx(buf, hist):
-                c = int(c)
+            for raw_cut in self._cut_points_ctx(buf, hist):
+                cut = int(raw_cut)
                 if last + holdback > len(buf):
                     break
-                emit.append(c)
-                last = c
+                emit.append(cut)
+                last = cut
             if not emit:
                 if stats is not None:
                     stats.stalls += 1
@@ -286,7 +324,7 @@ class Chunker(ABC):
             buf = buf[keep_from:]
             yield batch
 
-    def validate_cuts(self, data_len: int, cuts: np.ndarray) -> None:
+    def validate_cuts(self, data_len: int, cuts: npt.NDArray[np.int64]) -> None:
         """Assert the cut-point contract (used by tests and debug runs)."""
         if data_len == 0:
             if len(cuts) != 0:
@@ -298,7 +336,7 @@ class Chunker(ABC):
             raise AssertionError("cut points must be strictly increasing and positive")
 
 
-def _emit_batch(buf: bytes, hist: int, cuts: list[int], pos: int) -> list[Chunk]:
+def _emit_batch(buf: Buffer, hist: int, cuts: list[int], pos: int) -> list[Chunk]:
     """Build absolute-offset :class:`Chunk` views over one buffer."""
     view = memoryview(buf)
     out: list[Chunk] = []

@@ -23,8 +23,9 @@ stricter one).
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
-from .base import Chunker, ChunkerConfig
+from .base import Buffer, Chunker, ChunkerConfig
 from .vectorized import VectorizedChunker
 
 __all__ = ["FastCDCChunker"]
@@ -41,7 +42,9 @@ class FastCDCChunker(Chunker):
         target size.  ``0`` degenerates to plain CDC.
     """
 
-    def __init__(self, config: ChunkerConfig | None = None, normalization: int = 2):
+    def __init__(
+        self, config: ChunkerConfig | None = None, normalization: int = 2
+    ) -> None:
         self.config = config or ChunkerConfig()
         if not 0 <= normalization <= 4:
             raise ValueError(f"normalization must be in [0, 4], got {normalization}")
@@ -65,7 +68,7 @@ class FastCDCChunker(Chunker):
         self._strict = VectorizedChunker(strict_cfg)
         self._loose = VectorizedChunker(loose_cfg)
 
-    def cut_points(self, data: bytes | memoryview) -> np.ndarray:
+    def cut_points(self, data: Buffer) -> npt.NDArray[np.int64]:
         n = len(data)
         if n == 0:
             return np.empty(0, dtype=np.int64)
@@ -73,7 +76,7 @@ class FastCDCChunker(Chunker):
             self._strict.candidates(data), self._loose.candidates(data), n
         )
 
-    def _cut_points_ctx(self, data: bytes, hist: int) -> np.ndarray:
+    def _cut_points_ctx(self, data: Buffer, hist: int) -> npt.NDArray[np.int64]:
         if hist == 0:
             return self.cut_points(data)
         strict = self._strict.candidates(data)
@@ -83,7 +86,12 @@ class FastCDCChunker(Chunker):
         )
         return cuts + hist
 
-    def _select(self, strict: np.ndarray, loose: np.ndarray, n: int) -> np.ndarray:
+    def _select(
+        self,
+        strict: npt.NDArray[np.int64],
+        loose: npt.NDArray[np.int64],
+        n: int,
+    ) -> npt.NDArray[np.int64]:
         """Normalized-chunking cut selection over candidate arrays."""
         min_size, max_size = self.config.min_size, self.config.max_size
         target = self.config.expected_size
@@ -93,7 +101,7 @@ class FastCDCChunker(Chunker):
             # Region 1: [start+min, start+target) — strict condition.
             lo, mid = start + min_size, min(start + target, n)
             k = int(np.searchsorted(strict, lo, side="left"))
-            cut = None
+            cut: int | None = None
             if k < len(strict) and strict[k] < mid:
                 cut = int(strict[k])
             else:

@@ -10,8 +10,9 @@ the ablation benches use FSP as the no-CDC control.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
-from .base import Chunker, ChunkerConfig
+from .base import Buffer, Chunker, ChunkerConfig
 
 __all__ = ["FixedChunker"]
 
@@ -19,10 +20,10 @@ __all__ = ["FixedChunker"]
 class FixedChunker(Chunker):
     """Cuts every ``expected_size`` bytes regardless of content."""
 
-    def __init__(self, config: ChunkerConfig | None = None):
+    def __init__(self, config: ChunkerConfig | None = None) -> None:
         self.config = config or ChunkerConfig()
 
-    def cut_points(self, data: bytes | memoryview) -> np.ndarray:
+    def cut_points(self, data: Buffer) -> npt.NDArray[np.int64]:
         n = len(data)
         if n == 0:
             return np.empty(0, dtype=np.int64)
@@ -34,7 +35,7 @@ class FixedChunker(Chunker):
         # Cut decisions are position-only: no byte context at all.
         return 0, 0
 
-    def _cut_points_ctx(self, data: bytes, hist: int) -> np.ndarray:
+    def _cut_points_ctx(self, data: Buffer, hist: int) -> npt.NDArray[np.int64]:
         if hist == 0:
             return self.cut_points(data)
         return self.cut_points(memoryview(data)[hist:]) + hist

@@ -23,9 +23,10 @@ most entropy).
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from ._select import select_cut_points, splitmix64
-from .base import Chunker, ChunkerConfig
+from .base import Buffer, Chunker, ChunkerConfig
 
 __all__ = ["GearChunker"]
 
@@ -37,14 +38,14 @@ class GearChunker(Chunker):
     vanish, so a wider window is unobservable).
     """
 
-    def __init__(self, config: ChunkerConfig | None = None):
+    def __init__(self, config: ChunkerConfig | None = None) -> None:
         self.config = config or ChunkerConfig()
         rng = splitmix64(self.config.seed + 0x47454152)  # "GEAR" domain-separated
         self._table = np.array([rng.next() for _ in range(256)], dtype=np.uint64)
         self._window = min(self.config.window, 64)
         self._threshold = np.uint64(min(self.config.hash_threshold, (1 << 64) - 1))
 
-    def candidates(self, data: bytes | memoryview) -> np.ndarray:
+    def candidates(self, data: Buffer) -> npt.NDArray[np.int64]:
         """Positions whose gear window hash satisfies the cut condition."""
         n = len(data)
         w = self._window
@@ -61,7 +62,7 @@ class GearChunker(Chunker):
             cond = h < self._threshold
         return np.nonzero(cond)[0].astype(np.int64) + w
 
-    def cut_points(self, data: bytes | memoryview) -> np.ndarray:
+    def cut_points(self, data: Buffer) -> npt.NDArray[np.int64]:
         n = len(data)
         if n == 0:
             return np.empty(0, dtype=np.int64)

@@ -22,10 +22,11 @@ vectorised chunker remains the default.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 from scipy.ndimage import maximum_filter1d
 
 from ._select import select_cut_points, splitmix64
-from .base import Chunker, ChunkerConfig
+from .base import Buffer, Chunker, ChunkerConfig
 
 __all__ = ["LocalMaxChunker"]
 
@@ -33,7 +34,7 @@ __all__ = ["LocalMaxChunker"]
 class LocalMaxChunker(Chunker):
     """Strict-local-maximum content-defined chunker."""
 
-    def __init__(self, config: ChunkerConfig | None = None):
+    def __init__(self, config: ChunkerConfig | None = None) -> None:
         self.config = config or ChunkerConfig()
         # Radius so that 2w+1 ~ expected_size.
         self._radius = max(2, (self.config.expected_size - 1) // 2)
@@ -44,7 +45,7 @@ class LocalMaxChunker(Chunker):
             [rng.next() & 0xFFFF for _ in range(65536)], dtype=np.uint16
         )
 
-    def candidates(self, data: bytes | memoryview) -> np.ndarray:
+    def candidates(self, data: Buffer) -> npt.NDArray[np.int64]:
         """Strict local maxima of the keyed byte-pair sequence."""
         n = len(data)
         if n < 2:
@@ -70,7 +71,7 @@ class LocalMaxChunker(Chunker):
         ctx = 2 * self._radius + 4
         return ctx, ctx
 
-    def cut_points(self, data: bytes | memoryview) -> np.ndarray:
+    def cut_points(self, data: Buffer) -> npt.NDArray[np.int64]:
         n = len(data)
         if n == 0:
             return np.empty(0, dtype=np.int64)

@@ -24,9 +24,10 @@ cut probability even on structured data.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from ._select import select_cut_points, splitmix64
-from .base import Chunker, ChunkerConfig
+from .base import Buffer, Chunker, ChunkerConfig
 
 __all__ = ["ReferenceChunker", "hash_params"]
 
@@ -48,7 +49,7 @@ def hash_params(seed: int) -> tuple[int, int]:
 class ReferenceChunker(Chunker):
     """Byte-at-a-time Karp–Rabin CDC (the executable specification)."""
 
-    def __init__(self, config: ChunkerConfig | None = None):
+    def __init__(self, config: ChunkerConfig | None = None) -> None:
         self.config = config or ChunkerConfig()
         self._mult, self._final = hash_params(self.config.seed)
         # Precompute M^(w-1) for the rolling update.
@@ -56,7 +57,7 @@ class ReferenceChunker(Chunker):
         # Cut when the finalised hash falls below 2^64 / ECS.
         self._threshold = self.config.hash_threshold
 
-    def candidates(self, data: bytes | memoryview) -> np.ndarray:
+    def candidates(self, data: Buffer) -> npt.NDArray[np.int64]:
         """All positions whose window hash satisfies the cut condition."""
         b = bytes(data)
         n = len(b)
@@ -78,7 +79,7 @@ class ReferenceChunker(Chunker):
                 out.append(p)
         return np.asarray(out, dtype=np.int64)
 
-    def cut_points(self, data: bytes | memoryview) -> np.ndarray:
+    def cut_points(self, data: Buffer) -> npt.NDArray[np.int64]:
         n = len(data)
         if n == 0:
             return np.empty(0, dtype=np.int64)

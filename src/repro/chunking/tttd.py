@@ -18,8 +18,9 @@ superset of main matches — exactly the divisor pair relationship).
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
-from .base import Chunker, ChunkerConfig
+from .base import Buffer, Chunker, ChunkerConfig
 from .vectorized import VectorizedChunker
 
 __all__ = ["TTTDChunker"]
@@ -28,7 +29,7 @@ __all__ = ["TTTDChunker"]
 class TTTDChunker(Chunker):
     """Two-Threshold Two-Divisor chunking on the Karp–Rabin hash."""
 
-    def __init__(self, config: ChunkerConfig | None = None):
+    def __init__(self, config: ChunkerConfig | None = None) -> None:
         self.config = config or ChunkerConfig()
         # Backup divisor = ECS/2: backup candidates are positions whose
         # hash clears one fewer top bit.
@@ -44,7 +45,7 @@ class TTTDChunker(Chunker):
         self._main = VectorizedChunker(self.config)
         self._backup = VectorizedChunker(backup_cfg)
 
-    def cut_points(self, data: bytes | memoryview) -> np.ndarray:
+    def cut_points(self, data: Buffer) -> npt.NDArray[np.int64]:
         n = len(data)
         if n == 0:
             return np.empty(0, dtype=np.int64)
@@ -52,7 +53,7 @@ class TTTDChunker(Chunker):
             self._main.candidates(data), self._backup.candidates(data), n
         )
 
-    def _cut_points_ctx(self, data: bytes, hist: int) -> np.ndarray:
+    def _cut_points_ctx(self, data: Buffer, hist: int) -> npt.NDArray[np.int64]:
         if hist == 0:
             return self.cut_points(data)
         main = self._main.candidates(data)
@@ -62,7 +63,12 @@ class TTTDChunker(Chunker):
         )
         return cuts + hist
 
-    def _select(self, main: np.ndarray, backup: np.ndarray, n: int) -> np.ndarray:
+    def _select(
+        self,
+        main: npt.NDArray[np.int64],
+        backup: npt.NDArray[np.int64],
+        n: int,
+    ) -> npt.NDArray[np.int64]:
         """TTTD cut selection over precomputed candidate arrays."""
         min_size, max_size = self.config.min_size, self.config.max_size
         cuts: list[int] = []

@@ -33,9 +33,10 @@ candidate positions are globally exact.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from ._select import select_cut_points
-from .base import Chunker, ChunkerConfig
+from .base import Buffer, Chunker, ChunkerConfig
 from .reference import hash_params
 
 __all__ = ["VectorizedChunker"]
@@ -59,7 +60,7 @@ class VectorizedChunker(Chunker):
         self,
         config: ChunkerConfig | None = None,
         block_size: int = 2 << 20,
-    ):
+    ) -> None:
         self.config = config or ChunkerConfig()
         if block_size <= self.config.window:
             raise ValueError("block_size must exceed the hash window")
@@ -72,12 +73,15 @@ class VectorizedChunker(Chunker):
         # Power tables are identical for every block of the same length,
         # so compute them lazily once and slice (saves two cumprod
         # passes per block — the profiled hot spots).
-        self._pow_minv: np.ndarray | None = None
-        self._pow_m: np.ndarray | None = None
+        self._pow_minv: npt.NDArray[np.uint64] | None = None
+        self._pow_m: npt.NDArray[np.uint64] | None = None
 
-    def _power_tables(self, m: int) -> tuple[np.ndarray, np.ndarray]:
+    def _power_tables(
+        self, m: int
+    ) -> tuple[npt.NDArray[np.uint64], npt.NDArray[np.uint64]]:
         """Cached ``(Minv^(j+1))_{j<m}`` and ``(M^p)_{p<=m}`` tables."""
-        if self._pow_minv is None or len(self._pow_minv) < m:
+        pow_minv, pow_m = self._pow_minv, self._pow_m
+        if pow_minv is None or pow_m is None or len(pow_minv) < m:
             with np.errstate(over="ignore"):
                 pow_minv = np.full(m, self._minv, dtype=np.uint64)
                 np.cumprod(pow_minv, out=pow_minv)
@@ -85,16 +89,16 @@ class VectorizedChunker(Chunker):
                 pow_m[0] = 1
                 np.cumprod(pow_m, out=pow_m)
             self._pow_minv, self._pow_m = pow_minv, pow_m
-        return self._pow_minv[:m], self._pow_m[: m + 1]
+        return pow_minv[:m], pow_m[: m + 1]
 
-    def candidates(self, data: bytes | memoryview) -> np.ndarray:
+    def candidates(self, data: Buffer) -> npt.NDArray[np.int64]:
         """Sorted positions satisfying the cut condition (global indices)."""
         n = len(data)
         w = self.config.window
         if n < w:
             return np.empty(0, dtype=np.int64)
         raw = np.frombuffer(data, dtype=np.uint8)
-        pieces: list[np.ndarray] = []
+        pieces: list[npt.NDArray[np.int64]] = []
         # Block covering positions (p) in (lo, hi]; needs bytes [lo-w, hi).
         lo = 0
         with np.errstate(over="ignore"):
@@ -114,7 +118,7 @@ class VectorizedChunker(Chunker):
             return np.empty(0, dtype=np.int64)
         return np.concatenate(pieces)
 
-    def _candidates_block(self, b: np.ndarray) -> np.ndarray:
+    def _candidates_block(self, b: npt.NDArray[np.uint64]) -> npt.NDArray[np.int64]:
         """Candidate positions within one block (local indices).
 
         ``b`` is a ``uint64`` array of the block's bytes; returns local
@@ -134,7 +138,7 @@ class VectorizedChunker(Chunker):
         cond = (h * final) < threshold
         return np.nonzero(cond)[0].astype(np.int64) + w
 
-    def cut_points(self, data: bytes | memoryview) -> np.ndarray:
+    def cut_points(self, data: Buffer) -> npt.NDArray[np.int64]:
         n = len(data)
         if n == 0:
             return np.empty(0, dtype=np.int64)

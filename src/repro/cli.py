@@ -32,7 +32,7 @@ import argparse
 import logging
 import os
 import sys
-from typing import Iterable
+from collections.abc import Iterable
 
 from .analysis import DeviceModel, format_table
 from .storage import (
@@ -238,7 +238,7 @@ def cmd_trace(args) -> int:
 def cmd_inspect(args) -> int:
     from .hashing import hex_short
     from .storage import Manifest
-    from .storage.verify import _load_manifest
+    from .storage.verify import load_manifest
 
     backend = DirectoryBackend(args.store_dir)
     meter = DiskModel()
@@ -262,7 +262,7 @@ def cmd_inspect(args) -> int:
     touched = {e.container_id for e in fm.extents}
     shown = 0
     for key in backend.keys(DiskModel.MANIFEST):
-        manifest = _load_manifest(backend.get(DiskModel.MANIFEST, key))
+        manifest = load_manifest(backend.get(DiskModel.MANIFEST, key))
         if isinstance(manifest, Manifest):
             containers = {manifest.chunk_id}
         else:

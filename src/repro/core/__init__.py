@@ -5,6 +5,7 @@ from .config import DedupConfig
 from .hhr import (
     HHRPlan,
     Span,
+    apply_split,
     match_prefix_chunks,
     match_suffix_chunks,
     plan_backward_split,
@@ -12,8 +13,9 @@ from .hhr import (
 )
 from .manifest_cache import ManifestCache
 from .mhd import MHDDeduplicator
+from .protocols import BatchIngestHooks, CacheableManifest, ManifestBackend
 from .si_mhd import SIMHDDeduplicator
-from .shm import build_group_entries
+from .shm import append_group, build_group_entries
 
 __all__ = [
     "CpuWork",
@@ -22,6 +24,7 @@ __all__ = [
     "DedupConfig",
     "HHRPlan",
     "Span",
+    "apply_split",
     "match_prefix_chunks",
     "match_suffix_chunks",
     "plan_backward_split",
@@ -29,5 +32,9 @@ __all__ = [
     "ManifestCache",
     "MHDDeduplicator",
     "SIMHDDeduplicator",
+    "BatchIngestHooks",
+    "CacheableManifest",
+    "ManifestBackend",
+    "append_group",
     "build_group_entries",
 ]

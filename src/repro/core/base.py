@@ -36,11 +36,12 @@ from __future__ import annotations
 
 import logging
 from abc import ABC, abstractmethod
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Any
 
 from ..chunking.base import Chunk, Chunker, DEFAULT_STREAM_WINDOW, StreamStats
-from ..hashing import BloomFilter
+from ..hashing import BloomFilter, Digest
 from ..storage import (
     INODE_SIZE,
     DiskChunkStore,
@@ -52,8 +53,12 @@ from ..storage import (
     MemoryBackend,
     StorageBackend,
 )
+from ..storage.verify import IntegrityReport
 from ..workloads.machine import BackupFile
 from .config import DedupConfig
+
+if TYPE_CHECKING:
+    from .protocols import BatchIngestHooks
 
 __all__ = ["CpuWork", "DedupStats", "Deduplicator", "PipelineStats"]
 
@@ -177,7 +182,7 @@ class DedupStats:
         """Fig. 7(c): FileManifest bytes / input bytes."""
         return self.file_manifest_bytes / max(1, self.input_bytes)
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         """JSON-serialisable snapshot (raw counters + derived metrics).
 
         Used by the benches to emit machine-readable results next to
@@ -224,11 +229,16 @@ class Deduplicator(ABC):
     #: Subclasses set their display name (used in reports/benches).
     name: str = "base"
 
+    #: The chunker defining the algorithm's primary stream.  Declared
+    #: here (assigned by subclass ``__init__``) so the default
+    #: :meth:`_stream_chunker` seam is fully typed.
+    chunker: Chunker
+
     def __init__(
         self,
         config: DedupConfig | None = None,
         backend: StorageBackend | None = None,
-    ):
+    ) -> None:
         self.config = config or DedupConfig()
         self.backend = backend or MemoryBackend()
         self.meter = DiskModel()
@@ -303,7 +313,9 @@ class Deduplicator(ABC):
                     f"restored {len(restored)} bytes != input {len(expected)}"
                 )
 
-    def _file_batches(self, file: BackupFile, stream: StreamStats):
+    def _file_batches(
+        self, file: BackupFile, stream: StreamStats
+    ) -> Iterator[list[Chunk]]:
         """Chunk-batch iterator feeding :meth:`_ingest_chunks`.
 
         In-memory files go through the degenerate one-big-window path
@@ -334,13 +346,13 @@ class Deduplicator(ABC):
         bimodal-family algorithms override to chunk at the big
         granularity (small chunks are derived per big chunk).
         """
-        chunker = getattr(self, "chunker", None)
-        if chunker is None:
+        try:
+            return self.chunker
+        except AttributeError:
             raise NotImplementedError(
                 f"{type(self).__name__} must define self.chunker or override "
                 "_stream_chunker()"
-            )
-        return chunker
+            ) from None
 
     # ---- per-file hooks implemented by the algorithms -------------------
 
@@ -399,15 +411,29 @@ class Deduplicator(ABC):
     # ---- accounting helpers used by subclasses --------------------------
 
     def _count_unique(self, nbytes: int) -> None:
+        """Record one unique (newly stored) chunk of ``nbytes``."""
         self._unique_chunks += 1
         self._unique_bytes += nbytes
         self._in_dup_run = False
 
+    def _count_unique_many(self, count: int, nbytes: int) -> None:
+        """Record ``count`` unique chunks totalling ``nbytes`` at once
+        (an SHM flush group resolves a whole buffer of survivors)."""
+        self._unique_chunks += count
+        self._unique_bytes += nbytes
+        self._in_dup_run = False
+
     def _count_duplicate(self, nbytes: int, run_continues: bool = False) -> None:
-        """Record a duplicate chunk; a new run opens a duplicate slice."""
+        """Record a duplicate chunk; a new run opens a duplicate slice.
+
+        ``run_continues=True`` asserts the chunk extends the slice that
+        is already open — match-extension paths (BME/FME/HHR) use it so
+        the extension can never be miscounted as a fresh slice, however
+        the caller interleaves unique flushes.
+        """
         self._duplicate_chunks += 1
         self._duplicate_bytes += nbytes
-        if not self._in_dup_run:
+        if not run_continues and not self._in_dup_run:
             self._duplicate_slices += 1
         self._in_dup_run = True
 
@@ -446,11 +472,11 @@ class Deduplicator(ABC):
         """
         hooks = self.backend.keys(DiskModel.HOOK)
         if self.bloom is not None:
-            for digest in hooks:
-                self.bloom.add(digest)
+            for raw in hooks:
+                self.bloom.add(Digest(raw))
         return len(hooks)
 
-    def verify_integrity(self, check_entry_hashes: bool = False):
+    def verify_integrity(self, check_entry_hashes: bool = False) -> IntegrityReport:
         """Full-store fsck (see :func:`repro.storage.verify.verify_store`).
 
         Only meaningful after :meth:`finalize` — open containers and
@@ -490,3 +516,10 @@ class Deduplicator(ABC):
             duplicate_bytes=self._duplicate_bytes,
             pipeline=self.pipeline,
         )
+
+
+def _batch_hook_contract(dedup: Deduplicator) -> BatchIngestHooks:
+    """Static assertion that every Deduplicator satisfies the
+    :class:`~repro.core.protocols.BatchIngestHooks` protocol (checked
+    by mypy; never called at runtime)."""
+    return dedup

@@ -16,15 +16,21 @@ entry is then split into at most three new entries:
   so no byte reload is triggered again;
 * the **remainder** span — whatever is left of the old extent.
 
-This module contains only pure byte/offset arithmetic so the split
-logic is unit-testable in isolation; the orchestration (cache updates,
-metering, token resolution) lives in :mod:`repro.core.mhd`.
+The matching/planning helpers are pure byte/offset arithmetic so the
+split logic is unit-testable in isolation.  :func:`apply_split`
+materialises a plan onto a manifest — it is the **only sanctioned
+manifest-entry mutation site** outside the SHM build path (dedupcheck
+rule DDC002); the surrounding orchestration (cache updates, metering,
+token resolution) stays in :mod:`repro.core.mhd`.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
+
+from ..hashing import sha1
+from ..storage import Manifest, ManifestEntry
 
 __all__ = [
     "Span",
@@ -33,6 +39,7 @@ __all__ = [
     "match_prefix_chunks",
     "plan_backward_split",
     "plan_forward_split",
+    "apply_split",
     "align_suffix",
     "align_prefix",
 ]
@@ -195,3 +202,33 @@ def plan_forward_split(
             Span(matched_bytes + edge, rest - edge, "remainder"),
         ]
     )
+
+
+def apply_split(
+    manifest: Manifest,
+    index: int,
+    entry: ManifestEntry,
+    old: bytes,
+    spans: Sequence[Span],
+) -> tuple[int, int]:
+    """Materialise an HHR plan: replace entry ``index`` with the spans.
+
+    Each span's bytes are re-hashed from the reloaded extent ``old`` and
+    written as a fresh (non-hook) entry; the DiskChunk bytes themselves
+    never move, only their description is refined.
+
+    Returns ``(index_shift, hashed_bytes)`` — how many extra entries the
+    manifest gained and the SHA-1 work done (CPU accounting).  A
+    degenerate plan (a single remainder span: nothing was learned)
+    leaves the manifest untouched and returns ``(0, 0)``.
+    """
+    if len(spans) == 1 and spans[0].role == "remainder":
+        return 0, 0
+    replacements = [
+        ManifestEntry(
+            sha1(old[s.offset : s.end]), entry.offset + s.offset, s.size, is_hook=False
+        )
+        for s in spans
+    ]
+    manifest.replace_entry(index, replacements)
+    return len(replacements) - 1, sum(s.size for s in spans)

@@ -13,27 +13,34 @@ manifest's hash table, just faster in Python.
 
 Manifests can be *pinned* (the manifest of the file currently being
 ingested must not be evicted mid-build).
+
+The cache is generic over the manifest kind: any
+:class:`~repro.core.protocols.CacheableManifest` backed by a matching
+:class:`~repro.core.protocols.ManifestBackend` — MHD's per-DiskChunk
+:class:`~repro.storage.Manifest` and the baselines'
+:class:`~repro.storage.multi_manifest.MultiManifest` both qualify.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Generic
 
 from ..hashing.digest import Digest
-from ..storage import Manifest, ManifestStore
+from .protocols import M, ManifestBackend
 
 __all__ = ["ManifestCache"]
 
 
-class ManifestCache:
-    """Bounded LRU of in-RAM manifests backed by a :class:`ManifestStore`."""
+class ManifestCache(Generic[M]):
+    """Bounded LRU of in-RAM manifests over a manifest backend."""
 
-    def __init__(self, store: ManifestStore, capacity: int):
+    def __init__(self, store: ManifestBackend[M], capacity: int) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._store = store
         self._capacity = capacity
-        self._cache: OrderedDict[Digest, Manifest] = OrderedDict()
+        self._cache: OrderedDict[Digest, M] = OrderedDict()
         self._pinned: set[Digest] = set()
         # Aggregate index: digest -> manifest ids that contain it, plus
         # the digest set indexed per manifest (so reindexing after a
@@ -61,7 +68,7 @@ class ManifestCache:
 
     # ---- indexing --------------------------------------------------------
 
-    def _index_add(self, manifest: Manifest) -> None:
+    def _index_add(self, manifest: M) -> None:
         mid = manifest.manifest_id
         digests = set(manifest.index)
         self._indexed[mid] = digests
@@ -76,7 +83,7 @@ class ManifestCache:
                 if not ids:
                     del self._digest_index[digest]
 
-    def reindex(self, manifest: Manifest) -> None:
+    def reindex(self, manifest: M) -> None:
         """Refresh the aggregate index after a manifest mutation.
 
         Mutators (SHM appends, HHR splits) change entry digests, so the
@@ -100,7 +107,7 @@ class ManifestCache:
 
     # ---- lookup ------------------------------------------------------------
 
-    def search(self, digest: Digest) -> Manifest | None:
+    def search(self, digest: Digest) -> M | None:
         """Find a cached manifest containing ``digest`` (RAM only).
 
         Touches the found manifest's LRU position and counts a hit.
@@ -114,14 +121,14 @@ class ManifestCache:
         self.hits += 1
         return manifest
 
-    def get(self, manifest_id: Digest) -> Manifest | None:
+    def get(self, manifest_id: Digest) -> M | None:
         """RAM-only fetch by id (no disk fallback)."""
         m = self._cache.get(manifest_id)
         if m is not None:
             self._cache.move_to_end(manifest_id)
         return m
 
-    def load(self, manifest_id: Digest) -> Manifest:
+    def load(self, manifest_id: Digest) -> M:
         """Fetch by id, reading from disk (metered) on a cache miss."""
         m = self.get(manifest_id)
         if m is not None:
@@ -133,7 +140,7 @@ class ManifestCache:
 
     # ---- insertion / eviction ----------------------------------------------
 
-    def add(self, manifest: Manifest, pin: bool = False) -> None:
+    def add(self, manifest: M, pin: bool = False) -> None:
         """Insert a manifest built or loaded by the caller."""
         mid = manifest.manifest_id
         if mid in self._cache:

@@ -24,24 +24,34 @@ write-once, exactly as the paper requires.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
-from ..chunking import Chunk, VectorizedChunker
+from ..chunking import Chunk, Chunker, ChunkerConfig, VectorizedChunker
 from ..hashing import Digest, sha1, sha1_spans
-from ..storage import ContainerWriter, FileManifest, Manifest, ManifestEntry
+from ..storage import (
+    ContainerWriter,
+    FileManifest,
+    Manifest,
+    ManifestEntry,
+    StorageBackend,
+)
 from ..storage.manifest import MHD_ENTRY_SIZE
 from ..workloads.machine import BackupFile
 from .base import Deduplicator
+from .config import DedupConfig
 from .hhr import (
+    Span,
     align_prefix,
     align_suffix,
+    apply_split,
     match_prefix_chunks,
     match_suffix_chunks,
     plan_backward_split,
     plan_forward_split,
 )
 from .manifest_cache import ManifestCache
-from .shm import build_group_entries
+from .shm import append_group
 
 __all__ = ["MHDDeduplicator"]
 
@@ -56,13 +66,20 @@ class _Token:
 
     __slots__ = ("digest", "data", "size", "container_id", "offset", "is_dup")
 
-    def __init__(self, digest: Digest, data: memoryview, size: int):
+    def __init__(self, digest: Digest, data: memoryview, size: int) -> None:
         self.digest = digest
-        self.data = data
+        self.data: memoryview | None = data
         self.size = size
         self.container_id: Digest | None = None
         self.offset = -1
         self.is_dup = False
+
+    def view(self) -> memoryview:
+        """The pending chunk bytes; only valid before :meth:`resolve`."""
+        data = self.data
+        if data is None:
+            raise RuntimeError("token already resolved")
+        return data
 
     def resolve(self, container_id: Digest, offset: int, is_dup: bool) -> None:
         if self.container_id is not None:
@@ -124,16 +141,18 @@ class MHDDeduplicator(Deduplicator):
 
     def __init__(
         self,
-        config=None,
-        backend=None,
+        config: DedupConfig | None = None,
+        backend: StorageBackend | None = None,
         edge_hash: bool = True,
-        chunker_cls=VectorizedChunker,
+        chunker_cls: Callable[[ChunkerConfig], Chunker] = VectorizedChunker,
         contiguous_shm: bool = False,
-    ):
+    ) -> None:
         super().__init__(config, backend)
         self.chunker = chunker_cls(self.config.small_chunker_config())
         self.contiguous_shm = contiguous_shm
-        self.cache = ManifestCache(self.manifests, self.config.cache_manifests)
+        self.cache: ManifestCache[Manifest] = ManifestCache(
+            self.manifests, self.config.cache_manifests
+        )
         self.edge_hash = edge_hash
         #: HHR statistics for Fig. 10(b): splits performed and the
         #: extra disk reads they caused.
@@ -158,8 +177,15 @@ class MHDDeduplicator(Deduplicator):
         )
         self.cache.add(self._ctx.manifest, pin=True)
 
-    def _ingest_chunks(self, batch: list[Chunk]) -> None:
+    def _context(self) -> _FileContext:
+        """The per-file context; only valid between the file hooks."""
         ctx = self._ctx
+        if ctx is None:
+            raise RuntimeError("no file is being ingested")
+        return ctx
+
+    def _ingest_chunks(self, batch: list[Chunk]) -> None:
+        ctx = self._context()
         ctx.pending_chunks.extend(batch)
         for c in batch:
             ctx.pending_digests.append(sha1(c.data))
@@ -167,7 +193,7 @@ class MHDDeduplicator(Deduplicator):
         self._drain(ctx, eof=False)
 
     def _end_file(self) -> None:
-        ctx = self._ctx
+        ctx = self._context()
         self._drain(ctx, eof=True)
         while ctx.buffer:
             self._flush_group(ctx, min(self.config.sd, len(ctx.buffer)))
@@ -209,9 +235,8 @@ class MHDDeduplicator(Deduplicator):
                 continue
             manifest, idx = hit
             entry = manifest.entries[idx]
-            self._duplicate_slices += 1
-            self._duplicate_chunks += 1
-            self._duplicate_bytes += chunk.size
+            self._break_dup_run()  # a hit always opens a new slice
+            self._count_duplicate(chunk.size)
             idx += self._bme(manifest, idx, ctx)
             if self.contiguous_shm:
                 # BME has claimed every buffered chunk it can; what is
@@ -237,9 +262,12 @@ class MHDDeduplicator(Deduplicator):
         """
         tokens = ctx.tokens
         k = 0
-        while k < len(tokens) and tokens[k].container_id is not None:
+        while k < len(tokens):
+            cid = tokens[k].container_id
+            if cid is None:
+                break
             t = tokens[k]
-            ctx.fm.append(t.container_id, t.offset, t.size)
+            ctx.fm.append(cid, t.offset, t.size)
             k += 1
         del tokens[:k]
 
@@ -272,29 +300,27 @@ class MHDDeduplicator(Deduplicator):
     def _flush_group(self, ctx: _FileContext, count: int) -> None:
         group = ctx.buffer[:count]
         del ctx.buffer[:count]
-        datas = [t.data for t in group]  # resolve() drops t.data
-        if ctx.writer is None:
-            ctx.writer = self.chunks.open_container(ctx.container_id)
-        base = ctx.writer.size
-        for t, data in zip(group, datas):
-            off = ctx.writer.append(data)
+        datas = [t.view() for t in group]  # resolve() drops t.data
+        writer = ctx.writer
+        if writer is None:
+            writer = ctx.writer = self.chunks.open_container(ctx.container_id)
+        base = writer.size
+        for t, data in zip(group, datas, strict=True):
+            off = writer.append(data)
             t.resolve(ctx.container_id, off, is_dup=False)
-        entries, extra_hashed = build_group_entries(
+        self.cpu.hashed += append_group(
+            ctx.manifest,
             [t.digest for t in group],
             [t.size for t in group],
             datas,
             base,
         )
-        self.cpu.hashed += extra_hashed
-        for e in entries:
-            ctx.manifest.append(e)
         self.cache.reindex(ctx.manifest)
         self.hooks.put(group[0].digest, ctx.manifest.manifest_id)
         if self.bloom is not None:
             self.bloom.add(group[0].digest)
-        self._unique_chunks += len(group)
         group_bytes = sum(t.size for t in group)
-        self._unique_bytes += group_bytes
+        self._count_unique_many(len(group), group_bytes)
         if 2 * group_bytes > self._buffer_peak_bytes:
             self._buffer_peak_bytes = 2 * group_bytes
 
@@ -321,8 +347,7 @@ class MHDDeduplicator(Deduplicator):
             if entry.digest == tail.digest:
                 ctx.buffer.pop()
                 tail.resolve(manifest.chunk_id, entry.offset, is_dup=True)
-                self._duplicate_chunks += 1
-                self._duplicate_bytes += tail.size
+                self._count_duplicate(tail.size, run_continues=True)
                 j -= 1
                 continue
             if entry.is_hook:
@@ -331,14 +356,13 @@ class MHDDeduplicator(Deduplicator):
             if k is not None and k > 1:
                 span = ctx.buffer[-k:]
                 self.cpu.hashed += entry.size
-                if sha1_spans([t.data for t in span]) == entry.digest:
+                if sha1_spans([t.view() for t in span]) == entry.digest:
                     del ctx.buffer[-k:]
                     pos = entry.offset
                     for t in span:
                         t.resolve(manifest.chunk_id, pos, is_dup=True)
                         pos += t.size
-                        self._duplicate_chunks += 1
-                        self._duplicate_bytes += t.size
+                        self._count_duplicate(t.size, run_continues=True)
                     j -= 1
                     continue
             if entry.size > tail.size:
@@ -382,8 +406,7 @@ class MHDDeduplicator(Deduplicator):
                 token = _Token(digests[i], chunks[i].data, chunks[i].size)
                 token.resolve(manifest.chunk_id, entry.offset, is_dup=True)
                 ctx.tokens.append(token)
-                self._duplicate_chunks += 1
-                self._duplicate_bytes += chunks[i].size
+                self._count_duplicate(chunks[i].size, run_continues=True)
                 avail -= chunks[i].size
                 i += 1
                 j += 1
@@ -401,8 +424,7 @@ class MHDDeduplicator(Deduplicator):
                         token.resolve(manifest.chunk_id, pos, is_dup=True)
                         ctx.tokens.append(token)
                         pos += c.size
-                        self._duplicate_chunks += 1
-                        self._duplicate_bytes += c.size
+                        self._count_duplicate(c.size, run_continues=True)
                         avail -= c.size
                     i += k
                     j += 1
@@ -419,7 +441,7 @@ class MHDDeduplicator(Deduplicator):
         entry = manifest.entries[j]
         old = self.chunks.read(manifest.chunk_id, entry.offset, entry.size)
         self.hhr_reads += 1
-        tail = [bytes(t.data) for t in ctx.buffer]
+        tail = [bytes(t.view()) for t in ctx.buffer]
         matched, matched_bytes, compared = match_suffix_chunks(old, tail)
         self.cpu.compared += compared
         edge_size = None
@@ -437,8 +459,7 @@ class MHDDeduplicator(Deduplicator):
             t = ctx.buffer.pop()
             pos -= t.size
             t.resolve(manifest.chunk_id, pos, is_dup=True)
-            self._duplicate_chunks += 1
-            self._duplicate_bytes += t.size
+            self._count_duplicate(t.size, run_continues=True)
         return shift
 
     def _hhr_forward(
@@ -479,25 +500,30 @@ class MHDDeduplicator(Deduplicator):
             token.resolve(manifest.chunk_id, pos, is_dup=True)
             ctx.tokens.append(token)
             pos += chunks[i + k].size
-            self._duplicate_chunks += 1
-            self._duplicate_bytes += chunks[i + k].size
+            self._count_duplicate(chunks[i + k].size, run_continues=True)
         return i + matched
 
-    def _apply_split(self, manifest, j, entry, old, spans) -> int:
-        """Replace entry ``j`` with the planned spans; returns index shift."""
-        if len(spans) == 1 and spans[0].role == "remainder":
+    def _apply_split(
+        self,
+        manifest: Manifest,
+        j: int,
+        entry: ManifestEntry,
+        old: bytes,
+        spans: Sequence[Span],
+    ) -> int:
+        """Replace entry ``j`` with the planned spans; returns index shift.
+
+        The entry mutation itself lives in :func:`repro.core.hhr.apply_split`
+        (the sanctioned DDC002 site); this wrapper folds in the cache
+        and statistics bookkeeping.
+        """
+        shift, hashed = apply_split(manifest, j, entry, old, spans)
+        if hashed == 0:
             return 0  # degenerate: nothing learned
-        replacements = []
-        for s in spans:
-            digest = sha1(old[s.offset : s.end])
-            self.cpu.hashed += s.size
-            replacements.append(
-                ManifestEntry(digest, entry.offset + s.offset, s.size, is_hook=False)
-            )
-        manifest.replace_entry(j, replacements)
+        self.cpu.hashed += hashed
         self.cache.reindex(manifest)
         self.hhr_splits += 1
-        return len(replacements) - 1
+        return shift
 
     # ------------------------------------------------------------------
     # finalize

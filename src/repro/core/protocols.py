@@ -1,0 +1,109 @@
+"""Typed seams between the dedup core and its pluggable pieces.
+
+The core is deliberately structural: algorithms, manifest kinds and
+storage backends plug in by *shape*, not by inheritance.  This module
+writes those shapes down as :class:`typing.Protocol`\\ s so
+``mypy --strict`` verifies every implementation instead of relying on
+convention:
+
+* :class:`BatchIngestHooks` — the ``_begin_file`` / ``_ingest_chunks``
+  / ``_end_file`` contract every deduplicator's streaming ingest rests
+  on (see :meth:`repro.core.base.Deduplicator.ingest`);
+* :class:`CacheableManifest` / :class:`ManifestBackend` — what the
+  shared LRU :class:`repro.core.manifest_cache.ManifestCache` needs
+  from a manifest object and its persistence layer, satisfied by both
+  :class:`repro.storage.Manifest` (MHD, per-DiskChunk) and
+  :class:`repro.storage.multi_manifest.MultiManifest` (SubChunk /
+  SparseIndexing bins and segments).
+
+The chunk-source seam (:class:`repro.chunking.base.ChunkSource`) lives
+with the chunkers; the object-store seam
+(:class:`repro.storage.backend.ObjectBackend`) with the stores.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any, Protocol, TypeVar
+
+from ..chunking.base import Chunk
+from ..hashing import Digest
+from ..workloads.machine import BackupFile
+
+__all__ = [
+    "BatchIngestHooks",
+    "CacheableManifest",
+    "ManifestBackend",
+]
+
+
+class BatchIngestHooks(Protocol):
+    """The per-file hook contract of the streaming ingest pipeline.
+
+    ``ingest()`` drives exactly this sequence per file::
+
+        _begin_file(file); _ingest_chunks(batch)*; _end_file()
+
+    Implementations must be *batch-boundary invariant*: splitting the
+    same chunk sequence into different batches must not change any
+    decision (dedupcheck rule DDC003 guards the most common way to
+    break this — reaching for the whole file's bytes mid-stream).
+    """
+
+    def _begin_file(self, file: BackupFile) -> None:
+        """Open per-file state (manifest, container writer, ...)."""
+
+    def _ingest_chunks(self, batch: list[Chunk]) -> None:
+        """Process one batch of stream chunks (absolute offsets)."""
+
+    def _end_file(self) -> None:
+        """Flush per-file state; the file's chunk stream is complete."""
+
+
+class CacheableManifest(Protocol):
+    """What the manifest cache needs from a manifest object.
+
+    Both manifest kinds are hash tables with an identity, a dirty flag
+    and a RAM cost; the cache touches nothing else.
+    """
+
+    @property
+    def manifest_id(self) -> Digest:
+        """Hash address of this manifest on the simulated disk."""
+        ...
+
+    @property
+    def dirty(self) -> bool:
+        """Whether the manifest must be written back before eviction."""
+        ...
+
+    @property
+    def index(self) -> Mapping[Digest, Any]:
+        """Digest -> position(s); the cache aggregates the key sets."""
+        ...
+
+    def ram_size(self) -> int:
+        """Bytes occupied when cached in RAM (Table IV accounting)."""
+        ...
+
+
+#: The concrete manifest kind a cache instance holds.
+M = TypeVar("M", bound=CacheableManifest)
+
+
+class ManifestBackend(Protocol[M]):
+    """Metered persistence for one manifest kind.
+
+    Satisfied by :class:`repro.storage.ManifestStore` (``M`` =
+    :class:`~repro.storage.Manifest`) and
+    :class:`repro.storage.multi_manifest.MultiManifestStore` (``M`` =
+    :class:`~repro.storage.multi_manifest.MultiManifest`).
+    """
+
+    def put(self, manifest: M) -> None:
+        """Persist ``manifest`` (metered write; clears its dirty flag)."""
+        ...
+
+    def get(self, manifest_id: Digest) -> M:
+        """Load a manifest from disk (metered read)."""
+        ...

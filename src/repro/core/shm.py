@@ -7,20 +7,24 @@ the remaining ``SD - 1`` chunks are merged under one SHA-1 computed
 over their concatenation.  This is what drives MHD's ``2N/SD`` Table I
 manifest-entry count.
 
-The helper is pure: it takes the group's digests/sizes/bytes and the
-container offset where the group's data begins, and returns manifest
-entries plus the number of extra bytes hashed (CPU accounting for the
-merged digest).
+:func:`build_group_entries` is pure: it takes the group's
+digests/sizes/bytes and the container offset where the group's data
+begins, and returns manifest entries plus the number of extra bytes
+hashed (CPU accounting for the merged digest).
+:func:`append_group` writes one flush group onto a manifest — the
+build-time manifest append lives here so that, together with HHR's
+:func:`repro.core.hhr.apply_split`, all manifest-entry writes happen
+inside the SHM/HHR machinery (dedupcheck rule DDC002).
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..hashing import Digest, sha1_spans
-from ..storage import ManifestEntry
+from ..storage import Manifest, ManifestEntry
 
-__all__ = ["build_group_entries"]
+__all__ = ["build_group_entries", "append_group"]
 
 
 def build_group_entries(
@@ -58,3 +62,22 @@ def build_group_entries(
             )
         )
     return entries, extra_hashed
+
+
+def append_group(
+    manifest: Manifest,
+    digests: Sequence[Digest],
+    sizes: Sequence[int],
+    datas: Sequence[bytes | memoryview],
+    base_offset: int,
+) -> int:
+    """Append one SHM flush group's entries to ``manifest``.
+
+    Returns the extra bytes SHA-1'd for the merged digest (CPU
+    accounting).  The caller remains responsible for writing the hook
+    file and refreshing any cache index.
+    """
+    entries, extra_hashed = build_group_entries(digests, sizes, datas, base_offset)
+    for e in entries:
+        manifest.append(e)
+    return extra_hashed

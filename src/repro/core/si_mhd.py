@@ -26,9 +26,13 @@ to the choice of in-memory index.
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..hashing import Digest
-from ..storage import DiskModel, Manifest
-from .mhd import MHDDeduplicator
+from ..storage import DiskModel, Manifest, StorageBackend
+from .base import DedupStats
+from .config import DedupConfig
+from .mhd import MHDDeduplicator, _FileContext
 
 __all__ = ["SIMHDDeduplicator"]
 
@@ -38,7 +42,13 @@ class SIMHDDeduplicator(MHDDeduplicator):
 
     name = "si-mhd"
 
-    def __init__(self, config=None, backend=None, edge_hash: bool = True, **kw):
+    def __init__(
+        self,
+        config: DedupConfig | None = None,
+        backend: StorageBackend | None = None,
+        edge_hash: bool = True,
+        **kw: Any,
+    ) -> None:
         super().__init__(config, backend, edge_hash=edge_hash, **kw)
         # The sparse index fully replaces the Bloom filter.
         self.bloom = None
@@ -52,7 +62,8 @@ class SIMHDDeduplicator(MHDDeduplicator):
     def warm_start(self) -> int:
         """Rebuild the in-RAM hook index from the on-disk hook files."""
         hooks = self.backend.keys(DiskModel.HOOK)
-        for digest in hooks:
+        for raw in hooks:
+            digest = Digest(raw)
             self._hook_index.setdefault(digest, self.hooks.get(digest))
         return len(hooks)
 
@@ -71,14 +82,14 @@ class SIMHDDeduplicator(MHDDeduplicator):
             return None
         return manifest, idx
 
-    def _flush_group(self, ctx, count: int) -> None:
+    def _flush_group(self, ctx: _FileContext, count: int) -> None:
         # Reuse the BF-MHD flush (which persists the group-leader hook
         # on disk), then mirror that hook into the in-RAM index.
         super()._flush_group(ctx, count)
         group_hook = next(e for e in reversed(ctx.manifest.entries) if e.is_hook)
         self._hook_index.setdefault(group_hook.digest, ctx.manifest.manifest_id)
 
-    def _stats(self):
+    def _stats(self) -> DedupStats:
         # The hook index is RAM, not persistent metadata; fold it into
         # peak RAM so comparisons with BF-MHD's bloom budget are fair.
         self._observe_ram(self.cache.ram_bytes() + self.hook_index_bytes())

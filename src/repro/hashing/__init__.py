@@ -1,7 +1,7 @@
 """Hashing primitives: SHA-1 content digests and the Bloom filter."""
 
 from .bloom import BloomFilter, optimal_bits, optimal_num_hashes
-from .digest import HASH_SIZE, Digest, hex_short, sha1, sha1_spans
+from .digest import HASH_SIZE, Digest, Hasher, hex_short, sha1, sha1_spans
 from .sketch import CountMinSketch
 
 __all__ = [
@@ -10,6 +10,7 @@ __all__ = [
     "optimal_num_hashes",
     "HASH_SIZE",
     "Digest",
+    "Hasher",
     "hex_short",
     "sha1",
     "sha1_spans",

@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from .digest import Digest
 
@@ -74,7 +75,7 @@ class BloomFilter:
         assuming the filter will be loaded to ~50% of its bits.
     """
 
-    def __init__(self, size_bytes: int, num_hashes: int | None = None):
+    def __init__(self, size_bytes: int, num_hashes: int | None = None) -> None:
         if size_bytes <= 0:
             raise ValueError(f"size_bytes must be positive, got {size_bytes}")
         self._bits = np.zeros(size_bytes, dtype=np.uint8)
@@ -88,7 +89,7 @@ class BloomFilter:
     @classmethod
     def for_expected_items(
         cls, expected_items: int, fp_rate: float = 0.01
-    ) -> "BloomFilter":
+    ) -> BloomFilter:
         """Construct a filter sized for ``expected_items`` at ``fp_rate``."""
         bits = optimal_bits(expected_items, fp_rate)
         size_bytes = (bits + 7) // 8
@@ -104,13 +105,18 @@ class BloomFilter:
         """Probe positions tested per membership operation."""
         return self._k
 
-    def _positions(self, digest: Digest) -> np.ndarray:
+    def _positions(self, digest: Digest) -> npt.NDArray[np.int64]:
         # Double hashing: derive k positions from two 64-bit halves of
         # the digest.  SHA-1 is 20 bytes; use bytes [0:8] and [8:16].
         h1 = int.from_bytes(digest[0:8], "little")
         h2 = int.from_bytes(digest[8:16], "little") | 1  # force odd
-        idx = (h1 + np.arange(self._k, dtype=np.uint64) * np.uint64(h2 & (2**64 - 1)))
-        return (idx % np.uint64(self._num_bits)).astype(np.int64)
+        ks = np.arange(self._k, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            idx = np.uint64(h1 & (2**64 - 1)) + ks * np.uint64(h2 & (2**64 - 1))
+        out: npt.NDArray[np.int64] = (idx % np.uint64(self._num_bits)).astype(
+            np.int64
+        )
+        return out
 
     def add(self, digest: Digest) -> None:
         """Insert a digest (sets its k probe bits)."""

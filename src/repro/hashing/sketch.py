@@ -17,6 +17,7 @@ under-estimates.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from .digest import Digest
 
@@ -26,7 +27,7 @@ __all__ = ["CountMinSketch"]
 class CountMinSketch:
     """Count-Min frequency sketch over 20-byte digests."""
 
-    def __init__(self, width: int = 1 << 14, depth: int = 4):
+    def __init__(self, width: int = 1 << 14, depth: int = 4) -> None:
         if width < 16 or depth < 1:
             raise ValueError(f"need width >= 16 and depth >= 1, got {width}x{depth}")
         self._width = width
@@ -39,12 +40,15 @@ class CountMinSketch:
         """RAM held by the counter matrix."""
         return self._table.nbytes
 
-    def _columns(self, digest: Digest) -> np.ndarray:
+    def _columns(self, digest: Digest) -> npt.NDArray[np.int64]:
         # Row-specific columns by double hashing two 64-bit digest halves.
         h1 = int.from_bytes(digest[0:8], "little")
         h2 = int.from_bytes(digest[8:16], "little") | 1
-        idx = (h1 + np.arange(self._depth, dtype=np.uint64) * np.uint64(h2 & (2**64 - 1)))
-        return (idx % np.uint64(self._width)).astype(np.int64)
+        ds = np.arange(self._depth, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            idx = np.uint64(h1 & (2**64 - 1)) + ds * np.uint64(h2 & (2**64 - 1))
+        out: npt.NDArray[np.int64] = (idx % np.uint64(self._width)).astype(np.int64)
+        return out
 
     def add(self, digest: Digest, count: int = 1) -> None:
         """Record ``count`` occurrences of ``digest``."""

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
 
 from .analysis.timing import DeviceModel
 from .core.base import DedupStats

@@ -12,7 +12,7 @@ after pickling without dragging every deduplicator through the fork.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 __all__ = ["available", "resolve"]
 

@@ -8,7 +8,12 @@ flows through a shared :class:`DiskModel` meter, which is what the
 Table II / Table V benches read out.
 """
 
-from .backend import DirectoryBackend, MemoryBackend, StorageBackend
+from .backend import (
+    DirectoryBackend,
+    MemoryBackend,
+    ObjectBackend,
+    StorageBackend,
+)
 from .chunk_store import ContainerWriter, DiskChunkStore
 from .disk_model import INODE_SIZE, DiskModel, IOSnapshot
 from .file_manifest import FILE_ENTRY_SIZE, FileExtent, FileManifest, FileManifestStore
@@ -34,11 +39,12 @@ from .retention import (
     default_generation_of,
     plan_retention,
 )
-from .verify import IntegrityReport, verify_store
+from .verify import IntegrityReport, load_manifest, verify_store
 
 __all__ = [
     "DirectoryBackend",
     "MemoryBackend",
+    "ObjectBackend",
     "StorageBackend",
     "ContainerWriter",
     "DiskChunkStore",
@@ -61,6 +67,7 @@ __all__ = [
     "MultiManifest",
     "MultiManifestStore",
     "IntegrityReport",
+    "load_manifest",
     "verify_store",
     "GCReport",
     "delete_file",

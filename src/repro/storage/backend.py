@@ -19,10 +19,53 @@ from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
+from typing import Protocol
 
 from .disk_model import INODE_SIZE
 
-__all__ = ["StorageBackend", "MemoryBackend", "DirectoryBackend"]
+__all__ = [
+    "ObjectBackend",
+    "StorageBackend",
+    "MemoryBackend",
+    "DirectoryBackend",
+]
+
+
+class ObjectBackend(Protocol):
+    """Structural seam the object stores require of a backend.
+
+    :class:`StorageBackend` subclasses satisfy this by shape; code that
+    only *consumes* storage (stores, verification, GC) can accept an
+    ``ObjectBackend`` and remain open to duck-typed backends.
+    """
+
+    def put(self, namespace: str, key: bytes, data: bytes) -> None:
+        """Store an object (overwrites an existing one)."""
+        ...
+
+    def get(self, namespace: str, key: bytes) -> bytes:
+        """Fetch an object; raises ``KeyError`` if absent."""
+        ...
+
+    def exists(self, namespace: str, key: bytes) -> bool:
+        """Membership test without transferring the object."""
+        ...
+
+    def keys(self, namespace: str) -> list[bytes]:
+        """All keys in a namespace (unordered)."""
+        ...
+
+    def delete(self, namespace: str, key: bytes) -> bool:
+        """Remove an object; returns whether it existed."""
+        ...
+
+    def object_count(self, namespace: str) -> int:
+        """Number of stored objects in the namespace."""
+        ...
+
+    def bytes_stored(self, namespace: str) -> int:
+        """Total payload bytes held by a namespace."""
+        ...
 
 
 class StorageBackend(ABC):
@@ -123,7 +166,7 @@ class DirectoryBackend(StorageBackend):
     separate hash-named file on the host file system.
     """
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    def __init__(self, root: str | os.PathLike[str]) -> None:
         self._root = os.fspath(root)
         os.makedirs(self._root, exist_ok=True)
 

@@ -28,7 +28,7 @@ __all__ = ["ContainerWriter", "DiskChunkStore"]
 class ContainerWriter:
     """Accumulates one DiskChunk's bytes; closed exactly once."""
 
-    def __init__(self, store: "DiskChunkStore", container_id: Digest):
+    def __init__(self, store: DiskChunkStore, container_id: Digest) -> None:
         self.container_id = container_id
         self._store = store
         self._buf = bytearray()
@@ -66,7 +66,7 @@ class ContainerWriter:
 class DiskChunkStore:
     """Metered store of immutable DiskChunk containers."""
 
-    def __init__(self, backend: StorageBackend, meter: DiskModel):
+    def __init__(self, backend: StorageBackend, meter: DiskModel) -> None:
         self._backend = backend
         self._meter = meter
         self._open: dict[Digest, ContainerWriter] = {}

@@ -15,8 +15,8 @@ counts into simulated seconds is :mod:`repro.analysis.timing`'s job.
 from __future__ import annotations
 
 from collections import Counter
+from collections.abc import Iterable
 from dataclasses import dataclass, field
-from typing import Iterable
 
 __all__ = ["DiskModel", "IOSnapshot", "INODE_SIZE"]
 
@@ -52,7 +52,7 @@ class IOSnapshot:
             if (namespace is None or ns == namespace) and (op is None or o == op)
         )
 
-    def __sub__(self, other: "IOSnapshot") -> "IOSnapshot":
+    def __sub__(self, other: IOSnapshot) -> IOSnapshot:
         ops = Counter(self.ops)
         ops.subtract(other.ops)
         nb = Counter(self.byte_counts)
@@ -115,7 +115,7 @@ class DiskModel:
             out.setdefault(ns, {})[op] = v
         return out
 
-    def merge(self, others: Iterable["DiskModel"]) -> None:
+    def merge(self, others: Iterable[DiskModel]) -> None:
         """Fold other meters into this one (parallel-run aggregation)."""
         for other in others:
             self._ops.update(other._ops)

@@ -47,7 +47,9 @@ class FileExtent:
 class FileManifest:
     """Ordered extents reconstructing one file."""
 
-    def __init__(self, file_id: str, extents: list[FileExtent] | None = None):
+    def __init__(
+        self, file_id: str, extents: list[FileExtent] | None = None
+    ) -> None:
         self.file_id = file_id
         self.extents: list[FileExtent] = list(extents or [])
 
@@ -89,15 +91,15 @@ class FileManifest:
         return b"".join(parts)
 
     @classmethod
-    def from_bytes(cls, raw: bytes) -> "FileManifest":
+    def from_bytes(cls, raw: bytes) -> FileManifest:
         name_len, count = struct.unpack_from("<HI", raw, 0)
         off = 6
         name = raw[off : off + name_len].decode()
         off += name_len
-        extents = []
+        extents: list[FileExtent] = []
         for _ in range(count):
             cid, e_off, e_size = _EXTENT_STRUCT.unpack_from(raw, off)
-            extents.append(FileExtent(cid, e_off, e_size))
+            extents.append(FileExtent(Digest(cid), e_off, e_size))
             off += _EXTENT_STRUCT.size
         return cls(name, extents)
 
@@ -105,7 +107,7 @@ class FileManifest:
 class FileManifestStore:
     """Metered persistence for FileManifests, keyed by file id."""
 
-    def __init__(self, backend: StorageBackend, meter: DiskModel):
+    def __init__(self, backend: StorageBackend, meter: DiskModel) -> None:
         self._backend = backend
         self._meter = meter
 
@@ -141,7 +143,7 @@ class FileManifestStore:
         are digests of the ids, so the names must come from the
         manifests themselves.
         """
-        ids = []
+        ids: list[str] = []
         for key in self._backend.keys(DiskModel.FILE_MANIFEST):
             raw = self._backend.get(DiskModel.FILE_MANIFEST, key)
             self._meter.record(DiskModel.FILE_MANIFEST, "read", len(raw))

@@ -35,7 +35,7 @@ from .disk_model import DiskModel
 from .file_manifest import FileManifest, FileManifestStore
 from .manifest import Manifest
 from .multi_manifest import MultiManifest
-from .verify import _load_manifest
+from .verify import load_manifest
 
 __all__ = ["GCReport", "delete_file", "sweep"]
 
@@ -87,7 +87,8 @@ def sweep(backend: StorageBackend) -> GCReport:
     containers_deleted = bytes_reclaimed = 0
     containers_kept = bytes_pinned = 0
     live_containers: set[Digest] = set()
-    for cid in backend.keys(DiskModel.CHUNK):
+    for raw_cid in backend.keys(DiskModel.CHUNK):
+        cid = Digest(raw_cid)
         size = len(backend.get(DiskModel.CHUNK, cid))
         if cid in referenced:
             live_containers.add(cid)
@@ -106,8 +107,9 @@ def sweep(backend: StorageBackend) -> GCReport:
     manifests_deleted = 0
     dead_manifests: set[Digest] = set()
     surviving_digests: dict[Digest, set[Digest]] = {}
-    for mid in backend.keys(DiskModel.MANIFEST):
-        manifest = _load_manifest(backend.get(DiskModel.MANIFEST, mid))
+    for raw_mid in backend.keys(DiskModel.MANIFEST):
+        mid = Digest(raw_mid)
+        manifest = load_manifest(backend.get(DiskModel.MANIFEST, mid))
         if isinstance(manifest, Manifest):
             containers = {manifest.chunk_id}
         else:
@@ -130,7 +132,7 @@ def sweep(backend: StorageBackend) -> GCReport:
 
     hooks_deleted = 0
     for hook in backend.keys(DiskModel.HOOK):
-        target = backend.get(DiskModel.HOOK, hook)
+        target = Digest(backend.get(DiskModel.HOOK, hook))
         digests = surviving_digests.get(target)  # None: dead or dangling
         if digests is None or hook not in digests:
             backend.delete(DiskModel.HOOK, hook)

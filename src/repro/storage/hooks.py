@@ -24,7 +24,7 @@ __all__ = ["HookStore"]
 class HookStore:
     """Metered digest → manifest-address mapping, one file per hook."""
 
-    def __init__(self, backend: StorageBackend, meter: DiskModel):
+    def __init__(self, backend: StorageBackend, meter: DiskModel) -> None:
         self._backend = backend
         self._meter = meter
 
@@ -48,7 +48,7 @@ class HookStore:
         """Fetch the manifest address; one metered read."""
         data = self._backend.get(DiskModel.HOOK, hook_digest)
         self._meter.record(DiskModel.HOOK, "read", len(data))
-        return data
+        return Digest(data)
 
     def lookup(self, hook_digest: Digest) -> Digest | None:
         """Query + read combined: manifest id, or ``None`` if absent."""

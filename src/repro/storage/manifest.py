@@ -67,7 +67,7 @@ class ManifestEntry:
         """Exclusive end offset within the DiskChunk."""
         return self.offset + self.size
 
-    def with_hook(self, is_hook: bool) -> "ManifestEntry":
+    def with_hook(self, is_hook: bool) -> ManifestEntry:
         """Copy of this entry with the Hook flag set as given."""
         return replace(self, is_hook=is_hook)
 
@@ -87,7 +87,7 @@ class Manifest:
         chunk_id: Digest,
         entries: list[ManifestEntry] | None = None,
         entry_size: int = MHD_ENTRY_SIZE,
-    ):
+    ) -> None:
         if entry_size not in (ENTRY_SIZE, MHD_ENTRY_SIZE):
             raise ValueError(f"entry_size must be 36 or 37, got {entry_size}")
         self.manifest_id = manifest_id
@@ -147,7 +147,7 @@ class Manifest:
                 f"replacements [{replacements[0].offset}, {replacements[-1].end}) "
                 f"must tile the old extent [{old.offset}, {old.end})"
             )
-        for a, b in zip(replacements, replacements[1:]):
+        for a, b in zip(replacements, replacements[1:], strict=False):
             if a.end != b.offset:
                 raise ValueError("replacements must be contiguous")
         self.entries[i : i + 1] = replacements
@@ -198,23 +198,25 @@ class Manifest:
         return b"".join(parts)
 
     @classmethod
-    def from_bytes(cls, raw: bytes) -> "Manifest":
-        mid = raw[:HASH_SIZE]
-        cid = raw[HASH_SIZE : 2 * HASH_SIZE]
+    def from_bytes(cls, raw: bytes) -> Manifest:
+        mid = Digest(raw[:HASH_SIZE])
+        cid = Digest(raw[HASH_SIZE : 2 * HASH_SIZE])
         (count,) = struct.unpack_from("<I", raw, 2 * HASH_SIZE)
         body = len(raw) - MANIFEST_HEADER_SIZE
         entry_size = body // count if count else MHD_ENTRY_SIZE
-        entries = []
+        entries: list[ManifestEntry] = []
         off = MANIFEST_HEADER_SIZE
         if entry_size == MHD_ENTRY_SIZE:
             for _ in range(count):
                 digest, offset, size, flag = _ENTRY_STRUCT.unpack_from(raw, off)
-                entries.append(ManifestEntry(digest, offset, size, bool(flag)))
+                entries.append(
+                    ManifestEntry(Digest(digest), offset, size, bool(flag))
+                )
                 off += _ENTRY_STRUCT.size
         else:
             for _ in range(count):
                 digest, offset, size = _ENTRY_STRUCT_NOFLAG.unpack_from(raw, off)
-                entries.append(ManifestEntry(digest, offset, size))
+                entries.append(ManifestEntry(Digest(digest), offset, size))
                 off += _ENTRY_STRUCT_NOFLAG.size
         return cls(mid, cid, entries, entry_size=entry_size)
 
@@ -222,7 +224,7 @@ class Manifest:
 class ManifestStore:
     """Metered, hash-addressed persistence for manifests."""
 
-    def __init__(self, backend: StorageBackend, meter: DiskModel):
+    def __init__(self, backend: StorageBackend, meter: DiskModel) -> None:
         self._backend = backend
         self._meter = meter
 

@@ -56,7 +56,9 @@ class MultiEntry:
 class MultiManifest:
     """Ordered chunk records spanning one or more containers."""
 
-    def __init__(self, manifest_id: Digest, entries: list[MultiEntry] | None = None):
+    def __init__(
+        self, manifest_id: Digest, entries: list[MultiEntry] | None = None
+    ) -> None:
         self.manifest_id = manifest_id
         self.entries: list[MultiEntry] = list(entries or [])
         self.dirty = False
@@ -124,7 +126,7 @@ class MultiManifest:
         return b"".join(parts)
 
     @classmethod
-    def from_bytes(cls, raw: bytes) -> "MultiManifest":
+    def from_bytes(cls, raw: bytes) -> MultiManifest:
         mid, group_count = _HEADER_STRUCT.unpack_from(raw, 0)
         off = _HEADER_STRUCT.size
         entries: list[MultiEntry] = []
@@ -133,15 +135,17 @@ class MultiManifest:
             off += _GROUP_STRUCT.size
             for _ in range(count):
                 digest, e_off, e_size = _ENTRY_STRUCT.unpack_from(raw, off)
-                entries.append(MultiEntry(digest, container_id, e_off, e_size))
+                entries.append(
+                    MultiEntry(Digest(digest), Digest(container_id), e_off, e_size)
+                )
                 off += _ENTRY_STRUCT.size
-        return cls(mid, entries)
+        return cls(Digest(mid), entries)
 
 
 class MultiManifestStore:
     """Metered persistence; interface-compatible with ManifestStore."""
 
-    def __init__(self, backend: StorageBackend, meter: DiskModel):
+    def __init__(self, backend: StorageBackend, meter: DiskModel) -> None:
         self._backend = backend
         self._meter = meter
 

@@ -112,7 +112,7 @@ def decode_recipe(raw: bytes) -> FileManifest:
     pos += name_len
     n_containers, pos = _read_varint(raw, pos)
     containers = [
-        raw[pos + i * HASH_SIZE : pos + (i + 1) * HASH_SIZE]
+        Digest(raw[pos + i * HASH_SIZE : pos + (i + 1) * HASH_SIZE])
         for i in range(n_containers)
     ]
     pos += n_containers * HASH_SIZE

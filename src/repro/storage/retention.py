@@ -16,8 +16,8 @@ via :func:`~repro.storage.gc.delete_file` + :func:`~repro.storage.gc.sweep`.
 from __future__ import annotations
 
 import re
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
 
 from .backend import StorageBackend
 from .gc import GCReport, delete_file, sweep
@@ -79,7 +79,7 @@ def plan_retention(
     ids = list(file_ids)
     generations = [g for g in (generation_of(f) for f in ids) if g is not None]
     kept = policy.kept_generations(generations)
-    victims = []
+    victims: list[str] = []
     for file_id in ids:
         g = generation_of(file_id)
         if g is not None and g not in kept:

@@ -13,6 +13,9 @@ on purpose) and exposed to users via ``Deduplicator.verify_integrity``.
 
 from __future__ import annotations
 
+import contextlib
+import logging
+import struct
 from dataclasses import dataclass, field
 
 from ..hashing.digest import Digest, sha1
@@ -22,7 +25,14 @@ from .file_manifest import FileManifest
 from .manifest import Manifest
 from .multi_manifest import MultiManifest
 
-__all__ = ["IntegrityReport", "verify_store"]
+__all__ = ["IntegrityReport", "load_manifest", "verify_store"]
+
+logger = logging.getLogger(__name__)
+
+#: Everything a malformed manifest/file-manifest payload can raise while
+#: parsing: truncated structs (``struct.error``), entry validation
+#: (``ValueError``) and, for FileManifests, bad name bytes.
+_PARSE_ERRORS = (ValueError, struct.error, UnicodeDecodeError)
 
 
 @dataclass
@@ -54,14 +64,16 @@ class IntegrityReport:
         )
 
 
-def _load_manifest(raw: bytes):
-    """Manifests may be single-container or multi-container; sniff."""
-    try:
+def load_manifest(raw: bytes) -> Manifest | MultiManifest:
+    """Manifests may be single-container or multi-container; sniff.
+
+    A payload that parses as neither raises one of ``ValueError`` /
+    ``struct.error`` (from the :class:`MultiManifest` attempt).
+    """
+    with contextlib.suppress(*_PARSE_ERRORS):
         m = Manifest.from_bytes(raw)
         if m.to_bytes() == raw:
             return m
-    except Exception:  # noqa: BLE001 - format sniffing
-        pass
     return MultiManifest.from_bytes(raw)
 
 
@@ -84,16 +96,20 @@ def verify_store(
     """
     report = IntegrityReport()
     container_sizes: dict[Digest, int] = {}
-    for key in backend.keys(DiskModel.CHUNK):
-        container_sizes[key] = len(backend.get(DiskModel.CHUNK, key))
+    for raw_key in backend.keys(DiskModel.CHUNK):
+        container_sizes[Digest(raw_key)] = len(
+            backend.get(DiskModel.CHUNK, raw_key)
+        )
         report.containers_checked += 1
 
-    manifests: dict[Digest, object] = {}
-    for key in backend.keys(DiskModel.MANIFEST):
+    manifests: dict[Digest, Manifest | MultiManifest] = {}
+    for raw_key in backend.keys(DiskModel.MANIFEST):
+        key = Digest(raw_key)
         raw = backend.get(DiskModel.MANIFEST, key)
         try:
-            m = _load_manifest(raw)
-        except Exception as e:  # noqa: BLE001 - report, don't crash
+            m = load_manifest(raw)
+        except _PARSE_ERRORS as e:
+            logger.debug("manifest %s failed to parse", key.hex()[:12], exc_info=True)
             report.error(f"manifest {key.hex()[:12]}: unparseable ({e})")
             continue
         report.manifests_checked += 1
@@ -148,15 +164,16 @@ def verify_store(
                             f"manifest {key.hex()[:12]} entry {i}: digest mismatch"
                         )
 
-    for key in backend.keys(DiskModel.HOOK):
+    for raw_key in backend.keys(DiskModel.HOOK):
+        key = Digest(raw_key)
         report.hooks_checked += 1
-        target = backend.get(DiskModel.HOOK, key)
-        m = manifests.get(target)
-        if m is None:
+        target = Digest(backend.get(DiskModel.HOOK, key))
+        hook_manifest = manifests.get(target)
+        if hook_manifest is None:
             report.error(
                 f"hook {key.hex()[:12]}: dangling manifest {target.hex()[:12]}"
             )
-        elif key not in m:
+        elif key not in hook_manifest:
             # HHR never re-chunks hook entries, so a hook's digest must
             # survive in its manifest for the life of the store.
             report.error(
@@ -167,7 +184,10 @@ def verify_store(
         report.file_manifests_checked += 1
         try:
             fm = FileManifest.from_bytes(backend.get(DiskModel.FILE_MANIFEST, key))
-        except Exception as e:  # noqa: BLE001
+        except _PARSE_ERRORS as e:
+            logger.debug(
+                "file manifest %s failed to parse", key.hex()[:12], exc_info=True
+            )
             report.error(f"file manifest {key.hex()[:12]}: unparseable ({e})")
             continue
         if not deep:

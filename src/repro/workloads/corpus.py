@@ -15,7 +15,7 @@ meaning for manifest caching.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from collections.abc import Iterator
 
 from .machine import BackupFile, Machine, MachineConfig
 from .mutations import EditConfig

@@ -21,7 +21,7 @@ and validate the synthetic corpus against the paper's dataset shape.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from collections.abc import Iterable
 
 from ..chunking import Chunker
 from ..hashing import sha1

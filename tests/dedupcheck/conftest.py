@@ -1,0 +1,12 @@
+"""Make the repository root importable so ``tools.dedupcheck`` loads.
+
+Tier-1 runs (``python -m pytest`` from the repo root) already have the
+root on ``sys.path``; this keeps the suite working from other CWDs.
+"""
+
+import sys
+from pathlib import Path
+
+_ROOT = str(Path(__file__).resolve().parents[2])
+if _ROOT not in sys.path:
+    sys.path.insert(0, _ROOT)

@@ -1,0 +1,7 @@
+"""Violates DDC001: hashes chunks with hashlib directly."""
+
+import hashlib
+
+
+def digest_chunk(data: bytes) -> bytes:
+    return hashlib.sha1(data).digest()

@@ -1,0 +1,7 @@
+"""Clean for DDC001: digests flow through repro.hashing."""
+
+from repro.hashing import sha1
+
+
+def digest_chunk(data: bytes) -> bytes:
+    return sha1(data)

@@ -1,0 +1,7 @@
+"""Violates DDC002: rewrites manifest entries by hand."""
+
+
+def splice(manifest, i, replacements, extra):
+    manifest.replace_entry(i, replacements)
+    manifest.entries.append(extra)
+    manifest.entries[0] = extra

@@ -1,0 +1,10 @@
+"""Clean for DDC002: splits go through the HHR machinery."""
+
+from repro.core.hhr import apply_split
+
+
+def splice(manifest, index, entry, old, spans):
+    added, rehashed = apply_split(manifest, index, entry, old, spans)
+    for e in manifest.entries:  # reading entries is always fine
+        _ = e.digest
+    return added, rehashed

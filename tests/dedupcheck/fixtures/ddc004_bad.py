@@ -1,0 +1,12 @@
+"""Violates DDC004: entropy and wall clock in an algorithm."""
+
+import random
+import time
+
+import numpy as np
+
+
+def sample(hashes):
+    rng = np.random.default_rng()
+    jitter = time.time()
+    return random.choice(hashes), rng, jitter

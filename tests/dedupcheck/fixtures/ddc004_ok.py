@@ -1,0 +1,8 @@
+"""Clean for DDC004: explicitly seeded, no clock reads."""
+
+import numpy as np
+
+
+def sample(hashes, seed: int):
+    rng = np.random.default_rng(seed)
+    return hashes[int(rng.integers(len(hashes)))]

@@ -1,0 +1,8 @@
+"""Violates DDC005: quadratic bytes accumulation in a loop."""
+
+
+def restore(extents, read):
+    out = b""
+    for e in extents:
+        out += read(e)
+    return out

@@ -1,0 +1,12 @@
+"""Clean for DDC005: linear accumulation strategies."""
+
+
+def restore(extents, read):
+    out = bytearray()
+    for e in extents:
+        out += read(e)
+    return bytes(out)
+
+
+def restore_join(extents, read):
+    return b"".join(read(e) for e in extents)

@@ -1,0 +1,110 @@
+"""Fixture tests for the dedupcheck rule pack.
+
+Each rule gets one violating and one clean fixture (same virtual
+package path, so only the code differs), plus applicability tests for
+the path-based exemptions and a self-check that the real source tree
+is DDC-clean.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from tools.dedupcheck import ALL_RULES, Violation, check_paths, check_source
+from tools.dedupcheck.__main__ import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: (rule code, fixture stem, virtual path the fixture pretends to live at)
+CASES = [
+    ("DDC001", "ddc001", "src/repro/baselines/newalgo.py"),
+    ("DDC002", "ddc002", "src/repro/baselines/newalgo.py"),
+    ("DDC003", "ddc003", "src/repro/baselines/newalgo.py"),
+    ("DDC004", "ddc004", "src/repro/chunking/newchunker.py"),
+    ("DDC005", "ddc005", "src/repro/storage/newstore.py"),
+    ("DDC006", "ddc006", "src/repro/baselines/newalgo.py"),
+]
+
+
+def run(fixture: str, virtual_path: str) -> list[Violation]:
+    source = (FIXTURES / fixture).read_text()
+    return check_source(source, virtual_path, ALL_RULES)
+
+
+@pytest.mark.parametrize(("code", "stem", "path"), CASES)
+def test_violating_fixture_flagged(code, stem, path):
+    """The bad fixture triggers its rule (and only that rule)."""
+    violations = run(f"{stem}_bad.py", path)
+    assert violations, f"{stem}_bad.py should violate {code}"
+    assert {v.code for v in violations} == {code}
+    for v in violations:
+        assert v.path == path
+        assert v.line > 0
+
+
+@pytest.mark.parametrize(("code", "stem", "path"), CASES)
+def test_clean_fixture_passes(code, stem, path):
+    """The ok fixture is clean at the same virtual path."""
+    assert run(f"{stem}_ok.py", path) == []
+
+
+def test_ddc001_exempt_inside_hashing_package():
+    """The same hashlib use is legal under repro/hashing/."""
+    assert run("ddc001_bad.py", "src/repro/hashing/newdigest.py") == []
+
+
+def test_ddc002_exempt_inside_hhr():
+    """Entry mutation is the HHR/SHM machinery's job."""
+    for allowed in ("src/repro/core/hhr.py", "src/repro/core/shm.py"):
+        assert run("ddc002_bad.py", allowed) == []
+
+
+def test_ddc004_only_polices_algorithm_packages():
+    """Workload generators may use seeded randomness APIs freely."""
+    assert run("ddc004_bad.py", "src/repro/workloads/machine.py") == []
+
+
+def test_ddc005_ignores_cold_paths():
+    """The perf lint only covers the hot-path packages."""
+    assert run("ddc005_bad.py", "src/repro/analysis/report.py") == []
+
+
+def test_ddc006_exempt_in_base():
+    """core/base.py owns the counters and their helpers."""
+    assert run("ddc006_bad.py", "src/repro/core/base.py") == []
+
+
+def test_violation_rendering():
+    """Output lines follow the path:line:col: CODE message shape."""
+    (violation, *_rest) = run("ddc005_bad.py", "src/repro/storage/x.py")
+    rendered = violation.render()
+    assert rendered.startswith("src/repro/storage/x.py:")
+    assert " DDC005 " in rendered
+
+
+def test_source_tree_is_ddc_clean():
+    """Self-check: the shipped source tree has zero violations."""
+    violations = check_paths([str(REPO_ROOT / "src" / "repro")], ALL_RULES)
+    assert violations == [], "\n".join(v.render() for v in violations)
+
+
+def test_cli_reports_and_exits_nonzero(tmp_path, capsys):
+    """The module CLI prints violations and fails the build."""
+    bad = tmp_path / "repro" / "core" / "newalgo.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text((FIXTURES / "ddc001_bad.py").read_text())
+    assert main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "DDC001" in out
+
+    assert main([str(REPO_ROOT / "src" / "repro" / "hashing")]) == 0
+
+
+def test_cli_list_rules(capsys):
+    """--list prints the full catalogue."""
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for rule in ALL_RULES:
+        assert rule.code in out
+    assert len(ALL_RULES) == 6

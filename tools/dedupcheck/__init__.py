@@ -1,0 +1,22 @@
+"""dedupcheck — repository-specific AST lint rules.
+
+The dedup core rests on invariants that generic linters can't know
+about: all digests flow through :mod:`repro.hashing.digest`, manifest
+entries are only rewritten by the HHR/SHM machinery, streaming ingest
+hooks never touch whole-file bytes, algorithms are deterministic, hot
+paths don't accumulate ``bytes`` quadratically, and dedup counters move
+only through their helper methods.  This package machine-checks those
+invariants on every PR:
+
+    python -m tools.dedupcheck src/
+
+Exit status is non-zero when any rule fires; output is one
+``path:line:col: DDCnnn message`` line per violation.  See
+``docs/DEVELOPMENT.md`` ("Invariants & static analysis") for the rule
+catalogue and the rationale behind each rule.
+"""
+
+from .engine import Violation, check_paths, check_source
+from .rules import ALL_RULES
+
+__all__ = ["ALL_RULES", "Violation", "check_paths", "check_source"]

@@ -1,0 +1,49 @@
+"""Command-line entry point: ``python -m tools.dedupcheck src/``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .engine import check_paths
+from .rules import ALL_RULES
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the rule pack; returns a shell exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.dedupcheck",
+        description="Repository-specific dedup invariant linter.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/"],
+        help="files or directories to check (default: src/)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.summary}")
+        return 0
+
+    violations = check_paths(args.paths, ALL_RULES)
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(
+            f"dedupcheck: {len(violations)} violation(s)", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,102 @@
+"""dedupcheck execution engine: file discovery, parsing, reporting.
+
+Rules are small objects with a ``code``, a one-line ``summary`` and a
+``check(tree, path)`` method yielding :class:`Violation`\\ s.  Path
+applicability (which packages a rule polices, which modules are
+exempt) is decided *inside* each rule from the posix-normalised file
+path, so fixture tests can exercise a rule by handing
+:func:`check_source` any virtual path they like.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from typing import Protocol
+
+__all__ = [
+    "Violation",
+    "Rule",
+    "check_source",
+    "check_paths",
+    "iter_python_files",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule hit at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical ``path:line:col: CODE message`` output line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class Rule(Protocol):
+    """Structural contract for a dedupcheck rule."""
+
+    #: ``DDCnnn`` identifier, unique across the rule pack.
+    code: str
+    #: One-line description shown by ``--list``.
+    summary: str
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Violation]:
+        """Yield every violation of this rule in ``tree``."""
+        ...
+
+
+def _normalize(path: str) -> str:
+    """Posix-style path used for rule applicability decisions."""
+    return path.replace(os.sep, "/")
+
+
+def check_source(
+    source: str, path: str, rules: Sequence[Rule]
+) -> list[Violation]:
+    """Run ``rules`` over one module's source text.
+
+    ``path`` is only used for reporting and applicability — it does not
+    have to exist on disk, which is how the fixture tests pin a rule to
+    a package ("src/repro/core/...") without creating files there.
+    """
+    norm = _normalize(path)
+    tree = ast.parse(source, filename=path)
+    violations: list[Violation] = []
+    for rule in rules:
+        violations.extend(rule.check(tree, norm))
+    return sorted(violations)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted stream of ``.py`` paths."""
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d != "__pycache__"
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        yield os.path.join(dirpath, name)
+        else:
+            yield path
+
+
+def check_paths(
+    paths: Iterable[str], rules: Sequence[Rule]
+) -> list[Violation]:
+    """Run ``rules`` over every Python file reachable from ``paths``."""
+    violations: list[Violation] = []
+    for file_path in iter_python_files(paths):
+        with open(file_path, encoding="utf-8") as fh:
+            source = fh.read()
+        violations.extend(check_source(source, file_path, rules))
+    return sorted(violations)
