@@ -66,7 +66,7 @@ def test_chunker_choice(benchmark, runs, shifting_corpus):
         )
 
     report = benchmark.pedantic(build, rounds=1, iterations=1)
-    write_report("ablation_chunker_choice", report)
+    write_report("ablation_chunker_choice", report, runs=runs)
     # The boundary-shifting claim: every CDC chunker beats fixed-size
     # by a wide margin on shifting edits.
     fixed = runs["FixedChunker"].stats.data_only_der

@@ -9,6 +9,7 @@ chunkers (Gear, TTTD, fixed-size) the related-work section discusses.
 import numpy as np
 import pytest
 
+from conftest import write_report
 from repro.chunking import (
     ChunkerConfig,
     FastCDCChunker,
@@ -70,5 +71,19 @@ def test_vectorized_beats_reference_by_10x(benchmark):
     benchmark.pedantic(run_vec, rounds=3, iterations=1)
     t_vec = (
         benchmark.stats.stats.mean if benchmark.stats is not None else run_vec.elapsed
+    )
+    mbps_ref = len(SLOW_DATA) / (1 << 20) / t_ref
+    mbps_vec = len(SLOW_DATA) / (1 << 20) / t_vec
+    write_report(
+        "ablation_chunkers",
+        f"reference chunker: {mbps_ref:.2f} MB/s\n"
+        f"vectorized chunker: {mbps_vec:.2f} MB/s\n"
+        f"speedup: {t_ref / t_vec:.1f}x on {len(SLOW_DATA) >> 10} KB",
+        extra={
+            "input_bytes": len(SLOW_DATA),
+            "reference_seconds": t_ref,
+            "vectorized_seconds": t_vec,
+            "speedup": t_ref / t_vec,
+        },
     )
     assert t_ref / t_vec > 10, f"vectorized only {t_ref / t_vec:.1f}x faster"

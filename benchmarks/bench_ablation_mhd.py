@@ -42,7 +42,17 @@ def test_ablation_edge_hash(benchmark, corpus_files):
         ],
         title=f"EdgeHash ablation (ECS={ECS}, SD={SD_MAIN})",
     )
-    write_report("ablation_edge_hash", report)
+    write_report(
+        "ablation_edge_hash",
+        report,
+        runs={"edge_hash_on": r_on, "edge_hash_off": r_off},
+        extra={
+            "hhr": {
+                "on": {"reads": d_on.hhr_reads, "splits": d_on.hhr_splits},
+                "off": {"reads": d_off.hhr_reads, "splits": d_off.hhr_splits},
+            },
+        },
+    )
     # Hysteresis must not *increase* byte reloads.
     assert d_on.hhr_reads <= d_off.hhr_reads * 1.05
 
@@ -64,7 +74,12 @@ def test_ablation_bloom_filter(benchmark, corpus_files):
         ],
         title=f"Bloom filter ablation (ECS={ECS}, SD={SD_MAIN})",
     )
-    write_report("ablation_bloom", report)
+    write_report(
+        "ablation_bloom",
+        report,
+        runs={"bloom_on": r_on, "bloom_off": r_off},
+        extra={"hook_queries": {"on": q_on, "off": q_off}},
+    )
     assert q_on < q_off
     assert r_on.throughput_ratio >= r_off.throughput_ratio
 
@@ -87,7 +102,17 @@ def test_ablation_cache_size(benchmark, corpus_files):
         rows,
         title=f"Manifest-cache ablation (ECS={ECS}, SD={SD_MAIN})",
     )
-    write_report("ablation_cache", report)
+    write_report(
+        "ablation_cache",
+        report,
+        runs={f"cap{cap}": run for cap, (_, _, run) in sorted(out.items())},
+        extra={
+            "cache": {
+                str(cap): {"loads": loads, "hits": hits}
+                for cap, (loads, hits, _) in sorted(out.items())
+            },
+        },
+    )
     # Bigger cache -> no more disk loads than smaller cache.
     loads = [out[c][0] for c in (4, 16, 64)]
     assert loads[2] <= loads[0]
@@ -113,6 +138,10 @@ def test_ablation_contiguous_shm(benchmark, corpus_files):
         ],
         title=f"SHM strategy ablation (ECS={ECS}, SD={SD_MAIN})",
     )
-    write_report("ablation_shm_strategy", report)
+    write_report(
+        "ablation_shm_strategy",
+        report,
+        runs={"buffer_driven": r_buf, "stream_contiguous": r_slice},
+    )
     # Per-slice hooks can only add hooks, never remove them.
     assert r_slice.stats.hook_inodes >= r_buf.stats.hook_inodes

@@ -68,7 +68,15 @@ def test_disk_image_corpus(benchmark, grids):
         )
 
     report = benchmark.pedantic(build, rounds=1, iterations=1)
-    write_report("disk_image_corpus", report)
+    write_report(
+        "disk_image_corpus",
+        report,
+        runs={
+            f"{'images' if images else 'files'}_{algo}": grids[images][algo]
+            for images in (False, True)
+            for algo in FIGURE_ALGOS
+        },
+    )
     # Image-shaped input slashes everyone's metadata ratio...
     for algo in FIGURE_ALGOS:
         assert grids[True][algo].metadata_ratio < grids[False][algo].metadata_ratio

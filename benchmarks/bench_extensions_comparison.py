@@ -70,7 +70,12 @@ def test_extensions_comparison(benchmark, runs):
         )
 
     report = benchmark.pedantic(build, rounds=1, iterations=1)
-    write_report("extensions_comparison", report)
+    write_report(
+        "extensions_comparison",
+        report,
+        runs={name: run for name, (_dedup, run) in runs.items()},
+        extra={"ecs": ECS, "sd": SD_MAIN},
+    )
 
 
 def test_si_mhd_fewer_ios_same_dedup(runs):

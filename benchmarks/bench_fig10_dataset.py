@@ -83,7 +83,20 @@ def test_fig10_dad_and_hhr_cost(benchmark, runs, oracle_dad):
         return "\n\n".join(parts)
 
     report = benchmark.pedantic(build, rounds=1, iterations=1)
-    write_report("fig10_dataset", report)
+    write_report(
+        "fig10_dataset",
+        report,
+        runs={f"ecs{ecs}": runs[ecs][0] for ecs in USABLE_ECS},
+        extra={
+            "hhr": {
+                str(ecs): {"reads": runs[ecs][1], "splits": runs[ecs][2]}
+                for ecs in USABLE_ECS
+            },
+            "oracle_dad_bytes": {
+                str(ecs): oracle_dad[ecs].dad for ecs in USABLE_ECS
+            },
+        },
+    )
     # The paper's claim: HHR reads far below L (and the 3L bound).
     for ecs in USABLE_ECS:
         run, reads, _ = runs[ecs]

@@ -65,7 +65,15 @@ def test_fig7_all_panels(benchmark, grid):
         return "\n\n".join(parts)
 
     report = benchmark.pedantic(build, rounds=1, iterations=1)
-    write_report("fig7_metadata_vs_ecs", report)
+    write_report(
+        "fig7_metadata_vs_ecs",
+        report,
+        runs={
+            f"{algo}_ecs{ecs}": run
+            for algo in FIGURE_ALGOS
+            for ecs, run in zip(ECS_VALUES, grid[algo])
+        },
+    )
     write_json(
         "fig7_metadata_vs_ecs",
         {algo: [r.stats.as_dict() for r in grid[algo]] for algo in FIGURE_ALGOS},

@@ -86,7 +86,15 @@ def test_fig8_all_panels(benchmark, grid):
         return "\n\n".join(parts)
 
     report = benchmark.pedantic(build, rounds=1, iterations=1)
-    write_report("fig8_tradeoff", report)
+    write_report(
+        "fig8_tradeoff",
+        report,
+        runs={
+            f"{algo}_ecs{ecs}": run
+            for algo in FIGURE_ALGOS
+            for ecs, run in zip(ECS_VALUES, grid[algo])
+        },
+    )
     write_json(
         "fig8_tradeoff",
         {

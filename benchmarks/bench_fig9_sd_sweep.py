@@ -63,7 +63,15 @@ def test_fig9_sd_tradeoffs(benchmark, grid):
         return "\n\n".join(parts)
 
     report = benchmark.pedantic(build, rounds=1, iterations=1)
-    write_report("fig9_sd_sweep", report)
+    write_report(
+        "fig9_sd_sweep",
+        report,
+        runs={
+            f"sd{sd}_ecs{ecs}": run
+            for sd in SD_VALUES
+            for ecs, run in zip(ECS_VALUES, grid[sd])
+        },
+    )
     # Smaller SD -> equal-or-better real DER at every ECS point.
     for i, _ecs in enumerate(ECS_VALUES):
         ders = [grid[sd][i].real_der for sd in SD_VALUES]  # SD descending

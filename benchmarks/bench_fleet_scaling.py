@@ -21,7 +21,12 @@ def results(corpus_files):
     config = DedupConfig(ecs=ECS, sd=SD_MAIN)
     global_run = evaluate(MHDDeduplicator(config), corpus_files, DEVICE)
     fleet = dedup_sharded(
-        corpus_files, algo="bf-mhd", config=config, workers=1, device=DEVICE
+        corpus_files,
+        algo="bf-mhd",
+        config=config,
+        workers=1,
+        device=DEVICE,
+        collect_metrics=True,
     )
     return global_run, fleet
 
@@ -63,8 +68,32 @@ def test_fleet_scaling(benchmark, results):
         )
 
     report = benchmark.pedantic(build, rounds=1, iterations=1)
-    write_report("fleet_scaling", report)
     global_run, fleet = results
+    fleet_cpu = fleet.cpu
+    fleet_pipe = fleet.pipeline
+    write_report(
+        "fleet_scaling",
+        report,
+        runs={"global": global_run},
+        extra={
+            "fleet": {
+                "shards": {
+                    s.shard: {
+                        "dedup_seconds": s.dedup_seconds,
+                        "data_only_der": s.stats.data_only_der,
+                    }
+                    for s in fleet.shards
+                },
+                "makespan_seconds": fleet.makespan_seconds,
+                "aggregate_seconds": fleet.aggregate_seconds,
+                "speedup": fleet.speedup(),
+                "cpu_hashed": fleet_cpu.hashed,
+                "cpu_chunked": fleet_cpu.chunked,
+                "pipeline_batches": fleet_pipe.batches,
+                "metrics": fleet.metrics().as_dict(),
+            },
+        },
+    )
     # The trade: faster makespan, lower DER.
     assert fleet.makespan_seconds < global_run.dedup_seconds
     assert fleet.data_only_der <= global_run.data_only_der

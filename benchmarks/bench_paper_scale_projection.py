@@ -62,7 +62,19 @@ def test_paper_scale_projection(benchmark):
         return "\n\n".join(parts)
 
     report = benchmark.pedantic(build, rounds=1, iterations=1)
-    write_report("paper_scale_projection", report)
+    write_report(
+        "paper_scale_projection",
+        report,
+        extra={
+            "paper_observed": PAPER_OBSERVED,
+            "projected": {
+                f"dad{dad_kb}kb": projected_metadata_ratios(
+                    replace(PAPER_CORPUS, dad_bytes=dad_kb * 1024)
+                )
+                for dad_kb in (90, 150, 220)
+            },
+        },
+    )
 
     ratios = projected_metadata_ratios(PAPER_CORPUS)
     # Projections land within 4x of the paper's observed values.

@@ -53,7 +53,21 @@ def test_recipe_compression(benchmark, recipe_stats):
         )
 
     report = benchmark.pedantic(build, rounds=1, iterations=1)
-    write_report("recipe_compression", report)
+    write_report(
+        "recipe_compression",
+        report,
+        extra={
+            "recipes": {
+                algo: {
+                    "raw_bytes": raw,
+                    "compressed_bytes": compressed,
+                    "extents": extents,
+                    "files": files,
+                }
+                for algo, (raw, compressed, extents, files) in recipe_stats.items()
+            },
+        },
+    )
 
 
 def test_codec_never_loses_data(recipe_stats, corpus_files):

@@ -59,7 +59,24 @@ def test_restore_cost_comparison(benchmark, costs):
         )
 
     report = benchmark.pedantic(build, rounds=1, iterations=1)
-    write_report("restore_cost", report)
+    write_report(
+        "restore_cost",
+        report,
+        extra={
+            "costs": {
+                algo: {
+                    "extents": c.extents,
+                    "extents_per_file": c.extents_per_file,
+                    "extents_per_mb": c.extents_per_mb,
+                    "distinct_containers": c.distinct_containers,
+                    "throughput_bps": c.throughput_bps,
+                    "slowdown": c.slowdown,
+                    "restored_bytes": c.restored_bytes,
+                }
+                for algo, c in costs.items()
+            },
+        },
+    )
     # Every algorithm restores the same logical bytes.
     sizes = {c.restored_bytes for c in costs.values()}
     assert len(sizes) == 1

@@ -71,7 +71,15 @@ def test_scaling_generations(benchmark, grid):
         )
 
     report = benchmark.pedantic(build, rounds=1, iterations=1)
-    write_report("scaling_generations", report)
+    write_report(
+        "scaling_generations",
+        report,
+        runs={
+            f"gen{g}_{algo}": grid[g][algo]
+            for g in GENERATIONS
+            for algo in ("bf-mhd", "cdc")
+        },
+    )
     # Both DERs grow with history.
     for algo in ("bf-mhd", "cdc"):
         ders = [grid[g][algo].real_der for g in GENERATIONS]

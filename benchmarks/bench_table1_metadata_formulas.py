@@ -91,7 +91,12 @@ def test_table1_symbolic_and_measured(benchmark, trace, run_grid):
         return "\n\n".join(parts)
 
     report = benchmark.pedantic(build, rounds=1, iterations=1)
-    write_report("table1_metadata", report)
+    write_report(
+        "table1_metadata",
+        report,
+        runs={algo: run_grid(algo, 1024, SD_MAIN) for algo in ALGOS},
+        extra={"sd_paper": 1000, "sd_scaled": SD_MAIN, "ecs": 1024},
+    )
     # Sanity: the paper's headline ordering holds symbolically.
     t = table1_metadata(CorpusParams.from_trace(trace, sd=1000))
     assert t["bf-mhd"]["summary"] == min(t[a]["summary"] for a in ALGOS)

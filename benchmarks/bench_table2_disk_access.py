@@ -94,7 +94,16 @@ def test_table2_symbolic_and_measured(benchmark, trace, run_grid):
         return "\n\n".join(parts)
 
     report = benchmark.pedantic(build, rounds=1, iterations=1)
-    write_report("table2_disk_access", report)
+    write_report(
+        "table2_disk_access",
+        report,
+        runs={algo: run_grid(algo, 1024, SD_MAIN) for algo in ALGOS},
+        extra={
+            "symbolic_sd1000": table2_disk_accesses(
+                CorpusParams.from_trace(trace, sd=1000)
+            ),
+        },
+    )
 
 
 def test_mhd_beats_others_when_slices_are_concentrated(benchmark, trace):

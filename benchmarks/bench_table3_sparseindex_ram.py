@@ -41,7 +41,12 @@ def test_table3_sparse_index_ram(benchmark, runs):
         )
 
     report = benchmark.pedantic(build, rounds=1, iterations=1)
-    write_report("table3_sparseindex_ram", report)
+    write_report(
+        "table3_sparseindex_ram",
+        report,
+        runs={f"ecs{e}": runs[e][0] for e in TABLE_ECS},
+        extra={"sparse_index_bytes": {str(e): runs[e][1] for e in TABLE_ECS}},
+    )
     # RAM shrinks (or stays flat) as ECS grows: fewer chunks -> fewer hooks.
     sizes = [runs[e][1] for e in TABLE_ECS]
     assert sizes == sorted(sizes, reverse=True)

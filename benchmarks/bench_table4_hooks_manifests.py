@@ -51,7 +51,11 @@ def test_table4_hooks_manifest_bytes(benchmark, grid):
         )
 
     report = benchmark.pedantic(build, rounds=1, iterations=1)
-    write_report("table4_hooks_manifests", report)
+    write_report(
+        "table4_hooks_manifests",
+        report,
+        runs={f"ecs{ecs}_sd{sd}": run for (ecs, sd), run in grid.items()},
+    )
     # Trend 1: footprint shrinks with ECS at every SD.
     for sd in SD_VALUES:
         sizes = [_footprint(grid[(e, sd)]) for e in TABLE_ECS]

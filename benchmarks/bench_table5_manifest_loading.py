@@ -52,7 +52,17 @@ def test_table5_manifest_loads(benchmark, grid):
         )
 
     report = benchmark.pedantic(build, rounds=1, iterations=1)
-    write_report("table5_manifest_loading", report)
+    write_report(
+        "table5_manifest_loading",
+        report,
+        runs={f"ecs{ecs}_sd{sd}": run for (ecs, sd), (run, _, _) in grid.items()},
+        extra={
+            "cache": {
+                f"ecs{ecs}_sd{sd}": {"loads": loads, "hits": hits}
+                for (ecs, sd), (_, loads, hits) in grid.items()
+            },
+        },
+    )
     # The paper's trend: manifest loads fall as ECS grows, at every SD.
     for sd in SD_VALUES:
         loads = [grid[(e, sd)][1] for e in TABLE_ECS]

@@ -101,12 +101,69 @@ def run_grid(corpus_files, run_cache):
     return run
 
 
-def write_report(name: str, text: str) -> None:
-    """Persist a bench's table/series output and echo it."""
+_GIT_SHA: str | None = None
+
+
+def git_sha() -> str:
+    """The repository HEAD commit (cached; ``unknown`` outside git)."""
+    global _GIT_SHA
+    if _GIT_SHA is None:
+        import subprocess
+
+        try:
+            _GIT_SHA = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=Path(__file__).parent,
+                capture_output=True,
+                text=True,
+                check=True,
+                timeout=10,
+            ).stdout.strip()
+        except (OSError, subprocess.SubprocessError):
+            _GIT_SHA = "unknown"
+    return _GIT_SHA
+
+
+def run_record(run: AlgorithmRun) -> dict:
+    """One run's machine-readable record: stats + device-model seconds."""
+    return {
+        "stats": run.stats.as_dict(),
+        "dedup_seconds": run.dedup_seconds,
+        "throughput_ratio": run.throughput_ratio,
+    }
+
+
+def write_report(name: str, text: str, runs=None, extra=None) -> None:
+    """Persist a bench's table/series output and echo it.
+
+    Besides ``results/<name>.txt``, every call writes a machine-
+    readable twin ``results/BENCH_<name>.json`` carrying the bench
+    name, corpus scale and git SHA — plus per-run statistics and
+    device-model seconds when the bench passes its runs.
+
+    Parameters
+    ----------
+    runs:
+        Optional ``{label: AlgorithmRun}`` mapping; each run is
+        serialised via :func:`run_record`.
+    extra:
+        Optional JSON-safe payload for bench-specific series (figure
+        axes, symbolic predictions, ...).
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n{text}\n[report written to {path}]")
+    payload = {
+        "bench": name,
+        "scale": SCALE,
+        "git_sha": git_sha(),
+    }
+    if runs:
+        payload["runs"] = {label: run_record(r) for label, r in runs.items()}
+    if extra is not None:
+        payload["extra"] = extra
+    write_json(f"BENCH_{name}", payload)
 
 
 def write_json(name: str, payload) -> None:

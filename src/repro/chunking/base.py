@@ -43,6 +43,7 @@ from typing import Protocol
 import numpy as np
 import numpy.typing as npt
 
+from ..obs.metrics import Histogram
 from ._select import select_cut_points
 
 __all__ = [
@@ -186,6 +187,9 @@ class StreamStats:
     windows: int = 0  # non-empty reads pulled from the source
     stalls: int = 0  # windows that could not emit a single stable cut
     peak_buffer_bytes: int = 0  # high-water mark of carry + window
+    #: When set (by telemetry-enabled ingest), every emitted chunk's
+    #: size is observed here — the primary-stream size distribution.
+    size_hist: Histogram | None = None
 
 
 class Chunker(ABC):
@@ -290,7 +294,10 @@ class Chunker(ABC):
             if not piece:
                 if len(buf) > hist:
                     cuts = [int(c) for c in self._cut_points_ctx(buf, hist)]
-                    yield _emit_batch(buf, hist, cuts, pos)
+                    tail = _emit_batch(buf, hist, cuts, pos)
+                    if stats is not None and stats.size_hist is not None:
+                        stats.size_hist.observe_many(c.size for c in tail)
+                    yield tail
                 return
             buf += piece
             if stats is not None:
@@ -318,6 +325,8 @@ class Chunker(ABC):
                     stats.stalls += 1
                 continue
             batch = _emit_batch(buf, hist, emit, pos)
+            if stats is not None and stats.size_hist is not None:
+                stats.size_hist.observe_many(c.size for c in batch)
             pos += emit[-1] - hist
             keep_from = emit[-1] - min(lookback, emit[-1])
             hist = emit[-1] - keep_from

@@ -14,6 +14,8 @@ Sub-commands:
 * ``stats`` — summarise a persistent store's contents.
 * ``gen-corpus`` — write the seeded synthetic corpus to a directory.
 * ``inspect`` — dump one file's recipe and the manifests behind it.
+* ``trace-view`` — render the per-stage time/I/O attribution table of
+  a span trace written by ``run --trace``.
 
 Examples::
 
@@ -21,6 +23,8 @@ Examples::
     repro-dedup compare --machines 4 --generations 5
     repro-dedup trace --ecs 1024
     repro-dedup run --input-dir ~/files --store-dir /backup/store --verify --fsck
+    repro-dedup run --algo bf-mhd --trace t.jsonl --metrics m.prom --progress
+    repro-dedup trace-view t.jsonl
     repro-dedup restore --store-dir /backup/store --list
     repro-dedup restore --store-dir /backup/store --output-dir /tmp/out
     repro-dedup gc --store-dir /backup/store --delete 'pc00/gen000/*'
@@ -48,6 +52,15 @@ from .storage import (
 )
 from .chunking import VectorizedChunker
 from .core import DedupConfig
+from .obs import (
+    HeartbeatEvent,
+    JsonlTraceSink,
+    PromTextSink,
+    Telemetry,
+    load_trace,
+    summarize,
+)
+from .obs.traceview import render_table as render_span_table
 from .registry import available, resolve
 from .workloads import BackupCorpus, BackupFile, CorpusConfig, make_corpus, profile_names, trace_corpus
 
@@ -140,10 +153,46 @@ def _print_stats(stats, device: DeviceModel) -> None:
     print(format_table(["metric", "value"], rows, title=f"{stats.algorithm} results"))
 
 
+def _run_telemetry(args) -> Telemetry | None:
+    """Build the run's telemetry from ``--trace``/``--metrics``/``--progress``."""
+    sinks = []
+    if args.trace:
+        sinks.append(JsonlTraceSink(args.trace))
+    if args.metrics:
+        sinks.append(PromTextSink(args.metrics))
+    heartbeat = None
+    if args.progress:
+
+        def _beat(ev: HeartbeatEvent) -> None:
+            print(
+                f"  {ev.files} files, {ev.input_bytes / 1e6:.1f} MB in, "
+                f"DER so far {ev.der_so_far:.3f}",
+                file=sys.stderr,
+            )
+
+        heartbeat = _beat
+    if not sinks and heartbeat is None:
+        return None
+    return Telemetry(sinks=sinks, heartbeat=heartbeat)
+
+
 def cmd_run(args) -> int:
     backend = DirectoryBackend(args.store_dir) if args.store_dir else None
     dedup = resolve(args.algo)(_config(args), backend)
-    stats = dedup.process(_corpus(args))
+    tel = _run_telemetry(args)
+    if tel is None:
+        stats = dedup.process(_corpus(args))
+    else:
+        dedup.telemetry = tel
+        # One root span over ingest *and* finalize, so trace-view's
+        # per-stage self times partition the whole run duration.
+        with tel.span("run", algo=args.algo):
+            stats = dedup.process(_corpus(args))
+        tel.close()
+        if args.trace:
+            print(f"trace written to {args.trace}")
+        if args.metrics:
+            print(f"metrics written to {args.metrics}")
     _print_stats(stats, DeviceModel())
     if args.verify:
         files = list(_corpus(args))
@@ -286,6 +335,35 @@ def cmd_inspect(args) -> int:
     return 0
 
 
+def cmd_trace_view(args) -> int:
+    try:
+        spans, metrics = load_trace(args.trace_file)
+        summary = summarize(spans)
+    except (OSError, ValueError) as e:
+        print(f"invalid trace: {e}", file=sys.stderr)
+        return 1
+    if not spans:
+        print(f"{args.trace_file}: trace contains no spans", file=sys.stderr)
+        return 1
+    print(render_span_table(summary))
+    print(
+        f"{summary.span_count} spans; run {summary.run_s:.4f}s; "
+        f"stage self-times cover {summary.coverage:.1%}"
+    )
+    if args.show_metrics:
+        if not metrics:
+            print("(trace carries no metrics record)", file=sys.stderr)
+        else:
+            rows = []
+            for name in sorted(metrics):
+                v = metrics[name]
+                if isinstance(v, dict) and "counts" in v:
+                    v = f"histogram n={v.get('count')} sum={v.get('sum')}"
+                rows.append([name, str(v)])
+            print(format_table(["metric", "value"], rows, title="final metrics"))
+    return 0
+
+
 def cmd_gen_corpus(args) -> int:
     corpus = _corpus(args)
     if args.input_dir:
@@ -368,6 +446,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--fsck", action="store_true", help="run a deep store-integrity check"
     )
+    p_run.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a JSONL span trace of the run (render with trace-view)",
+    )
+    p_run.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write the run's final metrics in Prometheus text format",
+    )
+    p_run.add_argument(
+        "--progress",
+        action="store_true",
+        help="print heartbeat lines (files/bytes/DER-so-far) to stderr",
+    )
     _add_dedup_args(p_run)
     _add_corpus_args(p_run)
     p_run.set_defaults(func=cmd_run)
@@ -431,6 +524,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dedup_args(p_tr)
     _add_corpus_args(p_tr)
     p_tr.set_defaults(func=cmd_trace)
+
+    p_tv = sub.add_parser(
+        "trace-view", help="render a span trace's per-stage attribution table"
+    )
+    p_tv.add_argument("trace_file", help="JSONL trace written by run --trace")
+    p_tv.add_argument(
+        "--show-metrics",
+        action="store_true",
+        help="also print the final metric values recorded in the trace",
+    )
+    p_tv.set_defaults(func=cmd_trace_view)
 
     return parser
 

@@ -42,6 +42,7 @@ from typing import TYPE_CHECKING, Any
 
 from ..chunking.base import Chunk, Chunker, DEFAULT_STREAM_WINDOW, StreamStats
 from ..hashing import BloomFilter, Digest
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from ..storage import (
     INODE_SIZE,
     DiskChunkStore,
@@ -261,6 +262,33 @@ class Deduplicator(ABC):
         self._in_dup_run = False
         self._peak_ram = 0
         self._finalized = False
+        self._telemetry: Telemetry = NULL_TELEMETRY
+
+    # ---- telemetry ------------------------------------------------------
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The observing telemetry context (:data:`NULL_TELEMETRY` default).
+
+        Assigning a live :class:`~repro.obs.Telemetry` turns on metric
+        collection and (when it has sinks) span tracing for all
+        subsequent ingests; the disk meter starts mirroring its
+        per-namespace counters into the telemetry registry and the
+        tracer's I/O probe is pointed at this run's meter.  Telemetry
+        is attached post-construction precisely so none of the nine
+        algorithm constructors need to know about it.
+        """
+        return self._telemetry
+
+    @telemetry.setter
+    def telemetry(self, tel: Telemetry) -> None:
+        self._telemetry = tel
+        self.meter.attach_registry(tel.registry if tel.enabled else None)
+        tel.set_io_probe(self._io_probe)
+
+    def _io_probe(self) -> tuple[int, int]:
+        """Cumulative ``(disk_ops, disk_bytes)`` sampler for span I/O attribution."""
+        return self.meter.total_ops, self.meter.total_bytes
 
     # ---- the ingest API -------------------------------------------------
 
@@ -287,26 +315,55 @@ class Deduplicator(ABC):
         self._input_files += 1
         self._in_dup_run = False  # duplicate slices do not span files
         logger.debug("%s ingesting %s (%d bytes)", self.name, file.file_id, file.size)
+        tel = self._telemetry
         stream = StreamStats()
+        if tel.enabled:
+            stream.size_hist = tel.registry.histogram("chunk.size_bytes")
         nbytes = 0
-        self._begin_file(file)
-        for batch in self._file_batches(file, stream):
-            if not batch:
-                continue
-            nbytes += sum(c.size for c in batch)
-            self.pipeline.batches += 1
-            self._ingest_chunks(batch)
-        self._input_bytes += nbytes
-        self.cpu.chunked += nbytes
-        self.pipeline.windows += stream.windows
-        self.pipeline.stalls += stream.stalls
-        if stream.peak_buffer_bytes > self.pipeline.peak_buffer_bytes:
-            self.pipeline.peak_buffer_bytes = stream.peak_buffer_bytes
-        self._observe_ram(stream.peak_buffer_bytes)
-        self._end_file()
+        batches = 0
+        with tel.span("file", file_id=file.file_id, size=file.size):
+            self._begin_file(file)
+            # Manual iteration so the time spent *producing* a batch
+            # (the chunk stage) and the time *consuming* it (the dedup
+            # core) land in separate spans.
+            feed = self._file_batches(file, stream)
+            while True:
+                with tel.span("chunk"):
+                    batch = next(feed, None)
+                if batch is None:
+                    break
+                if not batch:
+                    continue
+                nbytes += sum(c.size for c in batch)
+                batches += 1
+                self.pipeline.batches += 1
+                with tel.span("dedup", chunks=len(batch)):
+                    self._ingest_chunks(batch)
+            self._input_bytes += nbytes
+            self.cpu.chunked += nbytes
+            self.pipeline.windows += stream.windows
+            self.pipeline.stalls += stream.stalls
+            if stream.peak_buffer_bytes > self.pipeline.peak_buffer_bytes:
+                self.pipeline.peak_buffer_bytes = stream.peak_buffer_bytes
+            self._observe_ram(stream.peak_buffer_bytes)
+            with tel.span("end_file"):
+                self._end_file()
+        if tel.enabled:
+            reg = tel.registry
+            reg.counter("ingest.files").inc()
+            reg.counter("ingest.bytes").inc(nbytes)
+            reg.counter("ingest.batches").inc(batches)
+            reg.gauge("ram.peak_bytes").set_max(self._peak_ram)
+        tel.heartbeat_tick(
+            self._input_files,
+            self._input_bytes,
+            self._unique_bytes,
+            self._duplicate_bytes,
+        )
         if self.verify_writes:
-            expected = file.read_bytes()
-            restored = self.restore(file.file_id)
+            with tel.span("verify", file_id=file.file_id):
+                expected = file.read_bytes()
+                restored = self.restore(file.file_id)
             if restored != expected:
                 raise RuntimeError(
                     f"write verification failed for {file.file_id!r}: "
@@ -331,7 +388,10 @@ class Deduplicator(ABC):
                 stream.windows += 1
                 if len(data) > stream.peak_buffer_bytes:
                     stream.peak_buffer_bytes = len(data)
-                yield self._stream_chunker().chunk(data)
+                batch = self._stream_chunker().chunk(data)
+                if stream.size_hist is not None:
+                    stream.size_hist.observe_many(c.size for c in batch)
+                yield batch
             return
         self.pipeline.streamed_files += 1
         with file.open() as reader:

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 from ..chunking import Chunk, Chunker, ChunkerConfig, VectorizedChunker
 from ..hashing import Digest, sha1, sha1_spans
+from ..obs.metrics import COUNT_BUCKETS
 from ..storage import (
     ContainerWriter,
     FileManifest,
@@ -108,6 +109,9 @@ class _FileContext:
     # Paused Forward Match Extension: (manifest, entry index) waiting
     # for more stream data before its next decision is final.
     fme: tuple[Manifest, int] | None = None
+    # Entries matched by the paused FME so far, so the telemetry
+    # histogram observes one figure per extension, not per resume.
+    fme_entries: int = 0
 
 
 class MHDDeduplicator(Deduplicator):
@@ -160,6 +164,9 @@ class MHDDeduplicator(Deduplicator):
         self.hhr_reads = 0
         self._buffer_peak_bytes = 0
         self._ctx: _FileContext | None = None
+        # Digests of HHR-created edge entries; a later duplicate match
+        # landing on one proves the EdgeHash prevented a re-read.
+        self._edge_digests: set[Digest] = set()
 
     # ------------------------------------------------------------------
     # ingest
@@ -186,11 +193,14 @@ class MHDDeduplicator(Deduplicator):
 
     def _ingest_chunks(self, batch: list[Chunk]) -> None:
         ctx = self._context()
+        tel = self._telemetry
         ctx.pending_chunks.extend(batch)
-        for c in batch:
-            ctx.pending_digests.append(sha1(c.data))
-            self.cpu.hashed += c.size
-        self._drain(ctx, eof=False)
+        with tel.span("hash", chunks=len(batch)):
+            for c in batch:
+                ctx.pending_digests.append(sha1(c.data))
+                self.cpu.hashed += c.size
+        with tel.span("index"):
+            self._drain(ctx, eof=False)
 
     def _end_file(self) -> None:
         ctx = self._context()
@@ -235,6 +245,7 @@ class MHDDeduplicator(Deduplicator):
                 continue
             manifest, idx = hit
             entry = manifest.entries[idx]
+            self._note_edge_reuse(entry.digest)
             self._break_dup_run()  # a hit always opens a new slice
             self._count_duplicate(chunk.size)
             idx += self._bme(manifest, idx, ctx)
@@ -305,9 +316,10 @@ class MHDDeduplicator(Deduplicator):
         if writer is None:
             writer = ctx.writer = self.chunks.open_container(ctx.container_id)
         base = writer.size
-        for t, data in zip(group, datas, strict=True):
-            off = writer.append(data)
-            t.resolve(ctx.container_id, off, is_dup=False)
+        with self._telemetry.span("store", chunks=len(group)):
+            for t, data in zip(group, datas, strict=True):
+                off = writer.append(data)
+                t.resolve(ctx.container_id, off, is_dup=False)
         self.cpu.hashed += append_group(
             ctx.manifest,
             [t.digest for t in group],
@@ -323,6 +335,12 @@ class MHDDeduplicator(Deduplicator):
         self._count_unique_many(len(group), group_bytes)
         if 2 * group_bytes > self._buffer_peak_bytes:
             self._buffer_peak_bytes = 2 * group_bytes
+        tel = self._telemetry
+        if tel.enabled:
+            reg = tel.registry
+            reg.counter("mhd.shm.flush_groups").inc()
+            reg.counter("mhd.shm.flushed_chunks").inc(len(group))
+            reg.histogram("mhd.shm.group_chunks", COUNT_BUCKETS).observe(len(group))
 
     # ------------------------------------------------------------------
     # Bi-Directional Match Extension + HHR
@@ -341,14 +359,17 @@ class MHDDeduplicator(Deduplicator):
         """
         j = idx - 1
         shift = 0
+        extended = 0  # manifest entries claimed by this extension
         while j >= 0 and ctx.buffer:
             entry = manifest.entries[j]
             tail = ctx.buffer[-1]
             if entry.digest == tail.digest:
+                self._note_edge_reuse(entry.digest)
                 ctx.buffer.pop()
                 tail.resolve(manifest.chunk_id, entry.offset, is_dup=True)
                 self._count_duplicate(tail.size, run_continues=True)
                 j -= 1
+                extended += 1
                 continue
             if entry.is_hook:
                 break
@@ -364,10 +385,16 @@ class MHDDeduplicator(Deduplicator):
                         pos += t.size
                         self._count_duplicate(t.size, run_continues=True)
                     j -= 1
+                    extended += 1
                     continue
             if entry.size > tail.size:
                 shift += self._hhr_backward(manifest, j, ctx)
             break
+        tel = self._telemetry
+        if tel.enabled:
+            tel.registry.histogram("mhd.bme.extension_entries", COUNT_BUCKETS).observe(
+                extended
+            )
         return shift
 
     def _fme(
@@ -395,14 +422,17 @@ class MHDDeduplicator(Deduplicator):
         n = len(chunks)
         avail = sum(chunks[t].size for t in range(i, n))
         guard = self.chunker.config.max_size
+        ext = 0  # manifest entries claimed since this (re)entry
         while j < len(manifest.entries):
             entry = manifest.entries[j]
             if not eof and avail < entry.size + guard:
                 ctx.fme = (manifest, j)
+                ctx.fme_entries += ext
                 return i
             if i >= n:
                 break
             if entry.digest == digests[i]:
+                self._note_edge_reuse(entry.digest)
                 token = _Token(digests[i], chunks[i].data, chunks[i].size)
                 token.resolve(manifest.chunk_id, entry.offset, is_dup=True)
                 ctx.tokens.append(token)
@@ -410,6 +440,7 @@ class MHDDeduplicator(Deduplicator):
                 avail -= chunks[i].size
                 i += 1
                 j += 1
+                ext += 1
                 continue
             if entry.is_hook:
                 break
@@ -428,12 +459,19 @@ class MHDDeduplicator(Deduplicator):
                         avail -= c.size
                     i += k
                     j += 1
+                    ext += 1
                     continue
             if entry.size > chunks[i].size:
                 new_i = self._hhr_forward(manifest, j, chunks, digests, i, ctx)
                 avail -= sum(chunks[t].size for t in range(i, new_i))
                 i = new_i
             break
+        tel = self._telemetry
+        if tel.enabled:
+            tel.registry.histogram("mhd.fme.extension_entries", COUNT_BUCKETS).observe(
+                ctx.fme_entries + ext
+            )
+        ctx.fme_entries = 0
         return i
 
     def _hhr_backward(self, manifest: Manifest, j: int, ctx: _FileContext) -> int:
@@ -523,7 +561,24 @@ class MHDDeduplicator(Deduplicator):
         self.cpu.hashed += hashed
         self.cache.reindex(manifest)
         self.hhr_splits += 1
+        if self.edge_hash:
+            # Replacement entries are 1:1 with the planned spans, so the
+            # EdgeHash entries sit at the spans' positions.
+            for k, sp in enumerate(spans):
+                if sp.role == "edge":
+                    self._edge_digests.add(manifest.entries[j + k].digest)
         return shift
+
+    def _note_edge_reuse(self, digest: Digest) -> None:
+        """Count a duplicate match that landed on an HHR EdgeHash entry.
+
+        Each such match is a byte reload the EdgeHash ablation would
+        have paid — the quantity behind the paper's EdgeHash argument.
+        """
+        if self._edge_digests and digest in self._edge_digests:
+            tel = self._telemetry
+            if tel.enabled:
+                tel.registry.counter("mhd.edge_hash.reuse").inc()
 
     # ------------------------------------------------------------------
     # finalize
@@ -531,3 +586,13 @@ class MHDDeduplicator(Deduplicator):
 
     def _flush(self) -> None:
         self.cache.flush()
+        tel = self._telemetry
+        if tel.enabled:
+            # Cumulative algorithm counters, mirrored once at the end of
+            # the run (the live values stay on the objects themselves).
+            reg = tel.registry
+            reg.counter("mhd.hhr.splits").inc(self.hhr_splits)
+            reg.counter("mhd.hhr.reads").inc(self.hhr_reads)
+            reg.counter("mhd.manifest_cache.hits").inc(self.cache.hits)
+            reg.counter("mhd.manifest_cache.loads").inc(self.cache.loads)
+            reg.counter("mhd.manifest_cache.writebacks").inc(self.cache.writebacks)

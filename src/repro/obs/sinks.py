@@ -1,0 +1,226 @@
+"""Pluggable telemetry sinks.
+
+A sink receives the two telemetry products: completed trace spans
+(:class:`~repro.obs.trace.SpanEvent`, streamed as they close) and the
+final :class:`~repro.obs.metrics.MetricsRegistry` (delivered once, at
+:meth:`~repro.obs.telemetry.Telemetry.close` time).  Four
+implementations cover the matrix:
+
+* :class:`NullSink` — the default; every method is a no-op, keeping
+  the disabled path free of I/O and allocations.
+* :class:`InMemorySink` — buffers everything in lists; what tests use.
+* :class:`JsonlTraceSink` — appends one JSON object per line to a
+  *replayable* trace file (``{"type": "span", ...}`` records, plus one
+  trailing ``{"type": "metrics", ...}`` record), parsed back by
+  :func:`load_trace`.
+* :class:`PromTextSink` — renders the registry in Prometheus text
+  exposition format (version 0.0.4) at close; spans are ignored.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import IO, Protocol, runtime_checkable
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import SpanEvent
+
+__all__ = [
+    "Sink",
+    "NullSink",
+    "NULL_SINK",
+    "InMemorySink",
+    "JsonlTraceSink",
+    "PromTextSink",
+    "load_trace",
+    "prom_text",
+]
+
+
+@runtime_checkable
+class Sink(Protocol):
+    """Structural contract every telemetry sink implements."""
+
+    def emit_span(self, event: SpanEvent) -> None:
+        """Receive one completed span."""
+        ...
+
+    def emit_metrics(self, registry: MetricsRegistry) -> None:
+        """Receive the final metrics registry (once, at close)."""
+        ...
+
+    def close(self) -> None:
+        """Flush and release any underlying resources."""
+        ...
+
+
+class NullSink:
+    """Discards everything (the default sink)."""
+
+    def emit_span(self, event: SpanEvent) -> None:
+        """Discard the span."""
+
+    def emit_metrics(self, registry: MetricsRegistry) -> None:
+        """Discard the registry."""
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+#: Shared default instance.
+NULL_SINK = NullSink()
+
+
+class InMemorySink:
+    """Buffers spans and metrics in plain lists (for tests)."""
+
+    def __init__(self) -> None:
+        self.spans: list[SpanEvent] = []
+        self.registries: list[MetricsRegistry] = []
+        self.closed = False
+
+    def emit_span(self, event: SpanEvent) -> None:
+        """Append the span to :attr:`spans`."""
+        self.spans.append(event)
+
+    def emit_metrics(self, registry: MetricsRegistry) -> None:
+        """Append the registry to :attr:`registries`."""
+        self.registries.append(registry)
+
+    def close(self) -> None:
+        """Mark the sink closed (buffers stay readable)."""
+        self.closed = True
+
+
+class JsonlTraceSink:
+    """Writes a replayable JSON-lines trace file.
+
+    Each span becomes ``{"type": "span", ...SpanEvent.as_dict()}``; the
+    final registry becomes one ``{"type": "metrics", "metrics": {...}}``
+    line.  The format is append-only and crash-tolerant: every line is
+    a complete JSON document, so a truncated file loses at most its
+    last record.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh: IO[str] | None = open(path, "w", encoding="utf-8")
+
+    def _write(self, record: dict[str, object]) -> None:
+        if self._fh is None:
+            raise ValueError(f"trace sink {self.path!r} already closed")
+        json.dump(record, self._fh, separators=(",", ":"))
+        self._fh.write("\n")
+
+    def emit_span(self, event: SpanEvent) -> None:
+        """Append one ``span`` record."""
+        record: dict[str, object] = {"type": "span"}
+        record.update(event.as_dict())
+        self._write(record)
+
+    def emit_metrics(self, registry: MetricsRegistry) -> None:
+        """Append the ``metrics`` record."""
+        self._write({"type": "metrics", "metrics": registry.as_dict()})
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def load_trace(path: str) -> tuple[list[SpanEvent], dict[str, object]]:
+    """Parse a :class:`JsonlTraceSink` file back into events + metrics.
+
+    Returns ``(spans, metrics_dict)``; ``metrics_dict`` is empty when
+    the trace carries no metrics record.  Raises ``ValueError`` on
+    malformed lines (the trace-view CLI surfaces this as a failure).
+    """
+    spans: list[SpanEvent] = []
+    metrics: dict[str, object] = {}
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise ValueError(f"{path}:{lineno}: not valid JSON: {e}") from e
+            kind = record.get("type")
+            if kind == "span":
+                spans.append(SpanEvent.from_dict(record))
+            elif kind == "metrics":
+                metrics = dict(record.get("metrics", {}))
+            else:
+                raise ValueError(f"{path}:{lineno}: unknown record type {kind!r}")
+    return spans, metrics
+
+
+# -- Prometheus text exposition --------------------------------------------
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _prom_name(name: str) -> str:
+    """Sanitise a dotted metric name into a Prometheus identifier."""
+    out = "repro_" + re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not _NAME_OK.match(out):  # pragma: no cover - sanitiser guarantees this
+        raise ValueError(f"unrepresentable metric name {name!r}")
+    return out
+
+
+def _fmt(v: float) -> str:
+    """Render a sample value (integers without a trailing ``.0``)."""
+    if isinstance(v, int) or v == int(v):
+        return str(int(v))
+    return repr(v)
+
+
+def prom_text(registry: MetricsRegistry) -> str:
+    """Render a registry in Prometheus text exposition format 0.0.4.
+
+    Counters gain the conventional ``_total`` suffix; histograms expand
+    into cumulative ``_bucket{le="..."}`` series plus ``_sum`` and
+    ``_count``.
+    """
+    lines: list[str] = []
+    for name, metric in registry.items():
+        pname = _prom_name(name)
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {pname}_total counter")
+            lines.append(f"{pname}_total {_fmt(metric.value)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {_fmt(metric.value)}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# TYPE {pname} histogram")
+            cumulative = metric.cumulative()
+            for bound, count in zip(metric.bounds, cumulative):
+                lines.append(f'{pname}_bucket{{le="{_fmt(bound)}"}} {count}')
+            lines.append(f'{pname}_bucket{{le="+Inf"}} {cumulative[-1]}')
+            lines.append(f"{pname}_sum {_fmt(metric.sum)}")
+            lines.append(f"{pname}_count {metric.total}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class PromTextSink:
+    """Writes the final registry as a Prometheus text exposition file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._registry: MetricsRegistry | None = None
+
+    def emit_span(self, event: SpanEvent) -> None:
+        """Spans are not representable in the exposition format."""
+
+    def emit_metrics(self, registry: MetricsRegistry) -> None:
+        """Remember the registry for rendering at :meth:`close`."""
+        self._registry = registry
+
+    def close(self) -> None:
+        """Render and write the exposition file."""
+        registry = self._registry if self._registry is not None else MetricsRegistry()
+        with open(self.path, "w", encoding="utf-8") as fh:
+            fh.write(prom_text(registry))

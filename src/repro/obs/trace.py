@@ -1,0 +1,188 @@
+"""Pipeline span tracing: nested timed events over the ingest stages.
+
+A :class:`Tracer` hands out :class:`Span` context managers; entering a
+span pushes it on the tracer's stack (establishing parentage), exiting
+stamps the duration and emits a :class:`SpanEvent` to every sink.  The
+event schema is deliberately flat and JSON-friendly so a trace file is
+replayable (see :mod:`repro.obs.traceview` and docs/OBSERVABILITY.md):
+
+========  =====================================================
+field     meaning
+========  =====================================================
+name      stage name (``run``, ``file``, ``chunk``, ``hash``,
+          ``index``, ``store``, ``end_file``, ``verify`` …)
+span_id   per-tracer ordinal, unique within one trace
+parent    ``span_id`` of the enclosing span (-1 at the root)
+start     seconds since the tracer's epoch (perf-counter clock)
+duration  seconds between enter and exit
+attrs     small JSON-safe dict (file ids, batch sizes, metered
+          ``io_ops``/``io_bytes`` deltas from the I/O probe)
+========  =====================================================
+
+The clock lives *here*, not in the algorithm packages — dedupcheck's
+DDC004 bans wall-clock reads from ``repro/core``/``chunking``/
+``baselines``, so instrumented code only ever calls through this
+module (and through no-op spans when tracing is off).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["SpanEvent", "Span", "NullSpan", "NULL_SPAN", "Tracer"]
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One completed span, as delivered to sinks (and trace files)."""
+
+    name: str
+    span_id: int
+    parent: int
+    start: float
+    duration: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form (the JSONL trace record body)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent": self.parent,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> SpanEvent:
+        """Rebuild a span event from its :meth:`as_dict` form."""
+        return cls(
+            name=str(d["name"]),
+            span_id=int(d["span_id"]),
+            parent=int(d["parent"]),
+            start=float(d["start"]),
+            duration=float(d["duration"]),
+            attrs=dict(d.get("attrs", {})),
+        )
+
+
+class NullSpan:
+    """The no-op span: entering and exiting does nothing.
+
+    A single module-level instance (:data:`NULL_SPAN`) is returned by
+    disabled telemetry, so the disabled path allocates nothing and
+    never reads the clock.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> NullSpan:
+        """No-op."""
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        """No-op."""
+
+    def set_attr(self, name: str, value: Any) -> None:
+        """No-op."""
+
+
+#: Shared no-op span returned whenever tracing is disabled.
+NULL_SPAN = NullSpan()
+
+
+class Span:
+    """A live span; use as a context manager around one pipeline stage."""
+
+    __slots__ = ("_tracer", "name", "span_id", "parent", "start", "attrs", "_io0")
+
+    def __init__(self, tracer: Tracer, name: str, attrs: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = -1
+        self.parent = -1
+        self.start = 0.0
+        self._io0: tuple[int, int] | None = None
+
+    def set_attr(self, name: str, value: Any) -> None:
+        """Attach one attribute to the span (any JSON-safe value)."""
+        self.attrs[name] = value
+
+    def __enter__(self) -> Span:
+        """Start the clock and push this span on the tracer stack."""
+        tracer = self._tracer
+        self.span_id = tracer._next_id()
+        self.parent = tracer._stack[-1] if tracer._stack else -1
+        tracer._stack.append(self.span_id)
+        if tracer.io_probe is not None:
+            self._io0 = tracer.io_probe()
+        self.start = time.perf_counter() - tracer.epoch
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        """Stop the clock, pop the stack and emit the event to the sinks."""
+        tracer = self._tracer
+        duration = time.perf_counter() - tracer.epoch - self.start
+        if tracer._stack and tracer._stack[-1] == self.span_id:
+            tracer._stack.pop()
+        if self._io0 is not None and tracer.io_probe is not None:
+            ops1, bytes1 = tracer.io_probe()
+            self.attrs["io_ops"] = ops1 - self._io0[0]
+            self.attrs["io_bytes"] = bytes1 - self._io0[1]
+        tracer._emit(
+            SpanEvent(
+                name=self.name,
+                span_id=self.span_id,
+                parent=self.parent,
+                start=self.start,
+                duration=duration,
+                attrs=self.attrs,
+            )
+        )
+
+
+class Tracer:
+    """Produces nested spans and fans completed events out to sinks.
+
+    Parameters
+    ----------
+    emit:
+        Callables receiving each completed :class:`SpanEvent` (the
+        sinks' ``emit_span`` methods).
+    io_probe:
+        Optional zero-argument callable returning cumulative
+        ``(disk_ops, disk_bytes)``; when set, every span carries the
+        I/O delta observed while it was open (``attrs["io_ops"]`` /
+        ``attrs["io_bytes"]``) — the data behind ``trace-view``'s I/O
+        attribution columns.
+    """
+
+    __slots__ = ("epoch", "io_probe", "_emitters", "_stack", "_counter")
+
+    def __init__(
+        self,
+        emit: Sequence[Callable[[SpanEvent], None]],
+        io_probe: Callable[[], tuple[int, int]] | None = None,
+    ) -> None:
+        self.epoch = time.perf_counter()
+        self.io_probe = io_probe
+        self._emitters = tuple(emit)
+        self._stack: list[int] = []
+        self._counter = 0
+
+    def _next_id(self) -> int:
+        self._counter += 1
+        return self._counter
+
+    def span(self, name: str, attrs: dict[str, Any] | None = None) -> Span:
+        """A new span named after one pipeline stage (not yet entered)."""
+        return Span(self, name, {} if attrs is None else attrs)
+
+    def _emit(self, event: SpanEvent) -> None:
+        for emit in self._emitters:
+            emit(event)

@@ -1,0 +1,157 @@
+"""Aggregate a span trace into a per-stage attribution table.
+
+The partition invariant this module relies on: a span's *self time* is
+its duration minus the durations of its **direct** children, so the
+self times of all spans in a well-nested trace sum exactly to the root
+span's duration.  That makes the attribution table conservative — no
+stage is double-counted, and the "self" column answers "where did the
+wall-clock actually go".
+
+I/O attribution works the same way on the ``io_ops``/``io_bytes``
+attrs the tracer's probe stamps on each span: a span's self I/O is its
+delta minus its direct children's deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .trace import SpanEvent
+
+__all__ = ["StageRow", "TraceSummary", "summarize", "render_table"]
+
+
+@dataclass
+class StageRow:
+    """Aggregated figures for all spans sharing one stage name."""
+
+    name: str
+    count: int = 0
+    total_s: float = 0.0  # sum of durations (includes child time)
+    self_s: float = 0.0  # sum of durations minus direct-child time
+    io_ops: int = 0  # self I/O operations (probe delta attribution)
+    io_bytes: int = 0  # self I/O bytes
+
+    def merge_span(self, duration: float, self_s: float, ops: int, nbytes: int) -> None:
+        """Fold one span's figures into the row."""
+        self.count += 1
+        self.total_s += duration
+        self.self_s += self_s
+        self.io_ops += ops
+        self.io_bytes += nbytes
+
+
+@dataclass
+class TraceSummary:
+    """The full attribution result for one trace."""
+
+    rows: list[StageRow] = field(default_factory=list)
+    run_s: float = 0.0  # sum of root-span durations
+    span_count: int = 0
+
+    @property
+    def covered_s(self) -> float:
+        """Total self time across all stages (== run_s when well nested)."""
+        return sum(r.self_s for r in self.rows)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the run duration the stage self-times account for."""
+        if self.run_s <= 0.0:
+            return 0.0
+        return self.covered_s / self.run_s
+
+
+def summarize(spans: list[SpanEvent]) -> TraceSummary:
+    """Collapse a span list into per-stage rows sorted by self time.
+
+    Raises ``ValueError`` when the trace is structurally invalid
+    (duplicate span ids or a parent reference to an unknown span), so
+    the ``trace-view`` CLI fails loudly on corrupt files.
+    """
+    by_id: dict[int, SpanEvent] = {}
+    for ev in spans:
+        if ev.span_id in by_id:
+            raise ValueError(f"duplicate span id {ev.span_id}")
+        by_id[ev.span_id] = ev
+    child_time: dict[int, float] = {}
+    child_ops: dict[int, int] = {}
+    child_bytes: dict[int, int] = {}
+    for ev in spans:
+        if ev.parent != -1:
+            if ev.parent not in by_id:
+                raise ValueError(f"span {ev.span_id} references unknown parent {ev.parent}")
+            child_time[ev.parent] = child_time.get(ev.parent, 0.0) + ev.duration
+            child_ops[ev.parent] = child_ops.get(ev.parent, 0) + int(ev.attrs.get("io_ops", 0))
+            child_bytes[ev.parent] = child_bytes.get(ev.parent, 0) + int(
+                ev.attrs.get("io_bytes", 0)
+            )
+    rows: dict[str, StageRow] = {}
+    summary = TraceSummary(span_count=len(spans))
+    for ev in spans:
+        self_s = max(0.0, ev.duration - child_time.get(ev.span_id, 0.0))
+        self_ops = max(0, int(ev.attrs.get("io_ops", 0)) - child_ops.get(ev.span_id, 0))
+        self_bytes = max(
+            0, int(ev.attrs.get("io_bytes", 0)) - child_bytes.get(ev.span_id, 0)
+        )
+        row = rows.get(ev.name)
+        if row is None:
+            row = rows[ev.name] = StageRow(name=ev.name)
+        row.merge_span(ev.duration, self_s, self_ops, self_bytes)
+        if ev.parent == -1:
+            summary.run_s += ev.duration
+    summary.rows = sorted(rows.values(), key=lambda r: r.self_s, reverse=True)
+    return summary
+
+
+def _human_bytes(n: int) -> str:
+    """Render a byte count with a binary unit suffix."""
+    v = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if v < 1024.0 or unit == "GiB":
+            return f"{v:.1f} {unit}" if unit != "B" else f"{int(v)} B"
+        v /= 1024.0
+    return f"{int(n)} B"  # pragma: no cover - loop always returns
+
+
+def render_table(summary: TraceSummary) -> str:
+    """Render the attribution table as aligned monospace text."""
+    headers = ("stage", "count", "total s", "self s", "self %", "io ops", "io bytes")
+    body: list[tuple[str, ...]] = []
+    run = summary.run_s if summary.run_s > 0.0 else 1.0
+    for r in summary.rows:
+        body.append(
+            (
+                r.name,
+                str(r.count),
+                f"{r.total_s:.4f}",
+                f"{r.self_s:.4f}",
+                f"{100.0 * r.self_s / run:.1f}",
+                str(r.io_ops),
+                _human_bytes(r.io_bytes),
+            )
+        )
+    body.append(
+        (
+            "(run)",
+            str(summary.span_count),
+            f"{summary.run_s:.4f}",
+            f"{summary.covered_s:.4f}",
+            f"{100.0 * summary.coverage:.1f}",
+            "",
+            "",
+        )
+    )
+    widths = [
+        max(len(headers[i]), max((len(row[i]) for row in body), default=0))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines.extend(
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        for row in body
+    )
+    return "\n".join(lines)

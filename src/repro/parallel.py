@@ -26,8 +26,9 @@ from dataclasses import dataclass
 from collections.abc import Callable, Iterable
 
 from .analysis.timing import DeviceModel
-from .core.base import DedupStats
+from .core.base import CpuWork, DedupStats, PipelineStats
 from .core.config import DedupConfig
+from .obs import MetricsRegistry, Telemetry
 from .workloads.machine import BackupFile
 
 __all__ = ["ShardResult", "FleetResult", "shard_by_machine", "dedup_sharded"]
@@ -48,6 +49,10 @@ class ShardResult:
     shard: str
     stats: DedupStats
     dedup_seconds: float
+    #: The shard worker's telemetry registry (``None`` unless the run
+    #: was launched with ``collect_metrics=True``).  Registries are
+    #: picklable by design, so they cross the pool boundary unchanged.
+    metrics: MetricsRegistry | None = None
 
 
 @dataclass(frozen=True)
@@ -95,21 +100,72 @@ class FleetResult:
         """Aggregate work / makespan — the scale-out win."""
         return self.aggregate_seconds / max(1e-12, self.makespan_seconds)
 
+    @property
+    def cpu(self) -> CpuWork:
+        """Fleet-total CPU work (chunked/hashed/compared bytes summed)."""
+        total = CpuWork()
+        for s in self.shards:
+            total.chunked += s.stats.cpu.chunked
+            total.hashed += s.stats.cpu.hashed
+            total.compared += s.stats.cpu.compared
+        return total
+
+    @property
+    def pipeline(self) -> PipelineStats:
+        """Fleet-total pipeline counters (peak buffer is the max shard).
+
+        Counters sum (batches, windows, stalls, streamed files);
+        ``peak_buffer_bytes`` takes the worst shard, since shards run in
+        separate processes and never share one buffer.
+        """
+        total = PipelineStats()
+        for s in self.shards:
+            p = s.stats.pipeline
+            total.batches += p.batches
+            total.windows += p.windows
+            total.stalls += p.stalls
+            total.streamed_files += p.streamed_files
+            if p.peak_buffer_bytes > total.peak_buffer_bytes:
+                total.peak_buffer_bytes = p.peak_buffer_bytes
+        return total
+
+    def metrics(self) -> MetricsRegistry:
+        """Merge every shard's telemetry registry into one.
+
+        Merge order does not matter (counters add, gauges max,
+        histograms add bucket-wise).  Empty unless the run collected
+        metrics; the result is a fresh registry, never a shard's own.
+        """
+        merged = MetricsRegistry()
+        for s in self.shards:
+            if s.metrics is not None:
+                merged.merge(s.metrics)
+        return merged
+
 
 # -- worker ----------------------------------------------------------------
 
 
 def _run_shard(
-    args: tuple[str, str, DedupConfig, list[BackupFile], DeviceModel]
+    args: tuple[str, str, DedupConfig, list[BackupFile], DeviceModel, bool]
 ) -> ShardResult:
     # Name → class resolution happens inside the worker (the registry
     # populates lazily), keeping this function pickle-friendly.
     from .registry import resolve
 
-    shard, algo, config, files, device = args
+    shard, algo, config, files, device, collect_metrics = args
     dedup = resolve(algo)(config)
+    tel: Telemetry | None = None
+    if collect_metrics:
+        tel = Telemetry()  # metrics only; sinks live in the parent
+        dedup.telemetry = tel
     stats = dedup.process(files)
-    return ShardResult(shard=shard, stats=stats, dedup_seconds=device.dedup_time(stats))
+    return ShardResult(
+        shard=shard,
+        stats=stats,
+        dedup_seconds=device.dedup_time(stats),
+        metrics=tel.registry if tel is not None else None,
+    )
 
 
 def dedup_sharded(
@@ -119,6 +175,7 @@ def dedup_sharded(
     workers: int | None = None,
     device: DeviceModel | None = None,
     shard_fn: Callable[[Iterable[BackupFile]], dict[str, list[BackupFile]]] = shard_by_machine,
+    collect_metrics: bool = False,
 ) -> FleetResult:
     """Deduplicate a corpus sharded across worker processes.
 
@@ -127,6 +184,11 @@ def dedup_sharded(
     workers:
         Pool size; ``None`` uses one process per shard (capped at CPU
         count), ``1`` runs in-process (deterministic, debuggable).
+    collect_metrics:
+        Attach a metrics-only telemetry context to each shard worker;
+        the per-shard registries come back on the
+        :class:`ShardResult`\\ s and merge via
+        :meth:`FleetResult.metrics`.
     """
     from .registry import resolve
 
@@ -137,7 +199,7 @@ def dedup_sharded(
     if not shards:
         return FleetResult(shards=())
     jobs = [
-        (shard, algo, config, shard_files, device)
+        (shard, algo, config, shard_files, device, collect_metrics)
         for shard, shard_files in sorted(shards.items())
     ]
     if workers is None:

@@ -18,6 +18,10 @@ from collections import Counter
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+from ..obs.metrics import Counter as MetricCounter
+from ..obs.metrics import MetricsRegistry
+from ..obs.telemetry import note_anomaly
+
 __all__ = ["DiskModel", "IOSnapshot", "INODE_SIZE"]
 
 #: Bytes charged per inode, as assumed in the paper's Section IV.
@@ -57,9 +61,21 @@ class IOSnapshot:
         ops.subtract(other.ops)
         nb = Counter(self.byte_counts)
         nb.subtract(other.byte_counts)
+        negatives = sorted(
+            {k for k, v in ops.items() if v < 0} | {k for k, v in nb.items() if v < 0}
+        )
+        if negatives:
+            # Meters only ever count up, so a negative delta means the
+            # operands were swapped or came from different runs; clamp
+            # to zero rather than return nonsense counts, and report it.
+            note_anomaly(
+                "io_snapshot.negative_delta",
+                f"clamped negative deltas for {negatives} "
+                "(snapshot subtraction expects newer - older from one meter)",
+            )
         return IOSnapshot(
-            {k: v for k, v in ops.items() if v},
-            {k: v for k, v in nb.items() if v},
+            {k: v for k, v in ops.items() if v > 0},
+            {k: v for k, v in nb.items() if v > 0},
         )
 
 
@@ -75,6 +91,20 @@ class DiskModel:
     def __init__(self) -> None:
         self._ops: Counter[tuple[str, str]] = Counter()
         self._bytes: Counter[tuple[str, str]] = Counter()
+        self._registry: MetricsRegistry | None = None
+        self._mirror: dict[tuple[str, str], tuple[MetricCounter, MetricCounter]] = {}
+
+    def attach_registry(self, registry: MetricsRegistry | None) -> None:
+        """Mirror every future :meth:`record` into a metrics registry.
+
+        Each ``(namespace, op)`` pair maps to two counters —
+        ``disk.<ns>.<op>.ops`` and ``disk.<ns>.<op>.bytes`` — so
+        telemetry sinks see the per-namespace I/O breakdown without a
+        second accounting path.  Pass ``None`` to detach.  Existing
+        totals are not back-filled; attach before the run starts.
+        """
+        self._registry = registry
+        self._mirror = {}
 
     def record(self, namespace: str, op: str, nbytes: int, count: int = 1) -> None:
         """Record ``count`` operations moving ``nbytes`` total bytes."""
@@ -83,6 +113,17 @@ class DiskModel:
         key = (namespace, op)
         self._ops[key] += count
         self._bytes[key] += nbytes
+        registry = self._registry
+        if registry is not None:
+            pair = self._mirror.get(key)
+            if pair is None:
+                pair = (
+                    registry.counter(f"disk.{namespace}.{op}.ops"),
+                    registry.counter(f"disk.{namespace}.{op}.bytes"),
+                )
+                self._mirror[key] = pair
+            pair[0].inc(count)
+            pair[1].inc(nbytes)
 
     def snapshot(self) -> IOSnapshot:
         """Freeze the current counters (cheap; dict copies)."""

@@ -1,0 +1,20 @@
+"""A sink that drives the pipeline it is supposed to observe."""
+
+from repro.storage import DiskModel
+
+from ..core.base import Deduplicator
+
+
+class MeddlingSink:
+    """Re-runs ingest and meters phantom I/O from inside a sink."""
+
+    def emit_span(self, event, dedup: Deduplicator, disk: DiskModel) -> None:
+        """Mutate observed state on every span."""
+        dedup.process([])
+        disk.record("chunk", "read", 1)
+
+    def emit_metrics(self, registry) -> None:
+        """Nothing to do."""
+
+    def close(self) -> None:
+        """Nothing to do."""

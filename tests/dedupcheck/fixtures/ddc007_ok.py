@@ -1,0 +1,22 @@
+"""A sink that only observes: intra-package imports, no write-backs."""
+
+from .metrics import MetricsRegistry
+
+
+class CountingSink:
+    """Counts spans and snapshots registries without touching dedup."""
+
+    def __init__(self) -> None:
+        self.spans = 0
+        self.registries: list[MetricsRegistry] = []
+
+    def emit_span(self, event) -> None:
+        """Tally the span."""
+        self.spans += 1
+
+    def emit_metrics(self, registry: MetricsRegistry) -> None:
+        """Keep a reference to the final registry."""
+        self.registries.append(registry)
+
+    def close(self) -> None:
+        """Nothing to release."""

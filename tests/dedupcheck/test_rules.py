@@ -24,6 +24,7 @@ CASES = [
     ("DDC004", "ddc004", "src/repro/chunking/newchunker.py"),
     ("DDC005", "ddc005", "src/repro/storage/newstore.py"),
     ("DDC006", "ddc006", "src/repro/baselines/newalgo.py"),
+    ("DDC007", "ddc007", "src/repro/obs/newsink.py"),
 ]
 
 
@@ -70,6 +71,11 @@ def test_ddc005_ignores_cold_paths():
     assert run("ddc005_bad.py", "src/repro/analysis/report.py") == []
 
 
+def test_ddc007_only_polices_obs():
+    """The same code is legal outside the observation leaf."""
+    assert run("ddc007_bad.py", "src/repro/analysis/newthing.py") == []
+
+
 def test_ddc006_exempt_in_base():
     """core/base.py owns the counters and their helpers."""
     assert run("ddc006_bad.py", "src/repro/core/base.py") == []
@@ -107,4 +113,4 @@ def test_cli_list_rules(capsys):
     out = capsys.readouterr().out
     for rule in ALL_RULES:
         assert rule.code in out
-    assert len(ALL_RULES) == 6
+    assert len(ALL_RULES) == 7

@@ -1,0 +1,100 @@
+"""Tests for the per-stage trace attribution (summarize / render_table)."""
+
+import pytest
+
+from repro.obs import SpanEvent, summarize
+from repro.obs.traceview import render_table
+
+
+def _ev(name, span_id, parent, duration, start=0.0, **attrs):
+    return SpanEvent(name, span_id, parent, start, duration, dict(attrs))
+
+
+class TestSummarize:
+    def test_self_time_partitions_the_root(self):
+        spans = [
+            _ev("hash", 3, 2, 0.2, io_ops=1, io_bytes=10),
+            _ev("store", 4, 2, 0.3, io_ops=4, io_bytes=90),
+            _ev("file", 2, 1, 0.6, io_ops=5, io_bytes=100),
+            _ev("run", 1, -1, 1.0, io_ops=5, io_bytes=100),
+        ]
+        summary = summarize(spans)
+        assert summary.run_s == pytest.approx(1.0)
+        rows = {r.name: r for r in summary.rows}
+        assert rows["hash"].self_s == pytest.approx(0.2)
+        assert rows["store"].self_s == pytest.approx(0.3)
+        assert rows["file"].self_s == pytest.approx(0.1)  # 0.6 - 0.5
+        assert rows["run"].self_s == pytest.approx(0.4)  # 1.0 - 0.6
+        # The partition invariant: self times sum exactly to the run.
+        assert summary.covered_s == pytest.approx(summary.run_s)
+        assert summary.coverage == pytest.approx(1.0)
+
+    def test_io_attribution_is_self_only(self):
+        spans = [
+            _ev("store", 2, 1, 0.3, io_ops=4, io_bytes=90),
+            _ev("file", 1, -1, 1.0, io_ops=5, io_bytes=100),
+        ]
+        rows = {r.name: r for r in summarize(spans).rows}
+        assert rows["store"].io_ops == 4 and rows["store"].io_bytes == 90
+        assert rows["file"].io_ops == 1 and rows["file"].io_bytes == 10
+
+    def test_same_stage_spans_aggregate(self):
+        spans = [
+            _ev("chunk", 1, -1, 0.1),
+            _ev("chunk", 2, -1, 0.2),
+            _ev("chunk", 3, -1, 0.3),
+        ]
+        summary = summarize(spans)
+        (row,) = summary.rows
+        assert row.count == 3
+        assert row.total_s == pytest.approx(0.6)
+        assert summary.run_s == pytest.approx(0.6)  # three roots
+
+    def test_rows_sorted_by_self_time(self):
+        spans = [
+            _ev("fast", 1, -1, 0.1),
+            _ev("slow", 2, -1, 0.9),
+        ]
+        assert [r.name for r in summarize(spans).rows] == ["slow", "fast"]
+
+    def test_duplicate_span_id_rejected(self):
+        with pytest.raises(ValueError, match="duplicate span id"):
+            summarize([_ev("a", 1, -1, 0.1), _ev("b", 1, -1, 0.1)])
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(ValueError, match="unknown parent"):
+            summarize([_ev("a", 1, 99, 0.1)])
+
+    def test_empty_trace(self):
+        summary = summarize([])
+        assert summary.rows == [] and summary.run_s == 0.0
+        assert summary.coverage == 0.0
+
+    def test_clock_skew_clamped_to_zero(self):
+        """A child longer than its parent (timer jitter) never yields
+        negative self time."""
+        spans = [
+            _ev("child", 2, 1, 0.5),
+            _ev("parent", 1, -1, 0.4),
+        ]
+        rows = {r.name: r for r in summarize(spans).rows}
+        assert rows["parent"].self_s == 0.0
+
+
+class TestRenderTable:
+    def test_renders_aligned_rows_and_summary(self):
+        spans = [
+            _ev("hash", 2, 1, 0.25, io_ops=2, io_bytes=2048),
+            _ev("run", 1, -1, 1.0),
+        ]
+        text = render_table(summarize(spans))
+        lines = text.splitlines()
+        assert lines[0].startswith("stage")
+        assert set(lines[1]) <= {"-", " "}
+        assert any(line.startswith("hash") for line in lines)
+        assert lines[-1].startswith("(run)")
+        assert "2.0 KiB" in text
+
+    def test_empty_summary_renders_header_only(self):
+        text = render_table(summarize([]))
+        assert text.splitlines()[-1].startswith("(run)")

@@ -73,3 +73,57 @@ def test_merge():
     a.merge([b])
     assert a.count() == 3
     assert a.nbytes(DiskModel.CHUNK) == 12
+
+
+def test_snapshot_subtraction_clamps_negative_deltas():
+    """Subtracting a *newer* snapshot from an older one (caller bug or
+    meter reset) drops the negative pairs instead of reporting
+    nonsense, and reports the anomaly through the telemetry channel."""
+    from repro.obs import runtime_anomalies
+
+    m = DiskModel()
+    m.record(DiskModel.CHUNK, "write", 10)
+    old = m.snapshot()
+    m.record(DiskModel.CHUNK, "write", 10)
+    m.record(DiskModel.HOOK, "query", 0)
+    new = m.snapshot()
+
+    before = runtime_anomalies().get("anomaly.io_snapshot.negative_delta", 0)
+    delta = old - new  # wrong order
+    assert delta.count() == 0
+    assert delta.nbytes() == 0
+    after = runtime_anomalies()["anomaly.io_snapshot.negative_delta"]
+    assert after == before + 1
+    # The correct order still works and stays silent.
+    ok = new - old
+    assert ok.count() == 2
+    assert runtime_anomalies()["anomaly.io_snapshot.negative_delta"] == after
+
+
+def test_snapshot_subtraction_keeps_positive_pairs_on_partial_skew():
+    """Only the negative pairs are dropped; untouched namespaces survive."""
+    a, b = DiskModel(), DiskModel()
+    a.record(DiskModel.CHUNK, "write", 10)
+    a.record(DiskModel.HOOK, "write", 5)
+    b.record(DiskModel.HOOK, "write", 5)
+    b.record(DiskModel.HOOK, "write", 5)
+    delta = a.snapshot() - b.snapshot()  # hook pair is negative, chunk positive
+    assert delta.count(DiskModel.CHUNK, "write") == 1
+    assert delta.count(DiskModel.HOOK, "write") == 0
+
+
+def test_attach_registry_mirrors_records():
+    """With a registry attached the meter double-books every record as
+    ``disk.<ns>.<op>`` counters; detaching stops the mirror."""
+    from repro.obs import MetricsRegistry
+
+    reg = MetricsRegistry()
+    m = DiskModel()
+    m.attach_registry(reg)
+    m.record(DiskModel.CHUNK, "write", 100)
+    m.record(DiskModel.CHUNK, "write", 50, count=2)
+    assert reg.counter("disk.chunk.write.ops").value == 3
+    assert reg.counter("disk.chunk.write.bytes").value == 150
+    m.attach_registry(None)
+    m.record(DiskModel.CHUNK, "write", 100)
+    assert reg.counter("disk.chunk.write.ops").value == 3

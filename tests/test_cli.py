@@ -251,3 +251,67 @@ def test_gc_keep_last(tmp_path, capsys):
 def test_run_with_profile(capsys):
     assert main(["run", "--profile", "server-fleet", "--ecs", "2048", "--sd", "16"]) == 0
     assert "bf-mhd results" in capsys.readouterr().out
+
+
+class TestTelemetry:
+    def test_run_writes_trace_and_metrics(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.jsonl")
+        prom = str(tmp_path / "m.prom")
+        assert main(["run", *FAST, "--trace", trace, "--metrics", prom]) == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {trace}" in out
+        assert f"metrics written to {prom}" in out
+
+        from repro.obs import load_trace, summarize
+
+        spans, metrics = load_trace(trace)
+        summary = summarize(spans)
+        assert {"run", "file", "chunk", "hash", "index", "store"} <= {
+            r.name for r in summary.rows
+        }
+        # Per-stage self-times account for the whole run within 5%.
+        assert summary.coverage == pytest.approx(1.0, abs=0.05)
+        assert metrics["ingest.files"] > 0
+
+        with open(prom, encoding="utf-8") as fh:
+            for line in fh:
+                assert line.startswith(("# TYPE ", "repro_")), line
+
+    def test_trace_view_renders_table(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.jsonl")
+        main(["run", *FAST, "--trace", trace])
+        capsys.readouterr()
+        assert main(["trace-view", trace]) == 0
+        out = capsys.readouterr().out
+        assert "stage" in out and "(run)" in out
+        assert "stage self-times cover" in out
+
+    def test_trace_view_show_metrics(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.jsonl")
+        main(["run", *FAST, "--trace", trace])
+        capsys.readouterr()
+        assert main(["trace-view", trace, "--show-metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "final metrics" in out
+        assert "ingest.files" in out
+
+    def test_trace_view_missing_file_fails(self, tmp_path, capsys):
+        assert main(["trace-view", str(tmp_path / "nope.jsonl")]) == 1
+        assert "invalid trace" in capsys.readouterr().err
+
+    def test_trace_view_garbage_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["trace-view", str(bad)]) == 1
+        assert "invalid trace" in capsys.readouterr().err
+
+    def test_progress_heartbeats_on_stderr(self, capsys):
+        assert main(["run", *FAST, "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "DER so far" in err
+
+    def test_run_without_telemetry_flags_prints_no_trace_lines(self, capsys):
+        assert main(["run", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "trace written" not in out
+        assert "metrics written" not in out

@@ -104,3 +104,44 @@ def test_device_model_passed_through(files):
     fast = dedup_sharded(files[:30], config=CFG, workers=1,
                          device=DeviceModel(seek_s=0.001))
     assert slow.makespan_seconds > fast.makespan_seconds
+
+
+def test_fleet_cpu_and_pipeline_aggregates(files):
+    fleet = dedup_sharded(files, config=CFG, workers=1)
+    cpu = fleet.cpu
+    pipe = fleet.pipeline
+    assert cpu.hashed == sum(s.stats.cpu.hashed for s in fleet.shards)
+    assert cpu.chunked == sum(s.stats.cpu.chunked for s in fleet.shards)
+    assert pipe.batches == sum(s.stats.pipeline.batches for s in fleet.shards)
+    assert pipe.peak_buffer_bytes == max(
+        s.stats.pipeline.peak_buffer_bytes for s in fleet.shards
+    )
+
+
+def test_fleet_metrics_disabled_by_default(files):
+    fleet = dedup_sharded(files, config=CFG, workers=1)
+    assert all(s.metrics is None for s in fleet.shards)
+    assert len(fleet.metrics()) == 0
+
+
+def test_fleet_metrics_collected_and_merged(files):
+    fleet = dedup_sharded(files, config=CFG, workers=1, collect_metrics=True)
+    assert all(s.metrics is not None for s in fleet.shards)
+    merged = fleet.metrics()
+    assert merged.counter("ingest.files").value == len(files)
+    assert merged.counter("ingest.bytes").value == sum(f.size for f in files)
+    # The merged registry mirrors the fleet's summed I/O meter.
+    total_ops = sum(s.stats.io.count() for s in fleet.shards)
+    mirrored = sum(
+        m.value
+        for name, m in merged.items()
+        if name.startswith("disk.") and name.endswith(".ops")
+    )
+    assert mirrored == total_ops
+
+
+def test_fleet_metrics_cross_process(files):
+    """Shard registries survive the multiprocessing pickle boundary."""
+    seq = dedup_sharded(files, config=CFG, workers=1, collect_metrics=True)
+    par = dedup_sharded(files, config=CFG, workers=3, collect_metrics=True)
+    assert seq.metrics().as_dict() == par.metrics().as_dict()

@@ -11,6 +11,8 @@ DDC004  no nondeterminism (unseeded RNG, wall clock) in algorithm
         modules
 DDC005  no ``bytes +=`` accumulation inside loops on hot paths
 DDC006  dedup counters updated only via the ``Deduplicator`` helpers
+DDC007  ``repro/obs/`` is a read-only leaf: no dedup-machinery imports,
+        no calls that mutate the observed pipeline
 ======  ==============================================================
 
 Every rule decides its own applicability from the posix-normalised
@@ -424,6 +426,89 @@ class StatsViaHelpers:
                     )
 
 
+class ObsReadOnly:
+    """DDC007 — ``repro/obs/`` observes the pipeline; it never drives it.
+
+    The telemetry layer is wired *into* the dedup stack (every
+    instrumented package imports ``repro.obs``), so an import in the
+    other direction would create a cycle — and a sink that calls back
+    into ingest or the disk meter would corrupt the very counters it
+    reports.  Observation must be read-only: ``repro/obs/`` may import
+    only the standard library and its own modules, and may not invoke
+    the state-mutating dedup APIs on observed objects.
+    """
+
+    code = "DDC007"
+    summary = "repro/obs importing dedup machinery or mutating observed state"
+
+    #: Methods that advance or mutate pipeline state; calling any of
+    #: them on a non-``self`` receiver from inside obs is a write.
+    _MUTATING_CALLS = frozenset(
+        {
+            "process",
+            "ingest",
+            "record",
+            "apply_split",
+            "replace_entry",
+            "_ingest_chunks",
+            "_end_file",
+            "_count_unique_many",
+            "_count_duplicate",
+            "_break_dup_run",
+        }
+    )
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Violation]:
+        """Flag escapes from the leaf: sibling imports, mutating calls."""
+        if "repro/obs/" not in path:
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.level >= 2:
+                    yield self._violation(
+                        path,
+                        node,
+                        "relative import above the obs package",
+                    )
+                elif node.level == 0:
+                    yield from self._check_absolute(
+                        path, node, (node.module or "")
+                    )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    yield from self._check_absolute(path, node, alias.name)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in self._MUTATING_CALLS
+                    and _tail_name(func.value) != "self"
+                ):
+                    yield self._violation(
+                        path,
+                        node,
+                        f".{func.attr}() mutates the observed pipeline",
+                    )
+
+    def _check_absolute(
+        self, path: str, node: ast.stmt, module: str
+    ) -> Iterator[Violation]:
+        parts = module.split(".")
+        if parts[0] == "repro" and (len(parts) < 2 or parts[1] != "obs"):
+            yield self._violation(
+                path, node, f"import of dedup machinery {module!r}"
+            )
+
+    def _violation(self, path: str, node: ast.stmt | ast.expr, msg: str) -> Violation:
+        return Violation(
+            path,
+            node.lineno,
+            node.col_offset,
+            self.code,
+            f"{msg}; repro.obs is a read-only observation leaf",
+        )
+
+
 #: The full rule pack, in catalogue order.
 ALL_RULES = (
     HashlibConfinement(),
@@ -432,4 +517,5 @@ ALL_RULES = (
     AlgorithmDeterminism(),
     NoQuadraticBytes(),
     StatsViaHelpers(),
+    ObsReadOnly(),
 )
