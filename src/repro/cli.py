@@ -12,6 +12,8 @@ Sub-commands:
   by ``run --store-dir``.
 * ``gc`` — expire files from a persistent store and reclaim space.
 * ``stats`` — summarise a persistent store's contents.
+* ``fsck`` — check a persistent store's integrity; with ``--repair``,
+  quarantine damaged objects and reconcile metadata after a crash.
 * ``gen-corpus`` — write the seeded synthetic corpus to a directory.
 * ``inspect`` — dump one file's recipe and the manifests behind it.
 * ``trace-view`` — render the per-stage time/I/O attribution table of
@@ -25,6 +27,8 @@ Examples::
     repro-dedup run --input-dir ~/files --store-dir /backup/store --verify --fsck
     repro-dedup run --algo bf-mhd --trace t.jsonl --metrics m.prom --progress
     repro-dedup trace-view t.jsonl
+    repro-dedup run --store-dir /backup/store --fsync data --retries 3 --fault-rate 0.01
+    repro-dedup fsck --store-dir /backup/store --repair
     repro-dedup restore --store-dir /backup/store --list
     repro-dedup restore --store-dir /backup/store --output-dir /tmp/out
     repro-dedup gc --store-dir /backup/store --delete 'pc00/gen000/*'
@@ -43,10 +47,16 @@ from .storage import (
     DirectoryBackend,
     DiskChunkStore,
     DiskModel,
+    FaultInjectingBackend,
     FileManifestStore,
+    MemoryBackend,
     RetentionPolicy,
+    RetryingBackend,
+    RetryPolicy,
+    StorageBackend,
     apply_retention,
     delete_file,
+    recover,
     sweep,
     verify_store,
 )
@@ -176,8 +186,32 @@ def _run_telemetry(args) -> Telemetry | None:
     return Telemetry(sinks=sinks, heartbeat=heartbeat)
 
 
+def _run_backend(args) -> StorageBackend | None:
+    """Compose the run's backend stack from the durability/chaos flags.
+
+    ``RetryingBackend(FaultInjectingBackend(DirectoryBackend))`` — the
+    retry layer outermost so injected transient errors are absorbed the
+    way a production store would absorb real ones.
+    """
+    backend: StorageBackend | None = None
+    if args.store_dir:
+        backend = DirectoryBackend(args.store_dir, fsync=args.fsync)
+    if args.fault_rate:
+        backend = FaultInjectingBackend(
+            backend or MemoryBackend(),
+            seed=args.fault_seed,
+            transient_rate=args.fault_rate,
+        )
+    if args.retries:
+        backend = RetryingBackend(
+            backend or MemoryBackend(),
+            RetryPolicy(attempts=args.retries + 1, base_delay=0.001),
+        )
+    return backend
+
+
 def cmd_run(args) -> int:
-    backend = DirectoryBackend(args.store_dir) if args.store_dir else None
+    backend = _run_backend(args)
     dedup = resolve(args.algo)(_config(args), backend)
     tel = _run_telemetry(args)
     if tel is None:
@@ -194,6 +228,17 @@ def cmd_run(args) -> int:
         if args.metrics:
             print(f"metrics written to {args.metrics}")
     _print_stats(stats, DeviceModel())
+    layer: StorageBackend | None = backend
+    while layer is not None:
+        if isinstance(layer, RetryingBackend):
+            print(
+                f"transient backend errors: {layer.retries} retried, "
+                f"{layer.giveups} exhausted the retry budget"
+            )
+        if isinstance(layer, FaultInjectingBackend):
+            fired = dict(sorted(layer.faults_injected.items()))
+            print(f"faults injected (seed {args.fault_seed}): {fired or 'none'}")
+        layer = getattr(layer, "inner", None)
     if args.verify:
         files = list(_corpus(args))
         bad = [f.file_id for f in files if dedup.restore(f.file_id) != f.read_bytes()]
@@ -397,6 +442,25 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_fsck(args) -> int:
+    backend = DirectoryBackend(args.store_dir)
+    if not args.repair:
+        report = verify_store(backend, deep=True, check_entry_hashes=args.check_hashes)
+        print(report.summary())
+        for err in report.errors[:20]:
+            print(f"  {err}", file=sys.stderr)
+        return 0 if report.ok else 1
+    rep = recover(backend, check_hashes=args.check_hashes)
+    print(rep.summary())
+    for action in rep.actions:
+        print(f"  {action}")
+    assert rep.integrity is not None
+    print(rep.integrity.summary())
+    for err in rep.integrity.errors[:20]:
+        print(f"  {err}", file=sys.stderr)
+    return 0 if rep.ok else 1
+
+
 def cmd_gc(args) -> int:
     import fnmatch
 
@@ -461,6 +525,33 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print heartbeat lines (files/bytes/DER-so-far) to stderr",
     )
+    dur = p_run.add_argument_group("durability / fault injection")
+    dur.add_argument(
+        "--fsync",
+        choices=("none", "data", "full"),
+        default="none",
+        help="fsync policy for --store-dir writes (default: none)",
+    )
+    dur.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry transient backend errors up to N times with backoff",
+    )
+    dur.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="inject seeded transient backend errors with probability P per op",
+    )
+    dur.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="RNG seed for --fault-rate injection (default: 0)",
+    )
     _add_dedup_args(p_run)
     _add_corpus_args(p_run)
     p_run.set_defaults(func=cmd_run)
@@ -500,6 +591,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_st.add_argument("--store-dir", required=True)
     p_st.add_argument("--fsck", action="store_true", help="deep integrity check")
     p_st.set_defaults(func=cmd_stats)
+
+    p_fsck = sub.add_parser(
+        "fsck", help="check a persistent store; --repair recovers after a crash"
+    )
+    p_fsck.add_argument("--store-dir", required=True)
+    p_fsck.add_argument(
+        "--check-hashes",
+        action="store_true",
+        help="also re-hash manifest entries against container bytes (slow)",
+    )
+    p_fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="quarantine damaged objects and reconcile metadata, then re-verify",
+    )
+    p_fsck.set_defaults(func=cmd_fsck)
 
     p_gen = sub.add_parser("gen-corpus", help="materialise the synthetic corpus as files")
     p_gen.add_argument("--output-dir", required=True)

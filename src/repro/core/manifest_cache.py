@@ -115,7 +115,12 @@ class ManifestCache(Generic[M]):
         ids = self._digest_index.get(digest)
         if not ids:
             return None
-        mid = next(iter(ids))
+        # The digest may live in several cached manifests; pick the
+        # winner deterministically (smallest id).  Iteration order of a
+        # set[Digest] is PYTHONHASHSEED-dependent, so `next(iter(ids))`
+        # made load/hit counts differ across runs — a violation of the
+        # DDC004 determinism invariant.
+        mid = min(ids)
         manifest = self._cache[mid]
         self._cache.move_to_end(mid)
         self.hits += 1
@@ -152,8 +157,15 @@ class ManifestCache(Generic[M]):
             self._pinned.add(mid)
 
     def unpin(self, manifest_id: Digest) -> None:
-        """Make a pinned manifest evictable again."""
+        """Make a pinned manifest evictable again.
+
+        If pins ever pushed the cache past capacity, shrink back now so
+        the overflow really is temporary — without this the cache would
+        stay oversized until the next insertion.
+        """
         self._pinned.discard(manifest_id)
+        if len(self._cache) > self._capacity:
+            self._evict_to(self._capacity)
 
     def _evict_to(self, target: int) -> None:
         while len(self._cache) > target:
@@ -162,11 +174,16 @@ class ManifestCache(Generic[M]):
             )
             if victim_id is None:
                 return  # everything pinned; allow temporary overflow
-            victim = self._cache.pop(victim_id)
-            self._index_remove(victim_id)
+            victim = self._cache[victim_id]
             if victim.dirty:
+                # Write back *before* dropping the entry: if the store
+                # raises (transient backend failure), the dirty manifest
+                # stays cached and the eviction can be retried, instead
+                # of the mutation being silently lost.
                 self._store.put(victim)  # metered write-back
                 self.writebacks += 1
+            del self._cache[victim_id]
+            self._index_remove(victim_id)
 
     def flush(self) -> None:
         """Write back every dirty cached manifest (run finalisation)."""

@@ -203,16 +203,18 @@ NULL_TELEMETRY: Telemetry = _NullTelemetry()
 _RUNTIME = MetricsRegistry()
 
 
-def note_anomaly(name: str, detail: str = "") -> None:
-    """Record one runtime anomaly: count it and log a warning.
+def note_anomaly(name: str, detail: str = "", count: int = 1) -> None:
+    """Record runtime anomalies: count them and log one warning.
 
     The counter lives in a process-global registry (readable via
     :func:`runtime_anomalies`) so low-level code — e.g.
     :meth:`repro.storage.disk_model.IOSnapshot.__sub__` clamping a
-    negative delta — can report through the telemetry layer without
-    holding a per-run handle.
+    negative delta, or :func:`repro.storage.recover.recover` reporting
+    its repairs — can report through the telemetry layer without
+    holding a per-run handle.  ``count`` batches repeated occurrences
+    of one anomaly kind into a single warning line.
     """
-    _RUNTIME.counter(f"anomaly.{name}").inc()
+    _RUNTIME.counter(f"anomaly.{name}").inc(count)
     if detail:
         logger.warning("%s: %s", name, detail)
     else:

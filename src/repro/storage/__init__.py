@@ -16,6 +16,15 @@ from .backend import (
 )
 from .chunk_store import ContainerWriter, DiskChunkStore
 from .disk_model import INODE_SIZE, DiskModel, IOSnapshot
+from .faults import (
+    BackendError,
+    CrashPoint,
+    FaultInjectingBackend,
+    FaultSpec,
+    RetryingBackend,
+    RetryPolicy,
+    TransientBackendError,
+)
 from .file_manifest import FILE_ENTRY_SIZE, FileExtent, FileManifest, FileManifestStore
 from .hooks import HookStore
 from .manifest import (
@@ -39,6 +48,7 @@ from .retention import (
     default_generation_of,
     plan_retention,
 )
+from .recover import QUARANTINE_PREFIX, RecoveryReport, recover
 from .verify import IntegrityReport, load_manifest, verify_store
 
 __all__ = [
@@ -46,6 +56,16 @@ __all__ = [
     "MemoryBackend",
     "ObjectBackend",
     "StorageBackend",
+    "BackendError",
+    "TransientBackendError",
+    "CrashPoint",
+    "FaultSpec",
+    "FaultInjectingBackend",
+    "RetryPolicy",
+    "RetryingBackend",
+    "QUARANTINE_PREFIX",
+    "RecoveryReport",
+    "recover",
     "ContainerWriter",
     "DiskChunkStore",
     "INODE_SIZE",

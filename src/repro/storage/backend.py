@@ -17,7 +17,10 @@ since the paper budgets 256 bytes per metadata file inode.
 
 from __future__ import annotations
 
+import contextlib
+import logging
 import os
+import tempfile
 from abc import ABC, abstractmethod
 from typing import Protocol
 
@@ -29,6 +32,13 @@ __all__ = [
     "MemoryBackend",
     "DirectoryBackend",
 ]
+
+logger = logging.getLogger(__name__)
+
+#: Suffix of in-flight temp files used by :meth:`DirectoryBackend.put`.
+#: Never a valid object name (object files are bare hex), so interrupted
+#: writes are invisible to every read path and swept by recovery.
+TMP_SUFFIX = ".tmp"
 
 
 class ObjectBackend(Protocol):
@@ -164,20 +174,90 @@ class DirectoryBackend(StorageBackend):
 
     Matches the paper's prototype: every DiskChunk/Manifest/Hook is a
     separate hash-named file on the host file system.
+
+    Writes are **atomic**: the payload goes to a same-directory temp
+    file first and is renamed over the final name with ``os.replace``,
+    so readers never observe a torn object — a crash leaves either the
+    old object, the new object, or an invisible ``*.tmp`` stray (swept
+    by :func:`repro.storage.recover.recover`).
+
+    Parameters
+    ----------
+    fsync:
+        Durability policy for :meth:`put`:
+
+        * ``"none"`` (default) — no fsync; atomic rename only.  Fast;
+          what every test and experiment uses.
+        * ``"data"`` — fsync the temp file before the rename, so the
+          object's *bytes* survive a power loss (the rename itself may
+          still be lost, leaving the old state — which is consistent).
+        * ``"full"`` — additionally fsync the namespace directory after
+          the rename, making the rename itself durable.
     """
 
-    def __init__(self, root: str | os.PathLike[str]) -> None:
+    _FSYNC_POLICIES = ("none", "data", "full")
+
+    def __init__(self, root: str | os.PathLike[str], fsync: str = "none") -> None:
+        if fsync not in self._FSYNC_POLICIES:
+            raise ValueError(f"fsync must be one of {self._FSYNC_POLICIES}, got {fsync!r}")
         self._root = os.fspath(root)
+        self._fsync = fsync
         os.makedirs(self._root, exist_ok=True)
 
     def _path(self, namespace: str, key: bytes) -> str:
         return os.path.join(self._root, namespace, key.hex())
 
+    @staticmethod
+    def _is_object_name(name: str) -> bool:
+        """Whether a directory entry is a stored object (bare lowercase hex).
+
+        In-flight temp files (``.*.tmp``) and foreign files (editor
+        droppings, OS metadata) fail this test and are skipped by every
+        enumeration path.
+        """
+        if not name or name.startswith(".") or name.endswith(TMP_SUFFIX):
+            return False
+        try:
+            return bytes.fromhex(name).hex() == name
+        except ValueError:
+            return False
+
+    def _object_names(self, namespace: str) -> list[str]:
+        d = os.path.join(self._root, namespace)
+        if not os.path.isdir(d):
+            return []
+        names = []
+        for name in os.listdir(d):
+            if self._is_object_name(name):
+                names.append(name)
+            elif not name.endswith(TMP_SUFFIX) and not name.startswith("."):
+                # Temp strays are expected debris from interrupted puts;
+                # anything else in a store directory deserves a warning.
+                logger.warning("%s/%s: ignoring non-object file %r", self._root, namespace, name)
+        return names
+
     def put(self, namespace: str, key: bytes, data: bytes) -> None:
         path = self._path(namespace, key)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        with open(path, "wb") as fh:
-            fh.write(data)
+        d = os.path.dirname(path)
+        os.makedirs(d, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=d, prefix=".", suffix=TMP_SUFFIX)
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+                if self._fsync != "none":
+                    fh.flush()
+                    os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+        if self._fsync == "full":
+            dfd = os.open(d, os.O_RDONLY)
+            try:
+                os.fsync(dfd)
+            finally:
+                os.close(dfd)
 
     def get(self, namespace: str, key: bytes) -> bytes:
         try:
@@ -190,10 +270,7 @@ class DirectoryBackend(StorageBackend):
         return os.path.exists(self._path(namespace, key))
 
     def keys(self, namespace: str) -> list[bytes]:
-        d = os.path.join(self._root, namespace)
-        if not os.path.isdir(d):
-            return []
-        return [bytes.fromhex(name) for name in os.listdir(d)]
+        return [bytes.fromhex(name) for name in self._object_names(namespace)]
 
     def delete(self, namespace: str, key: bytes) -> bool:
         try:
@@ -203,15 +280,13 @@ class DirectoryBackend(StorageBackend):
             return False
 
     def object_count(self, namespace: str) -> int:
-        d = os.path.join(self._root, namespace)
-        return len(os.listdir(d)) if os.path.isdir(d) else 0
+        return len(self._object_names(namespace))
 
     def bytes_stored(self, namespace: str) -> int:
         d = os.path.join(self._root, namespace)
-        if not os.path.isdir(d):
-            return 0
         return sum(
-            os.path.getsize(os.path.join(d, name)) for name in os.listdir(d)
+            os.path.getsize(os.path.join(d, name))
+            for name in self._object_names(namespace)
         )
 
     def namespaces(self) -> list[str]:
@@ -219,5 +294,25 @@ class DirectoryBackend(StorageBackend):
             ns
             for ns in os.listdir(self._root)
             if os.path.isdir(os.path.join(self._root, ns))
-            and os.listdir(os.path.join(self._root, ns))
+            and self._object_names(ns)
         ]
+
+    def purge_incomplete(self) -> int:
+        """Delete stray non-object files (interrupted-put debris).
+
+        Removes ``*.tmp`` temp files and any other non-hex file from
+        every namespace directory; returns the number removed.  Called
+        by the recovery pass before the store is walked.
+        """
+        purged = 0
+        for ns in os.listdir(self._root):
+            d = os.path.join(self._root, ns)
+            if not os.path.isdir(d):
+                continue
+            for name in os.listdir(d):
+                path = os.path.join(d, name)
+                if not self._is_object_name(name) and os.path.isfile(path):
+                    with contextlib.suppress(OSError):
+                        os.remove(path)
+                        purged += 1
+        return purged

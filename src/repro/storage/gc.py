@@ -70,14 +70,35 @@ def delete_file(backend: StorageBackend, file_id: str) -> bool:
     return backend.delete(DiskModel.FILE_MANIFEST, FileManifestStore.key_for(file_id))
 
 
+def _union_bytes(spans: list[tuple[int, int]]) -> int:
+    """Total bytes covered by the union of ``[start, end)`` intervals."""
+    spans.sort()
+    total = 0
+    cur_start, cur_end = spans[0]
+    for start, end in spans[1:]:
+        if start > cur_end:
+            total += cur_end - cur_start
+            cur_start, cur_end = start, end
+        elif end > cur_end:
+            cur_end = end
+    return total + (cur_end - cur_start)
+
+
 def _referenced_extents(backend: StorageBackend) -> dict[Digest, int]:
-    """Container → referenced byte count over all FileManifests."""
-    referenced: dict[Digest, int] = {}
+    """Container → *distinct* referenced bytes over all FileManifests.
+
+    Many files can reference the same container extent (that is the
+    whole point of deduplication), so referenced bytes are the union of
+    the extent intervals, not their sum — summing per reference would
+    overcount shared containers past their physical size and make the
+    pinned-bytes figure meaningless.
+    """
+    spans: dict[Digest, list[tuple[int, int]]] = {}
     for key in backend.keys(DiskModel.FILE_MANIFEST):
         fm = FileManifest.from_bytes(backend.get(DiskModel.FILE_MANIFEST, key))
         for e in fm.extents:
-            referenced[e.container_id] = referenced.get(e.container_id, 0) + e.size
-    return referenced
+            spans.setdefault(e.container_id, []).append((e.offset, e.offset + e.size))
+    return {cid: _union_bytes(sp) for cid, sp in spans.items()}
 
 
 def sweep(backend: StorageBackend) -> GCReport:
@@ -93,8 +114,9 @@ def sweep(backend: StorageBackend) -> GCReport:
         if cid in referenced:
             live_containers.add(cid)
             containers_kept += 1
-            # referenced byte counts can exceed the container size when
-            # many files share the same extent, so clamp at zero
+            # referenced[cid] is a union of in-bounds extents, so it can
+            # only exceed the container size on a corrupt store (extents
+            # past the end); clamp defensively rather than go negative.
             bytes_pinned += max(0, size - referenced[cid])
             continue
         backend.delete(DiskModel.CHUNK, cid)

@@ -1,0 +1,290 @@
+"""Crash recovery — the repairing counterpart of :mod:`.verify`.
+
+:func:`verify_store` *detects* inconsistencies; :func:`recover` makes
+the store consistent again after a crash or a torn write, following
+one rule: **never delete bytes that might still be wanted** — damaged
+objects are *quarantined* (moved to a ``quarantine.<namespace>``
+namespace, invisible to every store walk) rather than destroyed, except
+for Hooks, which are derived data and safe to drop.
+
+What a crash can leave behind, and the repair for each:
+
+* stray ``*.tmp`` files from an interrupted atomic put — deleted
+  (:meth:`DirectoryBackend.purge_incomplete`);
+* torn/unparseable Manifests and FileManifests (a non-atomic backend,
+  or injected torn writes) — quarantined;
+* Manifests stored under the wrong key, failing to tile their
+  DiskChunk, or pointing at a missing container (a crash mid-GC-sweep)
+  — quarantined; multi-container manifests are instead *rewritten*
+  without their dead entries when some containers survive;
+* FileManifests whose extents fall outside a stored container (the
+  file's container write never completed) — quarantined: the file was
+  not durable before the crash;
+* Hooks that are the wrong size, dangle (their manifest died with the
+  crash or was quarantined above), or whose digest left the manifest —
+  deleted;
+* with ``check_hashes=True``, containers whose bytes no longer match
+  their manifest entry digests (silent corruption) — quarantined,
+  together with everything that references them, via the passes above.
+
+Every repair is counted in the :class:`RecoveryReport` and reported
+through the telemetry anomaly channel
+(:func:`repro.obs.telemetry.note_anomaly`), and the pass finishes with
+a full :func:`verify_store` walk whose report it returns — recovery
+that does not end in ``ok`` is a bug (tested by the crash matrix).
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+
+from ..hashing.digest import HASH_SIZE, Digest, sha1
+from ..obs.telemetry import note_anomaly
+from .backend import DirectoryBackend, StorageBackend
+from .disk_model import DiskModel
+from .file_manifest import FileManifest, FileManifestStore
+from .manifest import Manifest
+from .multi_manifest import MultiManifest
+from .verify import _PARSE_ERRORS, IntegrityReport, load_manifest, verify_store
+
+__all__ = ["QUARANTINE_PREFIX", "RecoveryReport", "recover"]
+
+logger = logging.getLogger(__name__)
+
+#: Namespace prefix quarantined objects are moved under.  The four
+#: store namespaces are fixed names, so prefixed namespaces can never
+#: collide with live data and are invisible to verify/GC/restore walks.
+QUARANTINE_PREFIX = "quarantine."
+
+
+@dataclass
+class RecoveryReport:
+    """What one recovery pass found and repaired."""
+
+    tmp_purged: int = 0
+    containers_quarantined: int = 0
+    manifests_quarantined: int = 0
+    manifests_rewritten: int = 0
+    file_manifests_quarantined: int = 0
+    hooks_deleted: int = 0
+    actions: list[str] = field(default_factory=list)
+    integrity: IntegrityReport | None = None
+
+    @property
+    def repairs(self) -> int:
+        """Total repair actions taken (0 = the store was clean)."""
+        return (
+            self.tmp_purged
+            + self.containers_quarantined
+            + self.manifests_quarantined
+            + self.manifests_rewritten
+            + self.file_manifests_quarantined
+            + self.hooks_deleted
+        )
+
+    @property
+    def ok(self) -> bool:
+        """Whether the post-recovery integrity walk came back clean."""
+        return self.integrity is not None and self.integrity.ok
+
+    def act(self, msg: str) -> None:
+        """Record one repair action."""
+        self.actions.append(msg)
+        logger.info("recover: %s", msg)
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        status = "OK" if self.ok else "NOT CLEAN"
+        return (
+            f"recovery {status}: {self.repairs} repairs "
+            f"({self.tmp_purged} strays purged, "
+            f"{self.containers_quarantined + self.manifests_quarantined + self.file_manifests_quarantined} "
+            f"objects quarantined, {self.manifests_rewritten} manifests rewritten, "
+            f"{self.hooks_deleted} hooks deleted)"
+        )
+
+
+def _quarantine(backend: StorageBackend, namespace: str, key: Digest, raw: bytes) -> None:
+    backend.put(QUARANTINE_PREFIX + namespace, key, raw)
+    backend.delete(namespace, key)
+
+
+def _corrupt_containers(
+    backend: StorageBackend, container_sizes: dict[Digest, int]
+) -> set[Digest]:
+    """Containers whose bytes mismatch any in-bounds manifest entry digest."""
+    bad: set[Digest] = set()
+    for raw_key in backend.keys(DiskModel.MANIFEST):
+        try:
+            m = load_manifest(backend.get(DiskModel.MANIFEST, Digest(raw_key)))
+        except _PARSE_ERRORS:
+            continue  # quarantined later by the manifest pass
+        if isinstance(m, Manifest):
+            spans = [(m.chunk_id, e.digest, e.offset, e.size) for e in m.entries]
+        else:
+            spans = [(e.container_id, e.digest, e.offset, e.size) for e in m.entries]
+        for cid, digest, offset, size in spans:
+            total = container_sizes.get(cid)
+            if cid in bad or total is None or offset + size > total:
+                continue
+            data = backend.get(DiskModel.CHUNK, cid)
+            if sha1(data[offset : offset + size]) != digest:
+                bad.add(cid)
+    return bad
+
+
+def recover(backend: StorageBackend, check_hashes: bool = False) -> RecoveryReport:
+    """Repair a store after a crash; returns what was done.
+
+    Safe on a clean store (``report.repairs == 0``) and idempotent: a
+    second pass over a recovered store finds nothing to do.
+
+    Parameters
+    ----------
+    check_hashes:
+        Also re-hash every manifest entry's container bytes and
+        quarantine silently-corrupted containers (expensive; off by
+        default because a crash cannot corrupt an already-durable
+        object — only torn/partial writes can, and those are caught
+        structurally).
+    """
+    report = RecoveryReport()
+
+    # 0. Sweep interrupted-put debris so nothing below trips over it.
+    if isinstance(backend, DirectoryBackend):
+        report.tmp_purged = backend.purge_incomplete()
+        if report.tmp_purged:
+            report.act(f"purged {report.tmp_purged} stray temp files")
+
+    container_sizes: dict[Digest, int] = {
+        Digest(k): len(backend.get(DiskModel.CHUNK, k))
+        for k in backend.keys(DiskModel.CHUNK)
+    }
+
+    # 1. Optional deep pass: silently-corrupted containers go first,
+    #    so the structural passes below see them as "missing" and
+    #    quarantine everything that depends on them.
+    if check_hashes:
+        for cid in sorted(_corrupt_containers(backend, container_sizes)):
+            _quarantine(backend, DiskModel.CHUNK, cid, backend.get(DiskModel.CHUNK, cid))
+            del container_sizes[cid]
+            report.containers_quarantined += 1
+            report.act(f"quarantined corrupt container {cid.hex()[:12]}")
+
+    # 2. Manifests: parse, key, container presence, tiling.
+    manifests: dict[Digest, Manifest | MultiManifest] = {}
+    for raw_key in sorted(backend.keys(DiskModel.MANIFEST)):
+        key = Digest(raw_key)
+        raw = backend.get(DiskModel.MANIFEST, key)
+        try:
+            m = load_manifest(raw)
+        except _PARSE_ERRORS as e:
+            _quarantine(backend, DiskModel.MANIFEST, key, raw)
+            report.manifests_quarantined += 1
+            report.act(f"quarantined unparseable manifest {key.hex()[:12]} ({e})")
+            continue
+        if m.manifest_id != key:
+            _quarantine(backend, DiskModel.MANIFEST, key, raw)
+            report.manifests_quarantined += 1
+            report.act(f"quarantined manifest {key.hex()[:12]} stored under wrong key")
+            continue
+        if isinstance(m, Manifest):
+            size = container_sizes.get(m.chunk_id)
+            bad_reason = None
+            if size is None:
+                bad_reason = f"container {m.chunk_id.hex()[:12]} missing"
+            else:
+                try:
+                    m.validate_tiling(size)
+                except AssertionError as e:
+                    bad_reason = f"does not tile its container ({e})"
+            if bad_reason is not None:
+                _quarantine(backend, DiskModel.MANIFEST, key, raw)
+                report.manifests_quarantined += 1
+                report.act(f"quarantined manifest {key.hex()[:12]}: {bad_reason}")
+                continue
+        else:
+            kept = [
+                e
+                for e in m.entries
+                if e.container_id in container_sizes
+                and e.offset + e.size <= container_sizes[e.container_id]
+            ]
+            if not kept:
+                _quarantine(backend, DiskModel.MANIFEST, key, raw)
+                report.manifests_quarantined += 1
+                report.act(
+                    f"quarantined manifest {key.hex()[:12]}: all containers missing"
+                )
+                continue
+            if len(kept) != len(m.entries):
+                m = MultiManifest(key, kept)
+                backend.put(DiskModel.MANIFEST, key, m.to_bytes())
+                report.manifests_rewritten += 1
+                report.act(
+                    f"rewrote manifest {key.hex()[:12]} without its dead containers"
+                )
+        manifests[key] = m
+
+    # 3. FileManifests: a file is durable only if its recipe parses,
+    #    sits under the right key, and every extent is backed by
+    #    stored container bytes.
+    for raw_key in sorted(backend.keys(DiskModel.FILE_MANIFEST)):
+        key = Digest(raw_key)
+        raw = backend.get(DiskModel.FILE_MANIFEST, key)
+        bad_reason = None
+        try:
+            fm = FileManifest.from_bytes(raw)
+        except _PARSE_ERRORS as e:
+            bad_reason = f"unparseable ({e})"
+        else:
+            if FileManifestStore.key_for(fm.file_id) != key:
+                bad_reason = "stored under wrong key"
+            else:
+                for i, e in enumerate(fm.extents):
+                    size = container_sizes.get(e.container_id)
+                    if size is None:
+                        bad_reason = f"extent {i}: container {e.container_id.hex()[:12]} missing"
+                        break
+                    if e.offset + e.size > size:
+                        bad_reason = f"extent {i}: beyond container size {size}"
+                        break
+        if bad_reason is not None:
+            _quarantine(backend, DiskModel.FILE_MANIFEST, key, raw)
+            report.file_manifests_quarantined += 1
+            report.act(f"quarantined file manifest {key.hex()[:12]}: {bad_reason}")
+
+    # 4. Hooks: derived data — anything malformed or dangling is
+    #    simply deleted (the digest can be re-hooked by a future run).
+    for raw_key in sorted(backend.keys(DiskModel.HOOK)):
+        key = Digest(raw_key)
+        payload = backend.get(DiskModel.HOOK, key)
+        bad_reason = None
+        if len(payload) != HASH_SIZE:
+            bad_reason = f"payload is {len(payload)} bytes, want {HASH_SIZE}"
+        else:
+            target = manifests.get(Digest(payload))
+            if target is None:
+                bad_reason = f"dangling manifest {payload.hex()[:12]}"
+            elif key not in target:
+                bad_reason = "digest no longer present in its manifest"
+        if bad_reason is not None:
+            backend.delete(DiskModel.HOOK, key)
+            report.hooks_deleted += 1
+            report.act(f"deleted hook {key.hex()[:12]}: {bad_reason}")
+
+    # 5. Prove it: the recovered store must verify clean.
+    report.integrity = verify_store(backend, deep=True, check_entry_hashes=check_hashes)
+
+    for name, count in (
+        ("recover.tmp_purged", report.tmp_purged),
+        ("recover.containers_quarantined", report.containers_quarantined),
+        ("recover.manifests_quarantined", report.manifests_quarantined),
+        ("recover.manifests_rewritten", report.manifests_rewritten),
+        ("recover.file_manifests_quarantined", report.file_manifests_quarantined),
+        ("recover.hooks_deleted", report.hooks_deleted),
+    ):
+        if count:
+            note_anomaly(name, count=count)
+    return report

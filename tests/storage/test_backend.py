@@ -97,3 +97,83 @@ def test_delete_is_namespace_scoped(backend):
     backend.put("hook", KEY1, b"b")
     backend.delete("chunk", KEY1)
     assert backend.exists("hook", KEY1)
+
+
+class TestDirectoryDurability:
+    """Atomic-put semantics and stray-file tolerance (DirectoryBackend only)."""
+
+    def test_invalid_fsync_policy_rejected(self, tmp_path):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            DirectoryBackend(tmp_path / "s", fsync="always")
+
+    @pytest.mark.parametrize("fsync", ["none", "data", "full"])
+    def test_put_roundtrips_under_every_fsync_policy(self, tmp_path, fsync):
+        b = DirectoryBackend(tmp_path / "s", fsync=fsync)
+        b.put("chunk", KEY1, b"payload")
+        assert b.get("chunk", KEY1) == b"payload"
+
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        import os
+
+        b = DirectoryBackend(tmp_path / "s")
+        for i in range(20):
+            b.put("chunk", bytes([i]) * 20, b"x" * i)
+        names = os.listdir(tmp_path / "s" / "chunk")
+        assert len(names) == 20
+        assert not any(n.endswith(".tmp") for n in names)
+
+    def test_failed_put_cleans_up_its_temp_file(self, tmp_path, monkeypatch):
+        import os
+
+        b = DirectoryBackend(tmp_path / "s")
+        b.put("chunk", KEY1, b"ok")  # create the namespace dir
+
+        def no_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", no_replace)
+        with pytest.raises(OSError):
+            b.put("chunk", KEY2, b"doomed")
+        monkeypatch.undo()
+        assert os.listdir(tmp_path / "s" / "chunk") == [KEY1.hex()]
+
+    def test_stray_files_are_invisible_to_reads(self, tmp_path):
+        import os
+
+        b = DirectoryBackend(tmp_path / "s")
+        b.put("chunk", KEY1, b"real")
+        d = tmp_path / "s" / "chunk"
+        (d / ".ghost123.tmp").write_bytes(b"interrupted put")
+        (d / "README.txt").write_bytes(b"foreign file")
+        assert b.keys("chunk") == [KEY1]
+        assert b.object_count("chunk") == 1
+        assert b.bytes_stored("chunk") == 4
+        assert b.namespaces() == ["chunk"]
+        # ...but still physically present until purged.
+        assert len(os.listdir(d)) == 3
+
+    def test_odd_hex_and_uppercase_names_are_skipped(self, tmp_path):
+        b = DirectoryBackend(tmp_path / "s")
+        b.put("chunk", KEY1, b"real")
+        d = tmp_path / "s" / "chunk"
+        (d / "abc").write_bytes(b"odd-length hex")
+        (d / ("A" * 40)).write_bytes(b"uppercase hex")
+        (d / "zz11").write_bytes(b"not hex")
+        assert b.keys("chunk") == [KEY1]
+
+    def test_purge_incomplete_removes_only_non_objects(self, tmp_path):
+        import os
+
+        b = DirectoryBackend(tmp_path / "s")
+        b.put("chunk", KEY1, b"real")
+        b.put("hook", KEY2, b"also real")
+        (tmp_path / "s" / "chunk" / ".x1.tmp").write_bytes(b"a")
+        (tmp_path / "s" / "hook" / ".x2.tmp").write_bytes(b"b")
+        (tmp_path / "s" / "hook" / "notes.txt").write_bytes(b"c")
+        assert b.purge_incomplete() == 3
+        assert b.get("chunk", KEY1) == b"real"
+        assert b.get("hook", KEY2) == b"also real"
+        assert os.listdir(tmp_path / "s" / "hook") == [KEY2.hex()]
+        assert b.purge_incomplete() == 0

@@ -162,3 +162,47 @@ class TestSweepEdgeCases:
         report = sweep(MemoryBackend())
         assert report.containers_deleted == 0
         assert report.bytes_reclaimed == 0
+
+
+class TestPinnedBytesAccounting:
+    """Shared extents must be union-counted, not summed (regression)."""
+
+    @staticmethod
+    def _store_with_shared_extents():
+        from repro.hashing import sha1
+        from repro.storage import FileExtent, FileManifest, FileManifestStore, MemoryBackend
+
+        backend = MemoryBackend()
+        cid = sha1(b"container")
+        backend.put(DiskModel.CHUNK, cid, bytes(200))
+        recipes = {
+            "f1": [FileExtent(cid, 0, 100)],
+            # f2 shares f1's extent exactly and extends it — the dedup case.
+            "f2": [FileExtent(cid, 0, 100), FileExtent(cid, 100, 50)],
+        }
+        for fid, extents in recipes.items():
+            backend.put(
+                DiskModel.FILE_MANIFEST,
+                FileManifestStore.key_for(fid),
+                FileManifest(fid, extents).to_bytes(),
+            )
+        return backend
+
+    def test_shared_extents_are_union_counted(self):
+        backend = self._store_with_shared_extents()
+        report = sweep(backend)
+        assert report.containers_kept == 1
+        assert report.containers_deleted == 0
+        # 200 B container, [0,150) referenced: 50 B pinned.  Summing the
+        # three extents (250 B) used to clamp this to 0.
+        assert report.bytes_pinned == 50
+
+    def test_union_bytes_merges_overlaps(self):
+        from repro.storage.gc import _union_bytes
+
+        assert _union_bytes([(0, 10)]) == 10
+        assert _union_bytes([(0, 10), (10, 20)]) == 20
+        assert _union_bytes([(0, 10), (5, 15)]) == 15
+        assert _union_bytes([(0, 10), (0, 10), (0, 10)]) == 10
+        assert _union_bytes([(20, 30), (0, 5), (25, 40)]) == 25
+        assert _union_bytes([(0, 50), (10, 20)]) == 50

@@ -315,3 +315,56 @@ class TestTelemetry:
         out = capsys.readouterr().out
         assert "trace written" not in out
         assert "metrics written" not in out
+
+
+class TestFaultsAndFsck:
+    def test_chaos_run_survives_with_retries(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main([
+            "run", *FAST, "--store-dir", store, "--fsync", "data",
+            "--fault-rate", "0.02", "--fault-seed", "7", "--retries", "4",
+            "--verify", "--fsck",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "faults injected (seed 7)" in out
+        assert "transient backend errors" in out
+        assert "restore byte-identically" in out
+        assert "integrity OK" in out
+
+    def test_chaos_without_store_dir_uses_memory(self, capsys):
+        assert main(["run", *FAST, "--fault-rate", "0.01", "--retries", "4"]) == 0
+        assert "faults injected" in capsys.readouterr().out
+
+    def test_fsck_clean_store(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(["run", *FAST, "--store-dir", store])
+        capsys.readouterr()
+        assert main(["fsck", "--store-dir", store]) == 0
+        assert "integrity OK" in capsys.readouterr().out
+        assert main(["fsck", "--store-dir", store, "--repair", "--check-hashes"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery OK" in out and "0 repairs" in out
+
+    def test_fsck_detects_and_repairs_damage(self, tmp_path, capsys):
+        import os
+
+        store = str(tmp_path / "store")
+        main(["run", *FAST, "--store-dir", store])
+        capsys.readouterr()
+        mdir = os.path.join(store, "manifest")
+        victim = os.path.join(mdir, sorted(os.listdir(mdir))[0])
+        with open(victim, "rb") as fh:
+            raw = fh.read()
+        with open(victim, "wb") as fh:
+            fh.write(raw[: len(raw) // 2])
+
+        assert main(["fsck", "--store-dir", store]) == 1
+        assert "ERROR" in capsys.readouterr().out
+
+        assert main(["fsck", "--store-dir", store, "--repair"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery OK" in out
+        assert "quarantined" in out
+
+        # Repair is durable: a plain fsck now passes again.
+        assert main(["fsck", "--store-dir", store]) == 0
