@@ -1,0 +1,166 @@
+"""Service concurrency — session throughput and latency vs client count.
+
+A real :class:`DedupServer` on a loopback socket, hammered by 1, 4 and
+16 concurrent clients (one tenant each).  Each client runs a fixed
+number of push-and-commit sessions; we report aggregate ingest
+throughput and the p50/p99 session wall time at each concurrency
+level.  The interesting shape: lanes serialize within a tenant but the
+fleet pool overlaps tenants, so throughput should rise with clients
+while per-session latency degrades gracefully rather than linearly.
+"""
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from conftest import write_report
+from repro.analysis import format_table
+from repro.core import DedupConfig
+from repro.service import DedupServer, ServiceClient
+from repro.storage import DirectoryBackend
+
+CLIENT_COUNTS = [1, 4, 16]
+SESSIONS_PER_CLIENT = 4
+FILES_PER_SESSION = 2
+FILE_BYTES = 48_000
+
+CFG = DedupConfig(ecs=1024, sd=8, bloom_bytes=1 << 18)
+
+
+def rand(n, seed):
+    return np.random.default_rng(seed).integers(0, 256, n, dtype=np.uint8).tobytes()
+
+
+class LoopbackServer:
+    """A DedupServer on a background event-loop thread (bench twin of
+    the harness in tests/service/test_server.py)."""
+
+    def __init__(self, tmp_path):
+        self.server = DedupServer(
+            DirectoryBackend(tmp_path / "store"), config=CFG, workers=16
+        )
+        self.loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(self.loop)
+            self.loop.run_until_complete(self.server.start())
+            started.set()
+            self.loop.run_forever()
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+        if not started.wait(10):
+            raise RuntimeError("server did not start")
+
+    @property
+    def port(self):
+        return self.server.port
+
+    def stop(self):
+        asyncio.run_coroutine_threadsafe(self.server.stop(), self.loop).result(30)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10)
+        self.loop.close()
+
+
+def _client_worker(port, tenant, latencies, errors):
+    try:
+        for s in range(SESSIONS_PER_CLIENT):
+            t0 = time.perf_counter()
+            with ServiceClient("127.0.0.1", port) as client:
+                client.open(tenant)
+                files = [
+                    (f"s{s:02d}/f{i}.img", rand(FILE_BYTES, hash((tenant, s, i)) % 2**31))
+                    for i in range(FILES_PER_SESSION)
+                ]
+                for response in client.push_many(files):
+                    if not response.get("ok"):
+                        raise RuntimeError(f"put refused: {response}")
+                client.commit()
+            latencies.append(time.perf_counter() - t0)
+    except BaseException as e:  # noqa: BLE001 - surfaced by the bench
+        errors.append((tenant, e))
+
+
+def _quantile(sorted_vals, q):
+    idx = min(len(sorted_vals) - 1, round(q * (len(sorted_vals) - 1)))
+    return sorted_vals[idx]
+
+
+def _run_level(tmp_path, n_clients):
+    srv = LoopbackServer(tmp_path / f"c{n_clients:02d}")
+    latencies, errors = [], []
+    try:
+        threads = [
+            threading.Thread(
+                target=_client_worker,
+                args=(srv.port, f"c{i:02d}", latencies, errors),
+            )
+            for i in range(n_clients)
+        ]
+        wall0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+        wall = time.perf_counter() - wall0
+    finally:
+        srv.stop()
+    if errors:
+        raise RuntimeError(f"client failures: {errors}")
+    ingested = n_clients * SESSIONS_PER_CLIENT * FILES_PER_SESSION * FILE_BYTES
+    lat = sorted(latencies)
+    return {
+        "clients": n_clients,
+        "sessions": len(lat),
+        "wall_seconds": wall,
+        "ingest_bytes": ingested,
+        "throughput_mb_s": ingested / wall / 1e6,
+        "p50_seconds": _quantile(lat, 0.50),
+        "p99_seconds": _quantile(lat, 0.99),
+    }
+
+
+@pytest.fixture(scope="module")
+def levels(tmp_path_factory):
+    root = tmp_path_factory.mktemp("svc_bench")
+    return [_run_level(root, n) for n in CLIENT_COUNTS]
+
+
+def test_service_concurrency(benchmark, levels):
+    def build() -> str:
+        rows = [
+            [
+                str(lv["clients"]),
+                str(lv["sessions"]),
+                f"{lv['wall_seconds']:.2f}s",
+                f"{lv['throughput_mb_s']:.2f} MB/s",
+                f"{lv['p50_seconds'] * 1e3:.1f} ms",
+                f"{lv['p99_seconds'] * 1e3:.1f} ms",
+            ]
+            for lv in levels
+        ]
+        return format_table(
+            ["clients", "sessions", "wall", "throughput", "p50 session", "p99 session"],
+            rows,
+            title=(
+                f"service concurrency ({SESSIONS_PER_CLIENT} sessions/client, "
+                f"{FILES_PER_SESSION}x{FILE_BYTES} B files)"
+            ),
+        )
+
+    report = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_report("service_concurrency", report, extra={"levels": levels})
+
+    by_clients = {lv["clients"]: lv for lv in levels}
+    # Every session completed at every level.
+    for n in CLIENT_COUNTS:
+        assert by_clients[n]["sessions"] == n * SESSIONS_PER_CLIENT
+    # Concurrency buys aggregate throughput over the single-client run.
+    assert by_clients[16]["throughput_mb_s"] > by_clients[1]["throughput_mb_s"]
+    # Latency degrades sub-linearly: 16x the clients, far less than 16x p50.
+    assert by_clients[16]["p50_seconds"] < by_clients[1]["p50_seconds"] * 16

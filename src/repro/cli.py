@@ -14,6 +14,12 @@ Sub-commands:
 * ``stats`` — summarise a persistent store's contents.
 * ``fsck`` — check a persistent store's integrity; with ``--repair``,
   quarantine damaged objects and reconcile metadata after a crash.
+* ``list`` — enumerate the registered algorithms with one-line
+  descriptions.
+* ``serve`` — run the multi-tenant dedup service (JSON-lines ingest
+  protocol + HTTP ``/metrics`` on one port).
+* ``client`` — talk to a running service: push files, restore them,
+  list a tenant's store, show quota usage.
 * ``gen-corpus`` — write the seeded synthetic corpus to a directory.
 * ``inspect`` — dump one file's recipe and the manifests behind it.
 * ``trace-view`` — render the per-stage time/I/O attribution table of
@@ -32,6 +38,10 @@ Examples::
     repro-dedup restore --store-dir /backup/store --list
     repro-dedup restore --store-dir /backup/store --output-dir /tmp/out
     repro-dedup gc --store-dir /backup/store --delete 'pc00/gen000/*'
+    repro-dedup list
+    repro-dedup serve --store-dir /srv/dedup --port 7846 --max-bytes 1073741824
+    repro-dedup client push --tenant alice --port 7846 ~/disks/*.img
+    repro-dedup client restore --tenant alice --port 7846 --output-dir /tmp/out
 """
 
 from __future__ import annotations
@@ -90,15 +100,16 @@ def _add_corpus_args(p: argparse.ArgumentParser) -> None:
     )
 
 
-def _add_dedup_args(p: argparse.ArgumentParser) -> None:
+def _add_dedup_args(p: argparse.ArgumentParser, store_dir: bool = True) -> None:
     p.add_argument("--ecs", type=int, default=2048, help="expected chunk size (bytes)")
     p.add_argument("--sd", type=int, default=16, help="sampling distance (hashes)")
     p.add_argument("--bloom-kb", type=int, default=1024, help="bloom filter budget (KB)")
     p.add_argument("--cache", type=int, default=64, help="manifest cache capacity")
-    p.add_argument(
-        "--store-dir",
-        help="persist the deduplicated store as real files under this directory",
-    )
+    if store_dir:
+        p.add_argument(
+            "--store-dir",
+            help="persist the deduplicated store as real files under this directory",
+        )
 
 
 def _corpus(args) -> Iterable[BackupFile]:
@@ -494,6 +505,119 @@ def cmd_gc(args) -> int:
     return 0 if check.ok else 1
 
 
+def cmd_list(args) -> int:
+    from .registry import entries
+
+    width = max(len(name) for name, _ in entries())
+    for name, desc in entries():
+        print(f"{name:<{width}}  {desc}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import DedupServer, TenantQuota
+
+    backend: StorageBackend = DirectoryBackend(args.store_dir)
+    server = DedupServer(
+        backend,
+        host=args.host,
+        port=args.port,
+        default_quota=TenantQuota(max_bytes=args.max_bytes, max_files=args.max_files),
+        default_rate_bytes=args.rate_bytes,
+        algorithm=args.algo,
+        config=_config(args),
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        max_rate_delay=args.max_rate_delay,
+    )
+
+    async def _run() -> None:
+        await server.start()
+        # Machine-parsable ready line (the CI smoke test and scripts
+        # wait for it, then read the bound port from it).
+        print(f"serving on {server.host}:{server.port}", flush=True)
+        print(f"store: {args.store_dir}  algo: {args.algo}", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("interrupted; server stopped", file=sys.stderr)
+    return 0
+
+
+def _client_files(paths: list[str]) -> list[tuple[str, bytes]]:
+    """Expand CLI path arguments into (client path, content) pairs."""
+    out: list[tuple[str, bytes]] = []
+    for p in paths:
+        if os.path.isdir(p):
+            for f in _walk_dir(p):
+                out.append((f.file_id, f.read_bytes()))
+        else:
+            with open(p, "rb") as fh:
+                out.append((os.path.basename(p), fh.read()))
+    return out
+
+
+def cmd_client(args) -> int:
+    from .service import ServiceClient, ServiceError
+
+    with ServiceClient(args.host, args.port) as client:
+        try:
+            if args.action == "push":
+                files = _client_files(args.paths)
+                client.open(
+                    args.tenant,
+                    algorithm=args.algo,
+                    max_bytes=args.max_bytes or None,
+                    max_files=args.max_files or None,
+                    rate_bytes=args.rate_bytes or None,
+                )
+                responses = client.push_many(files)
+                failed = 0
+                for (path, data), r in zip(files, responses):
+                    if r.get("ok"):
+                        print(f"pushed {path} ({len(data):,} B) -> {r['store_id']}")
+                    else:
+                        failed += 1
+                        print(f"REFUSED {path}: {r.get('message')}", file=sys.stderr)
+                if failed:
+                    return 1
+                result = client.commit()
+                usage = result["usage"]
+                print(
+                    f"committed session {result['session']}: "
+                    f"{usage['bytes_used']:,} B / {usage['files_used']} files used"
+                )
+            elif args.action == "restore":
+                targets = args.paths or sorted(client.list_files(args.tenant))
+                for path in targets:
+                    data = client.get(args.tenant, path)
+                    out_path = os.path.join(args.output_dir, path)
+                    os.makedirs(os.path.dirname(out_path) or ".", exist_ok=True)
+                    with open(out_path, "wb") as fh:
+                        fh.write(data)
+                print(f"restored {len(targets)} files to {args.output_dir}")
+            elif args.action == "list":
+                files = client.list_files(args.tenant)
+                for path, store_id in files.items():
+                    print(f"{path}\t{store_id}")
+                print(f"{len(files)} files", file=sys.stderr)
+            elif args.action == "usage":
+                usage = client.usage(args.tenant)
+                for key, value in usage.items():
+                    print(f"{key}: {value:,}")
+        except ServiceError as e:
+            print(f"service refused: {e}", file=sys.stderr)
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-dedup",
@@ -631,6 +755,87 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dedup_args(p_tr)
     _add_corpus_args(p_tr)
     p_tr.set_defaults(func=cmd_trace)
+
+    p_ls = sub.add_parser(
+        "list", help="list registered algorithms with one-line descriptions"
+    )
+    p_ls.set_defaults(func=cmd_list)
+
+    p_srv = sub.add_parser(
+        "serve", help="run the multi-tenant dedup service on one TCP port"
+    )
+    p_srv.add_argument("--store-dir", required=True, help="shared physical store")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument(
+        "--port", type=int, default=0, help="listen port (0 = pick a free one)"
+    )
+    p_srv.add_argument("--algo", choices=sorted(available()), default="bf-mhd")
+    p_srv.add_argument(
+        "--max-bytes",
+        type=int,
+        default=0,
+        help="default per-tenant byte quota (0 = unlimited)",
+    )
+    p_srv.add_argument(
+        "--max-files",
+        type=int,
+        default=0,
+        help="default per-tenant file quota (0 = unlimited)",
+    )
+    p_srv.add_argument(
+        "--rate-bytes",
+        type=float,
+        default=0.0,
+        help="default per-tenant ingest rate in bytes/s (0 = unlimited)",
+    )
+    p_srv.add_argument(
+        "--workers", type=int, default=None, help="fleet thread-pool size"
+    )
+    p_srv.add_argument(
+        "--queue-depth",
+        type=int,
+        default=4,
+        help="bounded per-session put queue before socket back-pressure",
+    )
+    p_srv.add_argument(
+        "--max-rate-delay",
+        type=float,
+        default=5.0,
+        help="longest back-pressure sleep before a 429-style refusal (s)",
+    )
+    _add_dedup_args(p_srv, store_dir=False)
+    p_srv.set_defaults(func=cmd_serve)
+
+    p_cl = sub.add_parser("client", help="talk to a running dedup service")
+    cl_sub = p_cl.add_subparsers(dest="action", required=True)
+
+    def _client_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--tenant", required=True, help="tenant id")
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, required=True)
+        p.set_defaults(func=cmd_client)
+
+    p_push = cl_sub.add_parser("push", help="open a session and push files")
+    _client_common(p_push)
+    p_push.add_argument("--algo", default=None, help="algorithm for this session")
+    p_push.add_argument(
+        "--max-bytes", type=int, default=0, help="tenant byte quota on first contact"
+    )
+    p_push.add_argument(
+        "--max-files", type=int, default=0, help="tenant file quota on first contact"
+    )
+    p_push.add_argument(
+        "--rate-bytes", type=float, default=0.0, help="tenant rate limit on first contact"
+    )
+    p_push.add_argument("paths", nargs="+", help="files or directories to push")
+
+    p_get = cl_sub.add_parser("restore", help="restore a tenant's files")
+    _client_common(p_get)
+    p_get.add_argument("--output-dir", default=".", help="restore destination")
+    p_get.add_argument("paths", nargs="*", help="store paths (default: all)")
+
+    _client_common(cl_sub.add_parser("list", help="list a tenant's files"))
+    _client_common(cl_sub.add_parser("usage", help="show a tenant's quota usage"))
 
     p_tv = sub.add_parser(
         "trace-view", help="render a span trace's per-stage attribution table"

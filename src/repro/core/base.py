@@ -59,7 +59,7 @@ from ..workloads.machine import BackupFile
 from .config import DedupConfig
 
 if TYPE_CHECKING:
-    from .protocols import BatchIngestHooks
+    from .protocols import BatchIngestHooks, IngestObserver
 
 __all__ = ["CpuWork", "DedupStats", "Deduplicator", "PipelineStats"]
 
@@ -263,6 +263,11 @@ class Deduplicator(ABC):
         self._peak_ram = 0
         self._finalized = False
         self._telemetry: Telemetry = NULL_TELEMETRY
+        #: Optional session-level control hooks wrapped around the
+        #: per-file ingest hooks (see
+        #: :class:`repro.core.protocols.IngestObserver`).  ``None`` —
+        #: the default — keeps the hot path to a single attribute test.
+        self.ingest_observer: IngestObserver | None = None
 
     # ---- telemetry ------------------------------------------------------
 
@@ -321,7 +326,10 @@ class Deduplicator(ABC):
             stream.size_hist = tel.registry.histogram("chunk.size_bytes")
         nbytes = 0
         batches = 0
+        observer = self.ingest_observer
         with tel.span("file", file_id=file.file_id, size=file.size):
+            if observer is not None:
+                observer.begin_file(file)
             self._begin_file(file)
             # Manual iteration so the time spent *producing* a batch
             # (the chunk stage) and the time *consuming* it (the dedup
@@ -334,7 +342,13 @@ class Deduplicator(ABC):
                     break
                 if not batch:
                     continue
-                nbytes += sum(c.size for c in batch)
+                batch_bytes = sum(c.size for c in batch)
+                if observer is not None:
+                    # Before the dedup core sees the batch: a raising
+                    # observer (quota hit) aborts mid-file with none of
+                    # this batch's bytes stored.
+                    observer.observe_batch(batch_bytes, len(batch))
+                nbytes += batch_bytes
                 batches += 1
                 self.pipeline.batches += 1
                 with tel.span("dedup", chunks=len(batch)):
@@ -348,6 +362,8 @@ class Deduplicator(ABC):
             self._observe_ram(stream.peak_buffer_bytes)
             with tel.span("end_file"):
                 self._end_file()
+            if observer is not None:
+                observer.end_file(file)
         if tel.enabled:
             reg = tel.registry
             reg.counter("ingest.files").inc()

@@ -34,6 +34,7 @@ from .sinks import (
     Sink,
     load_trace,
     prom_text,
+    prom_text_multi,
 )
 from .telemetry import (
     NULL_TELEMETRY,
@@ -60,6 +61,7 @@ __all__ = [
     "PromTextSink",
     "load_trace",
     "prom_text",
+    "prom_text_multi",
     "Telemetry",
     "NULL_TELEMETRY",
     "HeartbeatEvent",

@@ -35,6 +35,7 @@ __all__ = [
     "PromTextSink",
     "load_trace",
     "prom_text",
+    "prom_text_multi",
 ]
 
 
@@ -202,6 +203,72 @@ def prom_text(registry: MetricsRegistry) -> str:
             lines.append(f'{pname}_bucket{{le="+Inf"}} {cumulative[-1]}')
             lines.append(f"{pname}_sum {_fmt(metric.sum)}")
             lines.append(f"{pname}_count {metric.total}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prom_label_value(v: str) -> str:
+    """Escape a label value per the exposition format rules."""
+    return v.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_str(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_prom_label_value(v)}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def prom_text_multi(
+    groups: list[tuple[dict[str, str], MetricsRegistry]],
+) -> str:
+    """Render several registries as one labeled Prometheus exposition.
+
+    Each ``(labels, registry)`` group contributes its samples with the
+    given label set attached (e.g. ``{"tenant": "alice"}`` — how the
+    service's ``/metrics`` endpoint separates tenants sharing one
+    store).  Unlike concatenating :func:`prom_text` outputs, the
+    ``# TYPE`` line for each metric name appears exactly once, before
+    all of its labeled series, as the format requires.  Metrics that
+    appear under several groups must be of one kind; mismatches raise
+    ``ValueError``.
+    """
+    by_name: dict[str, list[tuple[dict[str, str], Counter | Gauge | Histogram]]] = {}
+    for labels, registry in groups:
+        for name, metric in registry.items():
+            series = by_name.setdefault(name, [])
+            if series and type(series[0][1]) is not type(metric):
+                raise ValueError(
+                    f"metric {name!r} has conflicting kinds across label sets"
+                )
+            series.append((labels, metric))
+    lines: list[str] = []
+    for name, series in by_name.items():
+        pname = _prom_name(name)
+        first = series[0][1]
+        if isinstance(first, Counter):
+            lines.append(f"# TYPE {pname}_total counter")
+            for labels, metric in series:
+                assert isinstance(metric, Counter)
+                lines.append(f"{pname}_total{_labels_str(labels)} {_fmt(metric.value)}")
+        elif isinstance(first, Gauge):
+            lines.append(f"# TYPE {pname} gauge")
+            for labels, metric in series:
+                assert isinstance(metric, Gauge)
+                lines.append(f"{pname}{_labels_str(labels)} {_fmt(metric.value)}")
+        elif isinstance(first, Histogram):
+            lines.append(f"# TYPE {pname} histogram")
+            for labels, metric in series:
+                assert isinstance(metric, Histogram)
+                cumulative = metric.cumulative()
+                for bound, count in zip(metric.bounds, cumulative):
+                    le = dict(labels, le=_fmt(bound))
+                    lines.append(f"{pname}_bucket{_labels_str(le)} {count}")
+                inf = dict(labels, le="+Inf")
+                lines.append(f"{pname}_bucket{_labels_str(inf)} {cumulative[-1]}")
+                lines.append(f"{pname}_sum{_labels_str(labels)} {_fmt(metric.sum)}")
+                lines.append(f"{pname}_count{_labels_str(labels)} {metric.total}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -22,6 +22,10 @@ reflects.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import threading
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from collections.abc import Callable, Iterable
 
@@ -31,7 +35,108 @@ from .core.config import DedupConfig
 from .obs import MetricsRegistry, Telemetry
 from .workloads.machine import BackupFile
 
-__all__ = ["ShardResult", "FleetResult", "shard_by_machine", "dedup_sharded"]
+__all__ = [
+    "FleetExecutor",
+    "FleetResult",
+    "SerialLane",
+    "ShardResult",
+    "dedup_sharded",
+    "shard_by_machine",
+]
+
+
+# -- in-process fleet: shared thread pool with serial lanes ----------------
+
+
+class SerialLane:
+    """A FIFO lane over a shared pool: one task of this lane at a time.
+
+    Tasks submitted to one lane run in submission order with no
+    overlap, while tasks of *other* lanes run concurrently on the same
+    worker pool.  This is the service's execution shape: each dedup
+    session is a lane (its operations must stay ordered — open, then
+    writes, then commit), the fleet of sessions shares the pool.
+
+    The lane holds no thread while idle: a "pump" task is submitted to
+    the pool when work arrives and exits when the queue drains.
+    """
+
+    def __init__(self, pool: ThreadPoolExecutor) -> None:
+        self._pool = pool
+        self._lock = threading.Lock()
+        self._queue: deque[tuple[Future, Callable[[], object]]] = deque()
+        self._pumping = False
+
+    @property
+    def depth(self) -> int:
+        """Tasks queued behind the one currently running (if any)."""
+        with self._lock:
+            return len(self._queue)
+
+    def submit(self, fn: Callable[[], object]) -> Future:
+        """Enqueue a zero-argument callable; returns its future."""
+        fut: Future = Future()
+        with self._lock:
+            self._queue.append((fut, fn))
+            start_pump = not self._pumping
+            self._pumping = True
+        if start_pump:
+            self._pool.submit(self._pump)
+        return fut
+
+    def _pump(self) -> None:
+        while True:
+            with self._lock:
+                if not self._queue:
+                    self._pumping = False
+                    return
+                fut, fn = self._queue.popleft()
+            if not fut.set_running_or_notify_cancel():
+                continue
+            try:
+                fut.set_result(fn())
+            except BaseException as e:  # noqa: BLE001 - delivered via the future
+                fut.set_exception(e)
+
+
+class FleetExecutor:
+    """Shared thread pool handing out :class:`SerialLane` views.
+
+    The multiprocessing pool below scales CPU-bound batch runs; the
+    service cannot use it — sessions share live objects (one backend,
+    tenant ledgers, locks) that must not cross a process boundary, and
+    its work is dominated by per-session ordering anyway.  A thread
+    fleet with serial lanes gives the right semantics; hashing releases
+    the GIL often enough for streams to overlap I/O.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is None:
+            workers = min(32, (os.cpu_count() or 1) + 4)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="fleet"
+        )
+
+    def lane(self) -> SerialLane:
+        """A new serial lane over the shared pool."""
+        return SerialLane(self._pool)
+
+    def submit(self, fn: Callable[[], object]) -> Future:
+        """Run an unordered task directly on the pool."""
+        return self._pool.submit(fn)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; optionally wait for queued tasks."""
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> FleetExecutor:
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.shutdown(wait=True)
 
 
 def shard_by_machine(files: Iterable[BackupFile]) -> dict[str, list[BackupFile]]:
@@ -176,6 +281,7 @@ def dedup_sharded(
     device: DeviceModel | None = None,
     shard_fn: Callable[[Iterable[BackupFile]], dict[str, list[BackupFile]]] = shard_by_machine,
     collect_metrics: bool = False,
+    executor: str = "process",
 ) -> FleetResult:
     """Deduplicate a corpus sharded across worker processes.
 
@@ -189,6 +295,13 @@ def dedup_sharded(
         the per-shard registries come back on the
         :class:`ShardResult`\\ s and merge via
         :meth:`FleetResult.metrics`.
+    executor:
+        ``"process"`` (default) uses a multiprocessing pool —
+        CPython's answer to CPU-bound scale-out.  ``"thread"`` runs
+        the shards on a :class:`FleetExecutor` thread pool instead:
+        slower for pure CPU work (the GIL), but shards share the
+        parent's memory, which is what the service's in-process
+        execution substrate needs and what debuggers prefer.
     """
     from .registry import resolve
 
@@ -202,10 +315,16 @@ def dedup_sharded(
         (shard, algo, config, shard_files, device, collect_metrics)
         for shard, shard_files in sorted(shards.items())
     ]
+    if executor not in ("process", "thread"):
+        raise ValueError(f"executor must be 'process' or 'thread', got {executor!r}")
     if workers is None:
         workers = min(len(jobs), mp.cpu_count())
     if workers <= 1 or len(jobs) == 1:
         results = [_run_shard(job) for job in jobs]
+    elif executor == "thread":
+        with FleetExecutor(workers=min(workers, len(jobs))) as fleet:
+            futures = [fleet.submit(lambda j=job: _run_shard(j)) for job in jobs]
+            results = [f.result() for f in futures]
     else:
         with mp.Pool(processes=min(workers, len(jobs))) as pool:
             results = pool.map(_run_shard, jobs)

@@ -14,9 +14,24 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
-__all__ = ["available", "resolve"]
+__all__ = ["available", "describe", "entries", "resolve"]
 
 _REGISTRY: dict[str, Callable] = {}
+
+#: One-line description per algorithm (``repro list`` output); kept
+#: here rather than on the classes so the list prints without
+#: importing every deduplicator.
+_DESCRIPTIONS: dict[str, str] = {
+    "bf-mhd": "MHD with Bloom-filtered hook index (the paper's main system)",
+    "si-mhd": "MHD with a sparse in-RAM hook index instead of the Bloom filter",
+    "cdc": "plain content-defined chunking with a full chunk index (baseline)",
+    "bimodal": "bimodal chunking: big chunks, re-chunked small at dup boundaries",
+    "subchunk": "two-level chunk/sub-chunk dedup with per-bin manifests",
+    "sparse-indexing": "Lillibridge-style sampled sparse index over segments",
+    "fingerdiff": "Fingerdiff: variable-granularity super-chunks",
+    "fbc": "frequency-based chunking around popular chunk boundaries",
+    "extreme-binning": "Extreme Binning: one representative chunk id per file bin",
+}
 
 
 def _populate() -> None:
@@ -51,6 +66,18 @@ def available() -> tuple[str, ...]:
     if not _REGISTRY:
         _populate()
     return tuple(_REGISTRY)
+
+
+def describe(name: str) -> str:
+    """One-line description of a registered algorithm."""
+    if name not in available():
+        raise ValueError(f"unknown algorithm {name!r}")
+    return _DESCRIPTIONS.get(name, "(no description)")
+
+
+def entries() -> list[tuple[str, str]]:
+    """``(name, one-line description)`` for every algorithm, in order."""
+    return [(name, describe(name)) for name in available()]
 
 
 def resolve(name: str) -> Callable:

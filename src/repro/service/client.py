@@ -1,0 +1,160 @@
+"""Blocking TCP client for the dedup service's JSON-lines protocol.
+
+The client mirrors the session lifecycle one-to-one — ``open`` /
+``put`` / ``commit`` / ``abort`` plus the sessionless ``list_files`` /
+``get`` / ``usage`` — and converts wire refusals back into the
+exceptions the library raises locally
+(:class:`~repro.service.quotas.QuotaExceeded`,
+:class:`~repro.service.quotas.RateLimited`), so code written against
+:class:`~repro.service.session.DedupSession` ports to the network with
+a search-and-replace.
+
+``put`` is synchronous (one request, one response).  ``push_many``
+pipelines: all payloads are written before any response is read, which
+exercises the server's bounded per-session queue and is how a real
+backup agent would stream a disk image's slices.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+from .quotas import QuotaExceeded, RateLimited, ServiceError
+
+__all__ = ["ServiceClient"]
+
+
+def _raise_for(response: dict[str, Any]) -> dict[str, Any]:
+    """Return an ok response; map refusals back to typed exceptions."""
+    if response.get("ok"):
+        return response
+    code = response.get("error", "service_error")
+    message = str(response.get("message", code))
+    if code == "quota_exceeded":
+        raise QuotaExceeded("?", message)
+    if code == "rate_limited":
+        exc = RateLimited("?", float(response.get("retry_after", 0.0)))
+        raise exc
+    err = ServiceError(message)
+    err.code = code
+    raise err
+
+
+class ServiceClient:
+    """One connection to a :class:`~repro.service.server.DedupServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+
+    # -- wire plumbing ----------------------------------------------------
+
+    def _send(self, obj: dict[str, Any], payload: bytes = b"") -> None:
+        line = json.dumps(obj, separators=(",", ":")).encode() + b"\n"
+        self._sock.sendall(line + payload)
+
+    def _recv(self) -> dict[str, Any]:
+        line = self._rfile.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(line)
+        if not isinstance(response, dict):
+            raise ConnectionError(f"malformed response: {response!r}")
+        return response
+
+    # -- session lifecycle ------------------------------------------------
+
+    def open(
+        self,
+        tenant: str,
+        algorithm: str | None = None,
+        max_bytes: int | None = None,
+        max_files: int | None = None,
+        rate_bytes: float | None = None,
+    ) -> dict[str, Any]:
+        """Open a push session (quota/rate apply on first registration)."""
+        request: dict[str, Any] = {"op": "open", "tenant": tenant}
+        if algorithm is not None:
+            request["algorithm"] = algorithm
+        if max_bytes is not None:
+            request["max_bytes"] = max_bytes
+        if max_files is not None:
+            request["max_files"] = max_files
+        if rate_bytes is not None:
+            request["rate_bytes"] = rate_bytes
+        self._send(request)
+        return _raise_for(self._recv())
+
+    def put(self, path: str, data: bytes) -> dict[str, Any]:
+        """Ingest one file and wait for its result."""
+        self._send({"op": "put", "path": path, "size": len(data)}, data)
+        return _raise_for(self._recv())
+
+    def push_many(self, files: list[tuple[str, bytes]]) -> list[dict[str, Any]]:
+        """Pipeline many puts: write everything, then read all results.
+
+        Raw responses are returned (not raised) so one quota refusal
+        mid-batch does not hide the later per-file outcomes.
+        """
+        for path, data in files:
+            self._send({"op": "put", "path": path, "size": len(data)}, data)
+        # Any non-put request forces the server to flush put responses.
+        self._send({"op": "ping"})
+        responses = [self._recv() for _ in files]
+        self._recv()  # the pong
+        return responses
+
+    def commit(self) -> dict[str, Any]:
+        """Finalize the open session; returns stats and usage."""
+        self._send({"op": "commit"})
+        return _raise_for(self._recv())
+
+    def abort(self) -> dict[str, Any]:
+        """Abort the open session (server repairs the keyspace)."""
+        self._send({"op": "abort"})
+        return _raise_for(self._recv())
+
+    # -- sessionless ops --------------------------------------------------
+
+    def list_files(self, tenant: str) -> dict[str, str]:
+        """Client path → newest-generation store id, for one tenant."""
+        self._send({"op": "list", "tenant": tenant})
+        response = _raise_for(self._recv())
+        files = response["files"]
+        assert isinstance(files, dict)
+        return files
+
+    def get(self, tenant: str, path: str) -> bytes:
+        """Restore the newest generation of one file."""
+        self._send({"op": "get", "tenant": tenant, "path": path})
+        header = _raise_for(self._recv())
+        size = int(header["size"])
+        data = self._rfile.read(size)
+        if len(data) != size:
+            raise ConnectionError(f"short read: {len(data)}/{size} bytes")
+        return data
+
+    def usage(self, tenant: str) -> dict[str, Any]:
+        """The tenant's quota ledger snapshot."""
+        self._send({"op": "usage", "tenant": tenant})
+        return _raise_for(self._recv())["usage"]
+
+    def ping(self) -> bool:
+        """Round-trip liveness check."""
+        self._send({"op": "ping"})
+        return bool(self._recv().get("pong"))
+
+    def close(self) -> None:
+        """Close the connection (an open session aborts server-side)."""
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> ServiceClient:
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()

@@ -1,0 +1,531 @@
+"""The asyncio front end: one port, two protocols, many tenants.
+
+:class:`DedupServer` listens on a single TCP port and sniffs the first
+line of each connection:
+
+* ``GET``/``HEAD`` — a tiny HTTP/1.1 responder serving ``/metrics``
+  (live Prometheus text exposition with per-tenant ``tenant`` labels,
+  rendered by :func:`repro.obs.sinks.prom_text_multi`) and
+  ``/healthz``;
+* anything else — the JSON-lines ingest protocol below.
+
+**Protocol.**  One JSON object per ``\\n``-terminated line; binary
+payloads follow their header line raw.  Requests are answered in
+order::
+
+    → {"op": "open", "tenant": "alice", "algorithm": "bf-mhd"}
+    ← {"ok": true, "session": "alice-0001", "generation": 0}
+    → {"op": "put", "path": "disk0.img", "size": 4096}
+    → <4096 raw bytes>
+    ← {"ok": true, "store_id": "g000000/disk0.img"}
+    → {"op": "commit"}
+    ← {"ok": true, "stats": {...}}
+
+plus sessionless ops ``list`` / ``get`` / ``usage`` / ``ping``.
+Refusals carry machine-readable codes: ``{"ok": false, "error":
+"quota_exceeded", ...}`` or ``{"ok": false, "error": "rate_limited",
+"retry_after": 1.25}`` — the 429 analogue.
+
+**Execution model.**  The event loop never runs dedup work.  Each
+session gets a :class:`~repro.parallel.SerialLane` on the server's
+shared :class:`~repro.parallel.FleetExecutor` — lanes keep one
+session's operations ordered while different sessions (hence tenants)
+proceed concurrently.  Each session also gets a bounded admission
+semaphore: the connection handler stops reading its socket while the
+session's queue is full, so a fast client is slowed by TCP back-pressure
+long before memory fills.  Rate limiting adds the second layer: the
+session sleeps in its lane (bounded by ``max_rate_delay``), then
+rejects with ``retry_after``.
+
+**Crash safety.**  A connection that drops with an open session —
+client crash, network cut — aborts the session, which repairs the
+tenant's keyspace via :func:`repro.storage.recover.recover`; a
+subsequent fsck is clean.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from ..core.config import DedupConfig
+from ..obs.metrics import MetricsRegistry
+from ..obs.sinks import prom_text_multi
+from ..parallel import FleetExecutor, SerialLane
+from ..storage import StorageBackend
+from .quotas import ServiceError, TenantQuota
+from .session import DedupSession, latest_files, restore_file
+from .tenancy import TenantRegistry
+
+__all__ = ["DedupServer"]
+
+#: Longest accepted protocol line (headers are small; payloads are raw).
+_MAX_LINE = 1 << 16
+#: Largest single ``put`` payload (64 MiB — one disk image slice).
+_MAX_PAYLOAD = 64 << 20
+
+
+class _ProtocolError(Exception):
+    """Malformed client input; the connection is closed after replying."""
+
+
+#: Canned refusal for session ops arriving without an open session
+#: (e.g. puts queued behind one that blew the quota and aborted).
+_NO_SESSION: dict[str, Any] = {
+    "ok": False,
+    "error": "no_session",
+    "message": "no open session on this connection",
+}
+
+
+class DedupServer:
+    """Multi-tenant dedup service over one shared backend.
+
+    Parameters
+    ----------
+    backend:
+        The shared physical store (typically a
+        :class:`~repro.storage.DirectoryBackend`).
+    host, port:
+        Listen address; ``port=0`` picks a free port (read it back from
+        :attr:`port` after :meth:`start`).
+    default_quota, default_rate_bytes, default_burst_bytes:
+        Admission defaults for tenants that ``open`` without explicit
+        limits (see :class:`~repro.service.tenancy.TenantRegistry`).
+    algorithm, config:
+        Dedup algorithm and configuration sessions run with unless the
+        ``open`` request overrides the algorithm.
+    workers:
+        Fleet thread-pool size (``None``: CPU count + 4, capped at 32).
+    queue_depth:
+        Bounded per-session queue: how many ``put`` payloads may sit
+        admitted-but-unprocessed before the handler stops reading the
+        client's socket.
+    max_rate_delay:
+        Longest back-pressure sleep per ``put`` before the 429-style
+        ``rate_limited`` refusal.
+    """
+
+    def __init__(
+        self,
+        backend: StorageBackend,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        default_quota: TenantQuota | None = None,
+        default_rate_bytes: float = 0.0,
+        default_burst_bytes: float | None = None,
+        algorithm: str = "bf-mhd",
+        config: DedupConfig | None = None,
+        workers: int | None = None,
+        queue_depth: int = 4,
+        max_rate_delay: float = 5.0,
+    ) -> None:
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.host = host
+        self.port = port
+        self.algorithm = algorithm
+        self.config = config or DedupConfig()
+        self.queue_depth = queue_depth
+        self.max_rate_delay = max_rate_delay
+        self.registry = TenantRegistry(
+            backend,
+            default_quota=default_quota,
+            default_rate_bytes=default_rate_bytes,
+            default_burst_bytes=default_burst_bytes,
+        )
+        self.fleet = FleetExecutor(workers)
+        #: Service-global (unlabeled) metrics: connections, HTTP hits.
+        self.metrics = MetricsRegistry()
+        self._server: asyncio.AbstractServer | None = None
+
+    # ---- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (non-blocking)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.port = sock.getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (call :meth:`start` first)."""
+        assert self._server is not None, "start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting connections and shut the fleet down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.fleet.shutdown(wait=True)
+
+    # ---- /metrics -------------------------------------------------------
+
+    def metrics_text(self) -> str:
+        """The live multi-tenant Prometheus exposition."""
+        groups: list[tuple[dict[str, str], MetricsRegistry]] = [({}, self.metrics)]
+        groups += [
+            ({"tenant": tid}, reg) for tid, reg in self.registry.metrics_by_tenant()
+        ]
+        return prom_text_multi(groups)
+
+    # ---- connection handling -------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.metrics.counter("service_connections").inc()
+        try:
+            first = await reader.readline()
+            if not first:
+                return
+            if first.startswith(b"GET ") or first.startswith(b"HEAD "):
+                await self._serve_http(first, reader, writer)
+            else:
+                await self._serve_protocol(first, reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _serve_http(
+        self,
+        request_line: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        # Drain headers (we need none of them).
+        while True:
+            line = await reader.readline()
+            if line in (b"", b"\r\n", b"\n"):
+                break
+        parts = request_line.decode("latin-1").split()
+        path = parts[1] if len(parts) >= 2 else "/"
+        self.metrics.counter("service_http_requests").inc()
+        if path == "/metrics":
+            body = self.metrics_text().encode("utf-8")
+            status = "200 OK"
+            ctype = "text/plain; version=0.0.4; charset=utf-8"
+        elif path == "/healthz":
+            body = b"ok\n"
+            status = "200 OK"
+            ctype = "text/plain; charset=utf-8"
+        else:
+            body = b"not found\n"
+            status = "404 Not Found"
+            ctype = "text/plain; charset=utf-8"
+        head = (
+            f"HTTP/1.1 {status}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head)
+        if not request_line.startswith(b"HEAD "):
+            writer.write(body)
+        await writer.drain()
+
+    async def _serve_protocol(
+        self,
+        first_line: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        conn = _Connection(self, reader, writer)
+        try:
+            await conn.run(first_line)
+        finally:
+            await conn.cleanup()
+
+
+def _error_payload(exc: BaseException) -> dict[str, Any]:
+    if isinstance(exc, ServiceError):
+        out: dict[str, Any] = {"ok": False, "error": exc.code, "message": str(exc)}
+        retry_after = getattr(exc, "retry_after", None)
+        if retry_after is not None:
+            out["retry_after"] = round(retry_after, 3)
+        return out
+    return {"ok": False, "error": "failed", "message": str(exc)}
+
+
+class _Connection:
+    """One JSON-lines protocol connection (at most one open session)."""
+
+    def __init__(
+        self,
+        server: DedupServer,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.server = server
+        self.reader = reader
+        self.writer = writer
+        self.session: DedupSession | None = None
+        self.lane: SerialLane | None = None
+        #: Bounded per-session admission queue (see ``queue_depth``).
+        self.slots: asyncio.Semaphore | None = None
+        #: In-order responses for pipelined puts awaiting their result.
+        self.pending: list[asyncio.Future[dict[str, Any]]] = []
+
+    # -- plumbing ---------------------------------------------------------
+
+    async def _run_in_lane(self, fn: Any) -> Any:
+        assert self.lane is not None
+        return await asyncio.wrap_future(self.lane.submit(fn))
+
+    async def _run_in_fleet(self, fn: Any) -> Any:
+        return await asyncio.wrap_future(self.server.fleet.submit(fn))
+
+    def _send(self, obj: dict[str, Any]) -> None:
+        self.writer.write(json.dumps(obj, separators=(",", ":")).encode() + b"\n")
+
+    async def _flush_pending(self) -> None:
+        """Send every queued put response, in submission order."""
+        pending, self.pending = self.pending, []
+        for fut in pending:
+            self._send(await _as_response(fut))
+        await self.writer.drain()
+
+    def _flush_ready(self) -> None:
+        """Send completed put responses at the head of the queue.
+
+        Runs on the event loop whenever a put finishes, so a
+        synchronous client (one put, one read) gets its answer without
+        needing a follow-up request; order is preserved by only ever
+        draining the head.
+        """
+        while self.pending and self.pending[0].done():
+            self._send(self.pending.pop(0).result())
+
+    # -- main loop --------------------------------------------------------
+
+    async def run(self, first_line: bytes) -> None:
+        line: bytes | None = first_line
+        while True:
+            if line is None:
+                line = await self.reader.readline()
+            if not line:
+                return
+            if len(line) > _MAX_LINE:
+                raise _ProtocolError("request line too long")
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise ValueError("not an object")
+            except ValueError as e:
+                self._send({"ok": False, "error": "bad_request", "message": str(e)})
+                await self.writer.drain()
+                return
+            line = None
+            op = request.get("op")
+            response: dict[str, Any] | None
+            try:
+                if op == "put":
+                    await self._op_put(request)
+                    continue  # response is deferred (pipelined)
+                await self._flush_pending()
+                if op == "open":
+                    response = await self._op_open(request)
+                elif op == "commit":
+                    response = await self._op_commit()
+                elif op == "abort":
+                    response = await self._op_abort()
+                elif op == "list":
+                    response = await self._op_list(request)
+                elif op == "get":
+                    response = await self._op_get(request)
+                elif op == "usage":
+                    response = await self._op_usage(request)
+                elif op == "ping":
+                    response = {"ok": True, "pong": True}
+                else:
+                    response = {
+                        "ok": False,
+                        "error": "bad_request",
+                        "message": f"unknown op {op!r}",
+                    }
+            except _ProtocolError as e:
+                self._send({"ok": False, "error": "bad_request", "message": str(e)})
+                await self.writer.drain()
+                return
+            except ServiceError as e:
+                response = _error_payload(e)
+            if response is not None:
+                self._send(response)
+            await self.writer.drain()
+
+    async def cleanup(self) -> None:
+        """Abort an abandoned session (disconnect mid-push)."""
+        for fut in self.pending:
+            try:
+                await fut
+            except BaseException:  # noqa: BLE001 - session already aborting
+                pass
+        self.pending = []
+        session = self.session
+        self.session = None
+        if session is not None and session.state == "open":
+            await self._run_in_lane(session.close)
+
+    # -- session ops ------------------------------------------------------
+
+    def _require(self, request: dict[str, Any], key: str, kind: type) -> Any:
+        value = request.get(key)
+        if not isinstance(value, kind):
+            raise _ProtocolError(f"{key!r} must be {kind.__name__}")
+        return value
+
+    async def _op_open(self, request: dict[str, Any]) -> dict[str, Any]:
+        if self.session is not None and self.session.state == "open":
+            raise _ProtocolError("a session is already open on this connection")
+        tenant_id = self._require(request, "tenant", str)
+        algorithm = request.get("algorithm") or self.server.algorithm
+        quota = None
+        if "max_bytes" in request or "max_files" in request:
+            quota = TenantQuota(
+                max_bytes=int(request.get("max_bytes", 0)),
+                max_files=int(request.get("max_files", 0)),
+            )
+        rate = request.get("rate_bytes")
+        try:
+            tenant = self.server.registry.register(
+                tenant_id,
+                quota=quota,
+                rate_bytes=float(rate) if rate is not None else None,
+            )
+        except ValueError as e:
+            raise _ProtocolError(str(e)) from None
+        session = DedupSession(
+            tenant,
+            algorithm=str(algorithm),
+            config=self.server.config,
+            max_rate_delay=self.server.max_rate_delay,
+        )
+        self.lane = self.server.fleet.lane()
+        self.slots = asyncio.Semaphore(self.server.queue_depth)
+        await self._run_in_lane(session.open)
+        self.session = session
+        return {
+            "ok": True,
+            "session": session.session_id,
+            "generation": session.generation,
+            "algorithm": session.algorithm,
+        }
+
+    async def _op_put(self, request: dict[str, Any]) -> None:
+        path = self._require(request, "path", str)
+        size = self._require(request, "size", int)
+        if not 0 <= size <= _MAX_PAYLOAD:
+            raise _ProtocolError(f"size out of range: {size}")
+        payload = await self.reader.readexactly(size)
+        session = self.session
+        if session is None or session.state != "open":
+            # Payload already consumed; answer in order like any put.
+            dead: asyncio.Future[dict[str, Any]] = (
+                asyncio.get_running_loop().create_future()
+            )
+            dead.set_result(dict(_NO_SESSION))
+            self.pending.append(dead)
+            self._flush_ready()
+            return
+        assert self.slots is not None and self.lane is not None
+        # Bounded admission: while the session's queue is full this
+        # coroutine parks here, the socket goes unread, and the client
+        # feels TCP back-pressure.
+        await self.slots.acquire()
+        loop = asyncio.get_running_loop()
+        result: asyncio.Future[dict[str, Any]] = loop.create_future()
+
+        def work() -> dict[str, Any]:
+            store_id = session.write(path, payload)
+            return {"ok": True, "store_id": store_id}
+
+        fut = self.lane.submit(work)
+
+        def done(f: Any) -> None:
+            loop.call_soon_threadsafe(self._finish_put, f, result)
+
+        fut.add_done_callback(done)
+        self.pending.append(result)
+
+    def _finish_put(self, fut: Any, result: asyncio.Future[dict[str, Any]]) -> None:
+        assert self.slots is not None
+        self.slots.release()
+        if result.cancelled():
+            return
+        exc = fut.exception()
+        if exc is None:
+            result.set_result(fut.result())
+        else:
+            result.set_result(_error_payload(exc))
+        self._flush_ready()
+
+    async def _op_commit(self) -> dict[str, Any]:
+        session = self.session
+        if session is None or session.state != "open":
+            self.session = None
+            return dict(_NO_SESSION)
+        stats = await self._run_in_lane(session.commit)
+        self.session = None
+        return {
+            "ok": True,
+            "session": session.session_id,
+            "stats": stats.as_dict(),
+            "usage": session.tenant.ledger.snapshot(),
+        }
+
+    async def _op_abort(self) -> dict[str, Any]:
+        session = self.session
+        if session is None or session.state != "open":
+            self.session = None
+            return dict(_NO_SESSION)
+        report = await self._run_in_lane(session.abort)
+        self.session = None
+        return {"ok": True, "repairs": report.repairs, "actions": report.actions}
+
+    # -- sessionless ops --------------------------------------------------
+
+    async def _op_list(self, request: dict[str, Any]) -> dict[str, Any]:
+        tenant_id = self._require(request, "tenant", str)
+        view = self.server.registry.view(tenant_id)
+        files = await self._run_in_fleet(lambda: latest_files(view))
+        return {"ok": True, "files": files}
+
+    async def _op_get(self, request: dict[str, Any]) -> dict[str, Any] | None:
+        """Restore one file: a size header line, then the raw bytes.
+
+        Returns ``None`` — the payload response is written here, not by
+        the main loop.
+        """
+        tenant_id = self._require(request, "tenant", str)
+        path = self._require(request, "path", str)
+        view = self.server.registry.view(tenant_id)
+        try:
+            data = await self._run_in_fleet(lambda: restore_file(view, path))
+        except KeyError as e:
+            return {"ok": False, "error": "not_found", "message": str(e)}
+        self._send({"ok": True, "path": path, "size": len(data)})
+        self.writer.write(data)
+        await self.writer.drain()
+        return None
+
+    async def _op_usage(self, request: dict[str, Any]) -> dict[str, Any]:
+        tenant_id = self._require(request, "tenant", str)
+        try:
+            tenant = self.server.registry.get(tenant_id)
+        except KeyError as e:
+            return {"ok": False, "error": "not_found", "message": str(e)}
+        return {"ok": True, "tenant": tenant_id, "usage": tenant.ledger.snapshot()}
+
+
+async def _as_response(fut: asyncio.Future[dict[str, Any]]) -> dict[str, Any]:
+    return await fut

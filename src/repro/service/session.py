@@ -1,0 +1,341 @@
+"""DedupSession: one tenant push with an explicit, crash-safe lifecycle.
+
+The library API (:class:`~repro.core.base.Deduplicator`) is a batch
+object: construct, ``process()`` a corpus, read the stats.  A service
+needs the same machinery with an explicit lifecycle it can drive from a
+network protocol and abandon safely mid-way::
+
+    open  ──►  write(path, data)*  ──►  commit  ──►  (stats)
+                      │
+                      └──────────►  abort  ──►  (store repaired)
+
+:class:`DedupSession` provides exactly that.  ``open()`` takes the
+tenant's session lock (one writer per tenant keyspace at a time),
+builds a deduplicator over the tenant's
+:class:`~repro.storage.backend.PrefixedBackend` view and
+``warm_start()``\\ s it so this push deduplicates against everything the
+tenant stored before — the incremental re-push path: unchanged files
+cost (almost) nothing, only deltas pay.
+
+Every ``write()`` runs under admission control: the tenant's
+:class:`~repro.service.quotas.QuotaLedger` is checked optimistically
+before any byte moves and charged authoritatively per chunk batch by
+the session's :class:`~repro.core.protocols.IngestObserver`, and the
+tenant's token bucket meters bytes/second — back-pressure (a bounded
+sleep) while the debt is payable, :class:`~repro.service.quotas.RateLimited`
+with a ``retry_after`` once it is not.
+
+``abort()`` — explicit, or implicit when a write raises — discards the
+in-flight deduplicator and repairs the tenant's keyspace with
+:func:`repro.storage.recover.recover`, so a half-ingested file is
+quarantined rather than left to corrupt later restores.  A session
+abort is deliberately indistinguishable from a process crash at the
+same point: both lean on the same recovery semantics.
+
+**Generations.**  MHD derives a container id from the file id, so
+re-pushing a changed file under the same id would collide with the
+previous generation's container.  Sessions therefore namespace file ids
+by push generation: client path ``disk0.img`` is stored as
+``g000001/disk0.img`` by the second push.  :func:`latest_files` and
+:func:`restore_file` resolve a bare path to its newest generation.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from collections.abc import Callable
+from typing import Any
+
+from ..core.base import Deduplicator, DedupStats
+from ..core.config import DedupConfig
+from ..obs.telemetry import Telemetry
+from ..registry import resolve
+from ..storage import StorageBackend
+from ..storage.chunk_store import DiskChunkStore
+from ..storage.disk_model import DiskModel
+from ..storage.file_manifest import FileManifestStore
+from ..storage.recover import RecoveryReport, recover
+from ..workloads.machine import BackupFile
+from .quotas import RateLimited
+from .tenancy import Tenant
+
+__all__ = [
+    "DedupSession",
+    "SessionClosed",
+    "latest_files",
+    "restore_file",
+    "split_store_id",
+]
+
+#: Store-side file ids are ``g<6-digit generation>/<client path>``.
+_GEN_RE = re.compile(r"^g(\d{6})/(.+)$", re.DOTALL)
+
+
+class SessionClosed(RuntimeError):
+    """An operation was attempted on a session that is not open."""
+
+
+def split_store_id(store_id: str) -> tuple[int, str]:
+    """``g000002/a/b.img`` → ``(2, "a/b.img")``.
+
+    Ids without a generation prefix (stores written by the plain CLI,
+    not the service) map to generation ``-1`` under their full id.
+    """
+    m = _GEN_RE.match(store_id)
+    if m is None:
+        return (-1, store_id)
+    return (int(m.group(1)), m.group(2))
+
+
+def latest_files(backend: StorageBackend) -> dict[str, str]:
+    """Map each client path to its newest generation's store id."""
+    store = FileManifestStore(backend, DiskModel())
+    latest: dict[str, tuple[int, str]] = {}
+    for store_id in store.list_ids():
+        gen, path = split_store_id(store_id)
+        if path not in latest or gen > latest[path][0]:
+            latest[path] = (gen, store_id)
+    return {path: store_id for path, (_, store_id) in sorted(latest.items())}
+
+
+def restore_file(backend: StorageBackend, path: str) -> bytes:
+    """Restore the newest generation of ``path`` from a tenant view.
+
+    Reads only the store — no deduplicator needed, which is how the
+    service restores without holding the tenant's session lock.
+    """
+    ids = latest_files(backend)
+    try:
+        store_id = ids[path]
+    except KeyError:
+        raise KeyError(f"no file {path!r} in store") from None
+    meter = DiskModel()
+    manifests = FileManifestStore(backend, meter)
+    chunks = DiskChunkStore(backend, meter)
+    return manifests.get(store_id).restore(chunks)
+
+
+class _QuotaObserver:
+    """The session's :class:`~repro.core.protocols.IngestObserver`.
+
+    Charges the tenant ledger per chunk batch *before* the batch
+    reaches the dedup core; a :class:`QuotaExceeded` raised here aborts
+    the ingest with none of the over-quota bytes stored.
+    """
+
+    def __init__(self, session: DedupSession) -> None:
+        self._session = session
+
+    def begin_file(self, file: BackupFile) -> None:
+        s = self._session
+        s.tenant.ledger.charge_file(s.tenant.tenant_id)
+
+    def observe_batch(self, nbytes: int, nchunks: int) -> None:
+        s = self._session
+        s.tenant.ledger.charge_bytes(s.tenant.tenant_id, nbytes)
+        s.tenant.metrics.counter("service_ingest_bytes").inc(nbytes)
+        s.tenant.metrics.counter("service_ingest_chunks").inc(nchunks)
+
+    def end_file(self, file: BackupFile) -> None:
+        self._session.tenant.metrics.counter("service_ingest_files").inc()
+
+
+class DedupSession:
+    """One open→write*→commit/abort push for one tenant.
+
+    Parameters
+    ----------
+    tenant:
+        Control-plane record from the :class:`~repro.service.tenancy.TenantRegistry`.
+    algorithm:
+        Registry name of the deduplicator class (default ``bf-mhd``).
+    config:
+        Dedup configuration; defaults to :class:`DedupConfig`'s.
+    max_rate_delay:
+        Longest back-pressure sleep a single ``write`` will absorb
+        before refusing with :class:`RateLimited`.
+    sleep:
+        Injectable sleep (tests pass a recorder; the server's worker
+        threads use the real one, which *is* the back-pressure — the
+        client's bytes sit unread while the session sleeps).
+    """
+
+    def __init__(
+        self,
+        tenant: Tenant,
+        algorithm: str = "bf-mhd",
+        config: DedupConfig | None = None,
+        max_rate_delay: float = 5.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.tenant = tenant
+        self.algorithm = algorithm
+        self.config = config or DedupConfig()
+        self.max_rate_delay = max_rate_delay
+        self._sleep = sleep
+        self._state = "new"
+        self.session_id = ""
+        self.generation = -1
+        self._dedup: Deduplicator | None = None
+        self._telemetry: Telemetry | None = None
+        self.stats: DedupStats | None = None
+        self.recovery: RecoveryReport | None = None
+
+    # ---- lifecycle ------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """``new`` | ``open`` | ``committed`` | ``aborted``."""
+        return self._state
+
+    def open(self) -> DedupSession:
+        """Acquire the tenant's session lock and warm-start a dedup run.
+
+        Blocks while another session of the *same* tenant is open
+        (sessions of different tenants proceed concurrently); the store
+        layout assumes one writer per keyspace at a time.
+        """
+        if self._state != "new":
+            raise SessionClosed(f"cannot open a session in state {self._state!r}")
+        self.tenant.lock.acquire()
+        try:
+            self.tenant.sessions_opened += 1
+            self.session_id = (
+                f"{self.tenant.tenant_id}-{self.tenant.sessions_opened:04d}"
+            )
+            dedup_cls = resolve(self.algorithm)
+            dedup = dedup_cls(self.config, backend=self.tenant.view)
+            dedup.warm_start()
+            tel = Telemetry()
+            dedup.telemetry = tel
+            dedup.ingest_observer = _QuotaObserver(self)
+            gens = [
+                split_store_id(i)[0] for i in dedup.file_manifests.list_ids()
+            ]
+            self.generation = max(gens, default=-1) + 1
+            self._dedup = dedup
+            self._telemetry = tel
+        except BaseException:
+            self.tenant.lock.release()
+            raise
+        self._state = "open"
+        self.tenant.metrics.counter("service_sessions_opened").inc()
+        return self
+
+    def store_id_for(self, path: str) -> str:
+        """The store-side file id this session will write ``path`` as."""
+        return f"g{self.generation:06d}/{path}"
+
+    def write(self, path: str, data: bytes) -> str:
+        """Ingest one in-memory file; returns its store id.
+
+        Admission order: quota pre-check (no charge) → token-bucket
+        reservation (sleep ≤ ``max_rate_delay``, else ``RateLimited``
+        with the tokens refunded) → ingest, with the ledger charged
+        batch-by-batch.  Any ingest failure — quota crossed mid-stream
+        included — aborts the whole session and repairs the store
+        before re-raising.
+        """
+        store_id = self.store_id_for(path)
+        return self._ingest(len(data), BackupFile(file_id=store_id, data=data))
+
+    def write_stream(
+        self, path: str, source: Callable[[], Any], size_hint: int
+    ) -> str:
+        """Ingest a source-backed file (content streamed on demand).
+
+        ``size_hint`` is the quota admission *claim*; if the stream
+        turns out longer, the per-batch ledger charge is authoritative
+        and cuts the ingest off mid-file (session aborted, store
+        repaired) the moment the quota is actually crossed.
+        """
+        store_id = self.store_id_for(path)
+        return self._ingest(
+            size_hint,
+            BackupFile(file_id=store_id, source=source, size_hint=size_hint),
+        )
+
+    def _ingest(self, declared_bytes: int, file: BackupFile) -> str:
+        dedup = self._require_open()
+        tid = self.tenant.tenant_id
+        self.tenant.ledger.check_admit(tid, declared_bytes)
+        delay = self.tenant.bucket.reserve(declared_bytes)
+        if delay > self.max_rate_delay:
+            self.tenant.bucket.cancel(declared_bytes)
+            self.tenant.metrics.counter("service_rate_rejections").inc()
+            raise RateLimited(tid, delay)
+        if delay > 0:
+            self.tenant.metrics.counter("service_rate_delay_ms").inc(
+                int(delay * 1000)
+            )
+            self._sleep(delay)
+        try:
+            dedup.ingest(file)
+        except BaseException:
+            self.abort()
+            raise
+        return file.file_id
+
+    def commit(self) -> DedupStats:
+        """Finalize the run, fold its metrics into the tenant's, unlock."""
+        dedup = self._require_open()
+        try:
+            stats = dedup.finalize()
+        except BaseException:
+            self.abort()
+            raise
+        self.stats = stats
+        tel = self._telemetry
+        if tel is not None:
+            self.tenant.metrics.merge(tel.registry)
+        self.tenant.metrics.counter("service_sessions_committed").inc()
+        self._state = "committed"
+        self._dedup = None
+        self.tenant.lock.release()
+        return stats
+
+    def abort(self) -> RecoveryReport:
+        """Discard the in-flight run and repair the tenant's keyspace.
+
+        Safe after any failure point; the quarantine-based
+        :func:`~repro.storage.recover.recover` pass removes whatever
+        half-written state the abandoned deduplicator left behind, so
+        a subsequent ``fsck`` is clean.  Idempotent-ish: aborting a
+        session that is not open raises :class:`SessionClosed`.
+        """
+        if self._state != "open":
+            raise SessionClosed(f"cannot abort a session in state {self._state!r}")
+        self._state = "aborted"
+        self._dedup = None
+        try:
+            self.recovery = recover(self.tenant.view)
+        finally:
+            self.tenant.metrics.counter("service_sessions_aborted").inc()
+            self.tenant.lock.release()
+        return self.recovery
+
+    def close(self) -> None:
+        """Idempotent terminal cleanup: aborts if still open."""
+        if self._state == "open":
+            self.abort()
+
+    # ---- context manager: commit on success, abort on error -------------
+
+    def __enter__(self) -> DedupSession:
+        if self._state == "new":
+            self.open()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if self._state != "open":
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+
+    def _require_open(self) -> Deduplicator:
+        if self._state != "open" or self._dedup is None:
+            raise SessionClosed(f"session is {self._state!r}, not open")
+        return self._dedup

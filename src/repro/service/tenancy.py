@@ -1,0 +1,191 @@
+"""Tenant isolation over one shared physical store.
+
+A *tenant* is a named, fully-isolated keyspace inside one backend: all
+four object-store namespaces (chunk/manifest/hook/file_manifest) plus
+their quarantine shadows live under the tenant's namespace prefix
+``tenant.<id>.``, materialised as a
+:class:`~repro.storage.backend.PrefixedBackend` view.  Everything
+above the backend — deduplicators, verification, GC, recovery — runs
+unchanged against the view, which is the whole point: tenancy is a
+storage-layer property, not something every algorithm needs to know
+about.
+
+The :class:`TenantRegistry` is the control plane: it owns the shared
+backend, registers tenants with their quotas and rate limits, rebuilds
+the usage ledger of returning tenants from their stored bytes, and
+keeps the per-tenant metrics registries that the ``/metrics`` endpoint
+renders with ``tenant`` labels.  It is thread-safe — the asyncio front
+end and session worker threads share it.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from dataclasses import dataclass, field
+
+from ..obs.metrics import MetricsRegistry
+from ..storage import PrefixedBackend, StorageBackend
+from .quotas import QuotaLedger, TenantQuota, TokenBucket
+
+__all__ = ["TENANT_PREFIX", "Tenant", "TenantRegistry", "tenant_namespace_prefix"]
+
+#: Prefix under which every tenant's namespaces live on the shared
+#: backend.  Contains a dot, so it can never collide with the four
+#: store namespaces or with ``quarantine.*`` shadows of a untenanted
+#: store.
+TENANT_PREFIX = "tenant."
+
+#: Tenant ids are DNS-label-ish: they appear in namespace names (and
+#: thus directory names under a DirectoryBackend) and in Prometheus
+#: label values, so keep them boring.
+_TENANT_ID = re.compile(r"^[a-z0-9][a-z0-9_-]{0,63}$")
+
+
+def tenant_namespace_prefix(tenant_id: str) -> str:
+    """The backend namespace prefix of one tenant (``tenant.<id>.``)."""
+    return f"{TENANT_PREFIX}{tenant_id}."
+
+
+def validate_tenant_id(tenant_id: str) -> str:
+    """Return ``tenant_id`` or raise ``ValueError`` for unusable ids."""
+    if not _TENANT_ID.match(tenant_id):
+        raise ValueError(
+            f"invalid tenant id {tenant_id!r}: need lowercase "
+            "[a-z0-9][a-z0-9_-]{0,63}"
+        )
+    return tenant_id
+
+
+@dataclass
+class Tenant:
+    """One tenant's control-plane state.
+
+    ``lock`` serialises sessions: the store layout (container ids
+    derived from file ids, warm-started RAM indexes) assumes one writer
+    per tenant keyspace at a time, so concurrent sessions for one
+    tenant queue on this lock while sessions of *different* tenants
+    proceed in parallel.
+    """
+
+    tenant_id: str
+    view: StorageBackend
+    ledger: QuotaLedger
+    bucket: TokenBucket
+    #: Live service-side metrics for this tenant (ingest counters,
+    #: session counts) plus every committed session's dedup registry
+    #: merged in — what ``/metrics`` renders under ``tenant="<id>"``.
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Monotonic per-tenant session counter (session id suffix).
+    sessions_opened: int = 0
+
+
+class TenantRegistry:
+    """Registry of tenants sharing one physical backend.
+
+    Parameters
+    ----------
+    backend:
+        The shared physical store.  Tenants only ever see
+        :class:`PrefixedBackend` views of it.
+    default_quota:
+        Quota applied to tenants registered without an explicit one.
+    default_rate_bytes:
+        Token-bucket rate (bytes/s) for tenants registered without an
+        explicit one; 0 disables rate limiting.
+    """
+
+    def __init__(
+        self,
+        backend: StorageBackend,
+        default_quota: TenantQuota | None = None,
+        default_rate_bytes: float = 0.0,
+        default_burst_bytes: float | None = None,
+    ) -> None:
+        self.backend = backend
+        self.default_quota = default_quota or TenantQuota()
+        self.default_rate_bytes = default_rate_bytes
+        self.default_burst_bytes = default_burst_bytes
+        self._tenants: dict[str, Tenant] = {}
+        self._lock = threading.Lock()
+
+    def view(self, tenant_id: str) -> PrefixedBackend:
+        """A fresh storage view of one tenant's keyspace."""
+        return PrefixedBackend(self.backend, tenant_namespace_prefix(tenant_id))
+
+    def register(
+        self,
+        tenant_id: str,
+        quota: TenantQuota | None = None,
+        rate_bytes: float | None = None,
+        burst_bytes: float | None = None,
+    ) -> Tenant:
+        """Register (or fetch) a tenant; idempotent for existing ids.
+
+        A returning tenant — one whose prefix already holds objects on
+        the backend — starts its quota ledger from the bytes its
+        keyspace currently stores: input-byte history is not
+        recoverable from a deduplicated store, so the stored footprint
+        is the honest (dedup-favouring) lower bound, and it makes a
+        service restart strictly *more* permissive than the live
+        accounting, never less.
+        """
+        validate_tenant_id(tenant_id)
+        with self._lock:
+            existing = self._tenants.get(tenant_id)
+            if existing is not None:
+                return existing
+            view = self.view(tenant_id)
+            stored = sum(view.bytes_stored(ns) for ns in view.namespaces())
+            files = view.object_count("file_manifest")
+            tenant = Tenant(
+                tenant_id=tenant_id,
+                view=view,
+                ledger=QuotaLedger(
+                    quota if quota is not None else self.default_quota,
+                    bytes_used=stored,
+                    files_used=files,
+                ),
+                bucket=TokenBucket(
+                    rate_bytes if rate_bytes is not None else self.default_rate_bytes,
+                    burst_bytes if burst_bytes is not None else self.default_burst_bytes,
+                ),
+            )
+            self._tenants[tenant_id] = tenant
+            return tenant
+
+    def get(self, tenant_id: str) -> Tenant:
+        """A registered tenant; raises ``KeyError`` for unknown ids."""
+        with self._lock:
+            try:
+                return self._tenants[tenant_id]
+            except KeyError:
+                raise KeyError(f"tenant {tenant_id!r} not registered") from None
+
+    def registered(self) -> list[str]:
+        """Ids of explicitly registered tenants (sorted)."""
+        with self._lock:
+            return sorted(self._tenants)
+
+    def discover(self) -> list[str]:
+        """Tenant ids present on the backend (registered or not).
+
+        Walks the physical namespaces for ``tenant.<id>.*`` prefixes —
+        how a restarted service finds the tenants a previous process
+        served.
+        """
+        found: set[str] = set()
+        for ns in self.backend.namespaces():
+            if not ns.startswith(TENANT_PREFIX):
+                continue
+            rest = ns[len(TENANT_PREFIX):]
+            tenant_id = rest.split(".", 1)[0]
+            if _TENANT_ID.match(tenant_id):
+                found.add(tenant_id)
+        return sorted(found | set(self.registered()))
+
+    def metrics_by_tenant(self) -> list[tuple[str, MetricsRegistry]]:
+        """(tenant_id, registry) pairs for the ``/metrics`` renderer."""
+        with self._lock:
+            return [(tid, t.metrics) for tid, t in sorted(self._tenants.items())]

@@ -12,6 +12,7 @@ from .backend import (
     DirectoryBackend,
     MemoryBackend,
     ObjectBackend,
+    PrefixedBackend,
     StorageBackend,
 )
 from .chunk_store import ContainerWriter, DiskChunkStore
@@ -55,6 +56,7 @@ __all__ = [
     "DirectoryBackend",
     "MemoryBackend",
     "ObjectBackend",
+    "PrefixedBackend",
     "StorageBackend",
     "BackendError",
     "TransientBackendError",

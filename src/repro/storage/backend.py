@@ -8,6 +8,11 @@ same object model is served by one of two interchangeable backends:
   experiment runtime measures the *algorithms*, not the host disk.
 * :class:`DirectoryBackend` — one real file per object under a root
   directory, faithful to the paper's prototype layout.
+* :class:`PrefixedBackend` — a namespace-prefixing *view* over any
+  other backend; the substrate of tenant isolation
+  (:mod:`repro.service.tenancy`): every logical namespace ``ns`` maps
+  to ``prefix + ns``, so two views with different prefixes can never
+  observe each other's objects.
 
 Backends are **not** metered; metering happens in the object stores,
 because only they know whether an access is a real disk access or a
@@ -31,6 +36,7 @@ __all__ = [
     "StorageBackend",
     "MemoryBackend",
     "DirectoryBackend",
+    "PrefixedBackend",
 ]
 
 logger = logging.getLogger(__name__)
@@ -181,6 +187,33 @@ class DirectoryBackend(StorageBackend):
     old object, the new object, or an invisible ``*.tmp`` stray (swept
     by :func:`repro.storage.recover.recover`).
 
+    **Concurrency guarantee.**  The backend is safe under concurrent
+    same-process writers (threads) and concurrent reader/writer mixes,
+    without any lock of its own:
+
+    * every :meth:`put` writes to a ``tempfile.mkstemp`` temp file —
+      unique per call, so two writers never share a buffer — and
+      publishes it with ``os.replace``, which is atomic on POSIX and
+      Windows: a racing :meth:`get` of the same key sees either the
+      complete old object or the complete new one, never a mix;
+    * racing puts of the *same* key are last-writer-wins with both
+      payloads intact at the moment of each replace (the stores only
+      ever write identical content for one key, so either order is
+      correct);
+    * ``os.makedirs(exist_ok=True)`` makes namespace creation racy-safe;
+    * enumeration (:meth:`keys`/:meth:`object_count`) may or may not
+      see a concurrently-published object, but never a partial one —
+      temp strays fail :meth:`_is_object_name` and are skipped.
+
+    What is **not** guaranteed: cross-key transactionality (a reader
+    enumerating during a multi-object commit can observe a subset;
+    recovery semantics in :mod:`repro.storage.recover` exist exactly
+    for that) — and :meth:`bytes_stored` racing a concurrent delete
+    may raise ``FileNotFoundError`` from ``os.path.getsize``.  The
+    hammer test in ``tests/storage/test_backend_concurrency.py``
+    exercises the guarantee with N threads over overlapping
+    namespaces.
+
     Parameters
     ----------
     fsync:
@@ -297,15 +330,21 @@ class DirectoryBackend(StorageBackend):
             and self._object_names(ns)
         ]
 
-    def purge_incomplete(self) -> int:
+    def purge_incomplete(self, prefix: str = "") -> int:
         """Delete stray non-object files (interrupted-put debris).
 
         Removes ``*.tmp`` temp files and any other non-hex file from
         every namespace directory; returns the number removed.  Called
         by the recovery pass before the store is walked.
+
+        ``prefix`` restricts the sweep to namespaces starting with it —
+        a tenant-scoped recovery must not delete another tenant's
+        in-flight temp files (see :class:`PrefixedBackend`).
         """
         purged = 0
         for ns in os.listdir(self._root):
+            if prefix and not ns.startswith(prefix):
+                continue
             d = os.path.join(self._root, ns)
             if not os.path.isdir(d):
                 continue
@@ -316,3 +355,75 @@ class DirectoryBackend(StorageBackend):
                         os.remove(path)
                         purged += 1
         return purged
+
+
+class PrefixedBackend(StorageBackend):
+    """A namespace-prefixing view over another backend.
+
+    Every logical namespace ``ns`` is stored under ``prefix + ns`` on
+    the inner backend, and :meth:`namespaces` reports only (and strips)
+    the prefixed ones.  Code above the backend — the object stores, the
+    deduplicators, verification, GC, recovery — runs unchanged against
+    a view and can only ever touch keys under its prefix.  This is the
+    storage substrate of tenant isolation: one
+    :class:`~repro.service.tenancy.TenantRegistry` hands each tenant a
+    view with a distinct prefix over one shared physical store.
+
+    The view adds no state of its own, so it inherits the inner
+    backend's atomicity/durability/concurrency guarantees verbatim, and
+    any number of views (same or different prefixes) may wrap one inner
+    backend concurrently.
+    """
+
+    def __init__(self, inner: StorageBackend, prefix: str) -> None:
+        if not prefix:
+            raise ValueError("prefix must be non-empty (use the backend directly)")
+        if os.sep in prefix or (os.altsep is not None and os.altsep in prefix):
+            raise ValueError(f"prefix {prefix!r} must not contain path separators")
+        self.inner = inner
+        self.prefix = prefix
+
+    def _ns(self, namespace: str) -> str:
+        return self.prefix + namespace
+
+    def put(self, namespace: str, key: bytes, data: bytes) -> None:
+        self.inner.put(self._ns(namespace), key, data)
+
+    def get(self, namespace: str, key: bytes) -> bytes:
+        return self.inner.get(self._ns(namespace), key)
+
+    def exists(self, namespace: str, key: bytes) -> bool:
+        return self.inner.exists(self._ns(namespace), key)
+
+    def keys(self, namespace: str) -> list[bytes]:
+        return self.inner.keys(self._ns(namespace))
+
+    def delete(self, namespace: str, key: bytes) -> bool:
+        return self.inner.delete(self._ns(namespace), key)
+
+    def object_count(self, namespace: str) -> int:
+        return self.inner.object_count(self._ns(namespace))
+
+    def bytes_stored(self, namespace: str) -> int:
+        return self.inner.bytes_stored(self._ns(namespace))
+
+    def namespaces(self) -> list[str]:
+        n = len(self.prefix)
+        return [
+            ns[n:] for ns in self.inner.namespaces() if ns.startswith(self.prefix)
+        ]
+
+    def purge_incomplete(self, prefix: str = "") -> int:
+        """Sweep interrupted-put debris *under this view's prefix only*.
+
+        Delegates to the inner backend's ``purge_incomplete`` when it
+        has one (``DirectoryBackend``, or a nested view), composing the
+        prefixes so a tenant-scoped recovery never touches another
+        tenant's in-flight temp files.  Returns 0 on backends without
+        temp-file debris (``MemoryBackend``).
+        """
+        fn = getattr(self.inner, "purge_incomplete", None)
+        if not callable(fn):
+            return 0
+        count: int = fn(self.prefix + prefix)
+        return count

@@ -41,7 +41,7 @@ from dataclasses import dataclass, field
 
 from ..hashing.digest import HASH_SIZE, Digest, sha1
 from ..obs.telemetry import note_anomaly
-from .backend import DirectoryBackend, StorageBackend
+from .backend import StorageBackend
 from .disk_model import DiskModel
 from .file_manifest import FileManifest, FileManifestStore
 from .manifest import Manifest
@@ -152,8 +152,12 @@ def recover(backend: StorageBackend, check_hashes: bool = False) -> RecoveryRepo
     report = RecoveryReport()
 
     # 0. Sweep interrupted-put debris so nothing below trips over it.
-    if isinstance(backend, DirectoryBackend):
-        report.tmp_purged = backend.purge_incomplete()
+    # Duck-typed: DirectoryBackend sweeps its directories, a
+    # PrefixedBackend tenant view sweeps only under its own prefix,
+    # MemoryBackend has no debris to sweep.
+    purge = getattr(backend, "purge_incomplete", None)
+    if callable(purge):
+        report.tmp_purged = purge()
         if report.tmp_purged:
             report.act(f"purged {report.tmp_purged} stray temp files")
 

@@ -15,6 +15,7 @@ from repro.obs import (
     Tracer,
     load_trace,
     prom_text,
+    prom_text_multi,
 )
 
 
@@ -174,6 +175,53 @@ class TestPromExposition:
         sink = PromTextSink(path)
         sink.close()
         assert open(path, encoding="utf-8").read() == ""
+
+
+class TestPromMulti:
+    def _tenant(self, n: int) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("ingest.bytes").inc(n)
+        return reg
+
+    def test_type_line_appears_once_per_metric(self):
+        text = prom_text_multi(
+            [({"tenant": "alice"}, self._tenant(10)), ({"tenant": "bob"}, self._tenant(20))]
+        )
+        lines = text.splitlines()
+        assert lines.count("# TYPE repro_ingest_bytes_total counter") == 1
+        assert 'repro_ingest_bytes_total{tenant="alice"} 10' in lines
+        assert 'repro_ingest_bytes_total{tenant="bob"} 20' in lines
+
+    def test_unlabeled_group_renders_bare_samples(self):
+        reg = MetricsRegistry()
+        reg.gauge("sessions.active").set(2.0)
+        text = prom_text_multi([({}, reg)])
+        assert "repro_sessions_active 2" in text.splitlines()
+
+    def test_histograms_carry_labels_and_le(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", [1.0]).observe_many([0.5, 3.0])
+        text = prom_text_multi([({"tenant": "t"}, reg)])
+        assert 'repro_lat_bucket{le="1",tenant="t"} 1' in text
+        assert 'repro_lat_bucket{le="+Inf",tenant="t"} 2' in text
+        assert 'repro_lat_count{tenant="t"} 2' in text
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(1)
+        text = prom_text_multi([({"tenant": 'a"b\\c\nd'}, reg)])
+        assert 'repro_c_total{tenant="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_kind_conflict_across_groups_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x")
+        b.gauge("x")
+        with pytest.raises(ValueError):
+            prom_text_multi([({"g": "1"}, a), ({"g": "2"}, b)])
+
+    def test_empty_groups_render_empty(self):
+        assert prom_text_multi([]) == ""
+        assert prom_text_multi([({}, MetricsRegistry())]) == ""
 
 
 def test_all_sinks_satisfy_protocol():

@@ -1,0 +1,116 @@
+"""Unit tests for quota ledgers and the token-bucket rate limiter."""
+
+import pytest
+
+from repro.service import QuotaExceeded, QuotaLedger, TenantQuota, TokenBucket
+
+
+class TestTenantQuota:
+    def test_defaults_unlimited(self):
+        q = TenantQuota()
+        assert q.unlimited
+        assert q.max_bytes == 0 and q.max_files == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TenantQuota(max_bytes=-1)
+        with pytest.raises(ValueError):
+            TenantQuota(max_files=-1)
+
+
+class TestQuotaLedger:
+    def test_admit_checks_do_not_charge(self):
+        ledger = QuotaLedger(TenantQuota(max_bytes=100))
+        ledger.check_admit("t", 90)
+        assert ledger.bytes_used == 0
+        with pytest.raises(QuotaExceeded):
+            ledger.check_admit("t", 101)
+
+    def test_charge_bytes_raises_before_charging(self):
+        ledger = QuotaLedger(TenantQuota(max_bytes=100))
+        ledger.charge_bytes("t", 60)
+        with pytest.raises(QuotaExceeded):
+            ledger.charge_bytes("t", 41)
+        # The refused batch left no partial charge behind.
+        assert ledger.bytes_used == 60
+        ledger.charge_bytes("t", 40)  # exactly to the ceiling is fine
+        assert ledger.bytes_used == 100
+
+    def test_file_quota(self):
+        ledger = QuotaLedger(TenantQuota(max_files=2))
+        ledger.charge_file("t")
+        ledger.charge_file("t")
+        with pytest.raises(QuotaExceeded):
+            ledger.charge_file("t")
+        assert ledger.files_used == 2
+
+    def test_unlimited_never_raises(self):
+        ledger = QuotaLedger(TenantQuota())
+        ledger.charge_bytes("t", 10**12)
+        ledger.charge_file("t")
+        ledger.check_admit("t", 10**15)
+
+    def test_preexisting_usage(self):
+        """A returning tenant's ledger starts from its stored bytes."""
+        ledger = QuotaLedger(TenantQuota(max_bytes=100), bytes_used=80)
+        with pytest.raises(QuotaExceeded):
+            ledger.check_admit("t", 21)
+        ledger.check_admit("t", 20)
+
+    def test_snapshot(self):
+        ledger = QuotaLedger(TenantQuota(max_bytes=5, max_files=7))
+        ledger.charge_bytes("t", 3)
+        assert ledger.snapshot() == {
+            "bytes_used": 3,
+            "files_used": 0,
+            "max_bytes": 5,
+            "max_files": 7,
+        }
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestTokenBucket:
+    def test_zero_rate_disables(self):
+        bucket = TokenBucket(0.0)
+        assert bucket.reserve(10**9) == 0.0
+
+    def test_burst_then_delay(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=100.0, clock=clock)
+        assert bucket.reserve(100) == 0.0  # burst absorbs it
+        assert bucket.reserve(50) == pytest.approx(0.5)  # 50 tokens of debt
+
+    def test_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=100.0, clock=clock)
+        bucket.reserve(100)
+        clock.now = 1.0  # a full second refills the burst
+        assert bucket.reserve(100) == 0.0
+
+    def test_debt_beyond_burst_is_admitted(self):
+        """One file larger than the burst still goes through — it just
+        waits proportionally longer (debt queues, never refuses)."""
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=10.0, clock=clock)
+        assert bucket.reserve(510) == pytest.approx(5.0)
+        assert bucket.tokens == pytest.approx(-500.0)
+
+    def test_cancel_refunds(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=100.0, clock=clock)
+        bucket.reserve(100)
+        bucket.cancel(100)
+        assert bucket.reserve(100) == 0.0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=-1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)

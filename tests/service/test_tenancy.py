@@ -1,0 +1,82 @@
+"""TenantRegistry: views, discovery, returning-tenant accounting."""
+
+import pytest
+
+from repro.core import DedupConfig
+from repro.registry import resolve
+from repro.service import TenantQuota, TenantRegistry, tenant_namespace_prefix
+from repro.service.tenancy import validate_tenant_id
+from repro.storage import DirectoryBackend, MemoryBackend
+from repro.workloads import BackupFile
+
+CFG = DedupConfig(ecs=1024, sd=8, bloom_bytes=1 << 18)
+
+
+class TestTenantIds:
+    @pytest.mark.parametrize("tid", ["alice", "a", "pc-01", "x_y", "0" * 64])
+    def test_valid(self, tid):
+        assert validate_tenant_id(tid) == tid
+
+    @pytest.mark.parametrize(
+        "tid", ["", "Alice", "a/b", "a.b", "-lead", "x" * 65, "a b"]
+    )
+    def test_invalid(self, tid):
+        with pytest.raises(ValueError):
+            validate_tenant_id(tid)
+
+    def test_prefix_shape(self):
+        assert tenant_namespace_prefix("alice") == "tenant.alice."
+
+
+class TestTenantRegistry:
+    def test_register_is_idempotent(self):
+        reg = TenantRegistry(MemoryBackend())
+        t1 = reg.register("alice", quota=TenantQuota(max_bytes=100))
+        t2 = reg.register("alice", quota=TenantQuota(max_bytes=999))
+        assert t1 is t2
+        assert t1.ledger.quota.max_bytes == 100  # first registration wins
+
+    def test_rejects_bad_ids(self):
+        reg = TenantRegistry(MemoryBackend())
+        with pytest.raises(ValueError):
+            reg.register("No/Good")
+
+    def test_get_unknown_raises(self):
+        reg = TenantRegistry(MemoryBackend())
+        with pytest.raises(KeyError):
+            reg.get("ghost")
+
+    def test_views_are_physically_prefixed(self):
+        backend = MemoryBackend()
+        reg = TenantRegistry(backend)
+        view = reg.view("alice")
+        view.put("chunk", b"k" * 20, b"data")
+        assert backend.namespaces() == ["tenant.alice.chunk"]
+        assert reg.view("bob").namespaces() == []
+
+    def test_discover_finds_unregistered_tenants(self, tmp_path):
+        backend = DirectoryBackend(tmp_path / "s")
+        reg = TenantRegistry(backend)
+        reg.view("carol").put("chunk", b"k" * 20, b"x")
+        reg.view("dave").put("hook", b"h" * 20, b"y")
+        reg.register("erin")
+        assert reg.discover() == ["carol", "dave", "erin"]
+        assert reg.registered() == ["erin"]
+
+    def test_returning_tenant_ledger_starts_from_stored_bytes(self, tmp_path):
+        """A service restart must not grant a full quota reset."""
+        backend = DirectoryBackend(tmp_path / "s")
+        reg = TenantRegistry(backend)
+        dedup = resolve("bf-mhd")(CFG, backend=reg.view("alice"))
+        dedup.process([BackupFile("g000000/a.img", b"\x07" * 50_000)])
+
+        fresh = TenantRegistry(backend)  # simulated restart
+        tenant = fresh.register("alice")
+        assert tenant.ledger.bytes_used > 0
+        assert tenant.ledger.files_used == 1
+
+    def test_metrics_by_tenant_sorted(self):
+        reg = TenantRegistry(MemoryBackend())
+        reg.register("zeta")
+        reg.register("alpha")
+        assert [tid for tid, _ in reg.metrics_by_tenant()] == ["alpha", "zeta"]

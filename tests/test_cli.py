@@ -26,6 +26,21 @@ def test_run_each_algo(algo, capsys):
     assert f"{algo} results" in capsys.readouterr().out
 
 
+def test_list_names_every_algorithm(capsys):
+    from repro.registry import available
+
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    lines = [ln for ln in out.splitlines() if ln.strip()]
+    assert len(lines) == len(available())
+    for name in available():
+        assert any(ln.startswith(name) for ln in lines)
+    # Every row carries a human description, not just the name.
+    for ln in lines:
+        name, _, desc = ln.partition("  ")
+        assert desc.strip(), f"missing description for {name!r}"
+
+
 def test_run_with_verify(capsys):
     assert main(["run", "--verify", *FAST]) == 0
     assert "restore byte-identically" in capsys.readouterr().out

@@ -1,9 +1,12 @@
-"""Tests for sharded multi-process deduplication."""
+"""Tests for sharded multi-process deduplication and the thread fleet."""
+
+import threading
+import time
 
 import pytest
 
 from repro.core import DedupConfig, MHDDeduplicator
-from repro.parallel import dedup_sharded, shard_by_machine
+from repro.parallel import FleetExecutor, dedup_sharded, shard_by_machine
 from repro.workloads import BackupFile, tiny_corpus
 
 CFG = DedupConfig(ecs=1024, sd=8, bloom_bytes=1 << 18)
@@ -138,6 +141,85 @@ def test_fleet_metrics_collected_and_merged(files):
         if name.startswith("disk.") and name.endswith(".ops")
     )
     assert mirrored == total_ops
+
+
+class TestFleetExecutor:
+    def test_lane_preserves_submission_order(self):
+        with FleetExecutor(workers=4) as fleet:
+            lane = fleet.lane()
+            order = []
+            futs = [lane.submit(lambda i=i: order.append(i)) for i in range(20)]
+            for fut in futs:
+                fut.result(timeout=10)
+        assert order == list(range(20))
+
+    def test_lane_tasks_never_overlap(self):
+        active = 0
+        peak = 0
+        lock = threading.Lock()
+
+        def task():
+            nonlocal active, peak
+            with lock:
+                active += 1
+                peak = max(peak, active)
+            time.sleep(0.002)
+            with lock:
+                active -= 1
+
+        with FleetExecutor(workers=8) as fleet:
+            lane = fleet.lane()
+            futs = [lane.submit(task) for _ in range(10)]
+            for fut in futs:
+                fut.result(timeout=10)
+        assert peak == 1
+
+    def test_independent_lanes_run_concurrently(self):
+        """Two lanes blocked on each other's event can only finish if the
+        pool runs them at the same time."""
+        a, b = threading.Event(), threading.Event()
+        with FleetExecutor(workers=4) as fleet:
+            fa = fleet.lane().submit(lambda: (a.set(), b.wait(10))[1])
+            fb = fleet.lane().submit(lambda: (b.set(), a.wait(10))[1])
+            assert fa.result(timeout=10) and fb.result(timeout=10)
+
+    def test_exceptions_delivered_via_future(self):
+        with FleetExecutor(workers=2) as fleet:
+            lane = fleet.lane()
+            boom = lane.submit(lambda: 1 / 0)
+            after = lane.submit(lambda: "survived")
+            with pytest.raises(ZeroDivisionError):
+                boom.result(timeout=10)
+            assert after.result(timeout=10) == "survived"
+
+    def test_lane_idle_after_drain(self):
+        with FleetExecutor(workers=2) as fleet:
+            lane = fleet.lane()
+            lane.submit(lambda: None).result(timeout=10)
+            assert lane.depth == 0
+            # A drained lane accepts new work (the pump restarts).
+            assert lane.submit(lambda: 7).result(timeout=10) == 7
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            FleetExecutor(workers=0)
+
+
+def test_thread_executor_matches_process_results(files):
+    """executor="thread" is a semantic no-op: same stats, same shards."""
+    proc = dedup_sharded(files, config=CFG, workers=3)
+    thr = dedup_sharded(files, config=CFG, workers=3, executor="thread")
+    assert len(proc.shards) == len(thr.shards)
+    for a, b in zip(proc.shards, thr.shards):
+        assert a.shard == b.shard
+        assert a.stats.stored_chunk_bytes == b.stats.stored_chunk_bytes
+        assert a.stats.unique_chunks == b.stats.unique_chunks
+        assert a.stats.io.ops == b.stats.io.ops
+
+
+def test_unknown_executor_fails_fast(files):
+    with pytest.raises(ValueError):
+        dedup_sharded(files[:5], config=CFG, workers=1, executor="carrier-pigeon")
 
 
 def test_fleet_metrics_cross_process(files):
