@@ -24,6 +24,7 @@ from .quotas import (
     QuotaLedger,
     RateLimited,
     ServiceError,
+    TenantBusy,
     TenantQuota,
     TokenBucket,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "ServiceError",
     "SessionClosed",
     "Tenant",
+    "TenantBusy",
     "TenantQuota",
     "TenantRegistry",
     "TokenBucket",

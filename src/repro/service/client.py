@@ -21,7 +21,7 @@ import json
 import socket
 from typing import Any
 
-from .quotas import QuotaExceeded, RateLimited, ServiceError
+from .quotas import QuotaExceeded, RateLimited, ServiceError, TenantBusy
 
 __all__ = ["ServiceClient"]
 
@@ -35,8 +35,9 @@ def _raise_for(response: dict[str, Any]) -> dict[str, Any]:
     if code == "quota_exceeded":
         raise QuotaExceeded("?", message)
     if code == "rate_limited":
-        exc = RateLimited("?", float(response.get("retry_after", 0.0)))
-        raise exc
+        raise RateLimited("?", float(response.get("retry_after", 0.0)))
+    if code == "busy":
+        raise TenantBusy("?", float(response.get("retry_after", 0.0)))
     err = ServiceError(message)
     err.code = code
     raise err

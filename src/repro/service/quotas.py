@@ -37,6 +37,7 @@ __all__ = [
     "QuotaLedger",
     "RateLimited",
     "ServiceError",
+    "TenantBusy",
     "TenantQuota",
     "TokenBucket",
     "UNLIMITED",
@@ -72,6 +73,26 @@ class RateLimited(ServiceError):
     def __init__(self, tenant_id: str, retry_after: float) -> None:
         super().__init__(
             f"tenant {tenant_id!r} rate limited; retry after {retry_after:.3f}s"
+        )
+        self.tenant_id = tenant_id
+        self.retry_after = retry_after
+
+
+class TenantBusy(ServiceError):
+    """Another session holds the tenant's lock; retry the ``open`` later.
+
+    Raised by the server instead of queueing an ``open`` indefinitely:
+    waiting must never occupy a fleet thread (that is how thread-pool
+    starvation deadlocks start), so past ``open_wait`` the service
+    refuses with a 429-style retry hint.
+    """
+
+    code = "busy"
+
+    def __init__(self, tenant_id: str, retry_after: float) -> None:
+        super().__init__(
+            f"tenant {tenant_id!r} has an active session; "
+            f"retry after {retry_after:.3f}s"
         )
         self.tenant_id = tenant_id
         self.retry_after = retry_after

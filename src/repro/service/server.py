@@ -26,16 +26,23 @@ Refusals carry machine-readable codes: ``{"ok": false, "error":
 "quota_exceeded", ...}`` or ``{"ok": false, "error": "rate_limited",
 "retry_after": 1.25}`` — the 429 analogue.
 
-**Execution model.**  The event loop never runs dedup work.  Each
-session gets a :class:`~repro.parallel.SerialLane` on the server's
-shared :class:`~repro.parallel.FleetExecutor` — lanes keep one
-session's operations ordered while different sessions (hence tenants)
-proceed concurrently.  Each session also gets a bounded admission
-semaphore: the connection handler stops reading its socket while the
-session's queue is full, so a fast client is slowed by TCP back-pressure
-long before memory fills.  Rate limiting adds the second layer: the
-session sleeps in its lane (bounded by ``max_rate_delay``), then
-rejects with ``retry_after``.
+**Execution model.**  The event loop never runs dedup work — and,
+just as important, fleet threads never *wait*.  Each session gets a
+:class:`~repro.parallel.SerialLane` on the server's shared
+:class:`~repro.parallel.FleetExecutor` — lanes keep one session's
+operations ordered while different sessions (hence tenants) proceed
+concurrently.  Everything that can block sits on the event loop
+instead of the pool: an ``open`` contending for a busy tenant's
+session lock waits asynchronously (up to ``open_wait``, then a
+``busy``/``retry_after`` refusal), and rate-limit back-pressure is an
+``asyncio.sleep`` before the payload is dispatched (bounded by
+``max_rate_delay``, then a ``rate_limited`` refusal).  Otherwise
+``workers`` blocked opens or throttled puts would occupy every pool
+thread while the tasks that could unblock them starve — a service-wide
+deadlock.  Each session also gets a bounded admission semaphore: the
+connection handler stops reading its socket while the session's queue
+is full, so a fast client is slowed by TCP back-pressure long before
+memory fills.
 
 **Crash safety.**  A connection that drops with an open session —
 client crash, network cut — aborts the session, which repairs the
@@ -53,17 +60,24 @@ from ..core.config import DedupConfig
 from ..obs.metrics import MetricsRegistry
 from ..obs.sinks import prom_text_multi
 from ..parallel import FleetExecutor, SerialLane
+from ..registry import resolve
 from ..storage import StorageBackend
-from .quotas import ServiceError, TenantQuota
-from .session import DedupSession, latest_files, restore_file
-from .tenancy import TenantRegistry
+from .quotas import ServiceError, TenantBusy, TenantQuota
+from .session import DedupSession, SessionClosed, latest_files, restore_file
+from .tenancy import Tenant, TenantRegistry, validate_tenant_id
 
 __all__ = ["DedupServer"]
 
 #: Longest accepted protocol line (headers are small; payloads are raw).
+#: Passed as the StreamReader ``limit`` — overruns surface as a
+#: ``bad_request`` reply, not a silent connection drop.
 _MAX_LINE = 1 << 16
 #: Largest single ``put`` payload (64 MiB — one disk image slice).
 _MAX_PAYLOAD = 64 << 20
+#: ``retry_after`` hint on a ``busy`` refusal (another session holds
+#: the tenant lock past ``open_wait``); how long one is anyone's
+#: guess, so suggest a short poll.
+_BUSY_RETRY_AFTER = 1.0
 
 
 class _ProtocolError(Exception):
@@ -105,6 +119,10 @@ class DedupServer:
     max_rate_delay:
         Longest back-pressure sleep per ``put`` before the 429-style
         ``rate_limited`` refusal.
+    open_wait:
+        Longest an ``open`` waits (on the event loop, never on a fleet
+        thread) for the tenant's session lock before the ``busy``
+        refusal.
     """
 
     def __init__(
@@ -120,6 +138,7 @@ class DedupServer:
         workers: int | None = None,
         queue_depth: int = 4,
         max_rate_delay: float = 5.0,
+        open_wait: float = 30.0,
     ) -> None:
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
@@ -129,6 +148,7 @@ class DedupServer:
         self.config = config or DedupConfig()
         self.queue_depth = queue_depth
         self.max_rate_delay = max_rate_delay
+        self.open_wait = open_wait
         self.registry = TenantRegistry(
             backend,
             default_quota=default_quota,
@@ -144,8 +164,12 @@ class DedupServer:
 
     async def start(self) -> None:
         """Bind and start accepting connections (non-blocking)."""
+        # Explicit StreamReader limit: readline() raises before any
+        # after-the-fact length check could run, so the limit must be
+        # ours (not the 64 KiB default by coincidence) and the raise
+        # is handled wherever lines are read.
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
+            self._handle_connection, self.host, self.port, limit=_MAX_LINE
         )
         sock = self._server.sockets[0]
         self.port = sock.getsockname()[1]
@@ -174,6 +198,30 @@ class DedupServer:
         ]
         return prom_text_multi(groups)
 
+    # ---- tenant session lock -------------------------------------------
+
+    async def acquire_tenant_lock(self, tenant: Tenant) -> None:
+        """Wait for a tenant's session lock *on the event loop*.
+
+        Never on a fleet thread: if ``open`` waited for the lock inside
+        the pool, ``workers`` concurrent opens of one busy tenant would
+        occupy every thread while the lock holder's own queued lane
+        tasks — the writes and commit that would *release* the lock —
+        could never get one: a permanent, service-wide deadlock.
+        Polling with backoff here keeps pool capacity for actual dedup
+        work; past ``open_wait`` seconds the open is refused with a
+        ``busy``/``retry_after`` error instead of queueing forever.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.open_wait
+        delay = 0.005
+        while not tenant.lock.acquire(blocking=False):
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                raise TenantBusy(tenant.tenant_id, _BUSY_RETRY_AFTER)
+            await asyncio.sleep(min(delay, remaining))
+            delay = min(delay * 2, 0.1)
+
     # ---- connection handling -------------------------------------------
 
     async def _handle_connection(
@@ -181,7 +229,14 @@ class DedupServer:
     ) -> None:
         self.metrics.counter("service_connections").inc()
         try:
-            first = await reader.readline()
+            try:
+                first = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                # Protocol unknown at this point; a JSON refusal is the
+                # sane default (HTTP request lines are never this long).
+                writer.write(_too_long_payload() + b"\n")
+                await writer.drain()
+                return
             if not first:
                 return
             if first.startswith(b"GET ") or first.startswith(b"HEAD "):
@@ -205,7 +260,10 @@ class DedupServer:
     ) -> None:
         # Drain headers (we need none of them).
         while True:
-            line = await reader.readline()
+            try:
+                line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                return  # oversized header line; just drop the connection
             if line in (b"", b"\r\n", b"\n"):
                 break
         parts = request_line.decode("latin-1").split()
@@ -254,7 +312,20 @@ def _error_payload(exc: BaseException) -> dict[str, Any]:
         if retry_after is not None:
             out["retry_after"] = round(retry_after, 3)
         return out
+    if isinstance(exc, SessionClosed):
+        return dict(_NO_SESSION)
     return {"ok": False, "error": "failed", "message": str(exc)}
+
+
+def _too_long_payload() -> bytes:
+    return json.dumps(
+        {
+            "ok": False,
+            "error": "bad_request",
+            "message": f"request line exceeds {_MAX_LINE} bytes",
+        },
+        separators=(",", ":"),
+    ).encode()
 
 
 class _Connection:
@@ -312,11 +383,16 @@ class _Connection:
         line: bytes | None = first_line
         while True:
             if line is None:
-                line = await self.reader.readline()
+                try:
+                    line = await self.reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # StreamReader limit (== _MAX_LINE) overrun: answer
+                    # before closing rather than dying silently.
+                    self.writer.write(_too_long_payload() + b"\n")
+                    await self.writer.drain()
+                    return
             if not line:
                 return
-            if len(line) > _MAX_LINE:
-                raise _ProtocolError("request line too long")
             try:
                 request = json.loads(line)
                 if not isinstance(request, dict):
@@ -359,6 +435,12 @@ class _Connection:
                 return
             except ServiceError as e:
                 response = _error_payload(e)
+            except Exception as e:  # noqa: BLE001 - reply, keep serving
+                # Anything an op raises that is not a typed refusal —
+                # a commit/finalize failure, a backend error from
+                # list/get — is answered as "failed" instead of
+                # killing the connection with no reply.
+                response = _error_payload(e)
             if response is not None:
                 self._send(response)
             await self.writer.drain()
@@ -384,18 +466,45 @@ class _Connection:
             raise _ProtocolError(f"{key!r} must be {kind.__name__}")
         return value
 
+    def _tenant_arg(self, request: dict[str, Any]) -> str:
+        """The validated ``tenant`` field (bad ids → ``bad_request``)."""
+        tenant_id = self._require(request, "tenant", str)
+        try:
+            return validate_tenant_id(tenant_id)
+        except ValueError as e:
+            raise _ProtocolError(str(e)) from None
+
+    def _int_field(self, request: dict[str, Any], key: str, default: int = 0) -> int:
+        value = request.get(key, default)
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise _ProtocolError(f"{key!r} must be an integer")
+        return value
+
     async def _op_open(self, request: dict[str, Any]) -> dict[str, Any]:
         if self.session is not None and self.session.state == "open":
             raise _ProtocolError("a session is already open on this connection")
-        tenant_id = self._require(request, "tenant", str)
+        tenant_id = self._tenant_arg(request)
         algorithm = request.get("algorithm") or self.server.algorithm
+        if not isinstance(algorithm, str):
+            raise _ProtocolError("'algorithm' must be str")
+        try:
+            resolve(algorithm)  # unknown names answer here, as bad_request
+        except ValueError as e:
+            raise _ProtocolError(str(e)) from None
         quota = None
         if "max_bytes" in request or "max_files" in request:
-            quota = TenantQuota(
-                max_bytes=int(request.get("max_bytes", 0)),
-                max_files=int(request.get("max_files", 0)),
-            )
+            try:
+                quota = TenantQuota(
+                    max_bytes=self._int_field(request, "max_bytes"),
+                    max_files=self._int_field(request, "max_files"),
+                )
+            except ValueError as e:
+                raise _ProtocolError(str(e)) from None
         rate = request.get("rate_bytes")
+        if rate is not None and (
+            isinstance(rate, bool) or not isinstance(rate, (int, float))
+        ):
+            raise _ProtocolError("'rate_bytes' must be a number")
         try:
             tenant = self.server.registry.register(
                 tenant_id,
@@ -406,13 +515,24 @@ class _Connection:
             raise _ProtocolError(str(e)) from None
         session = DedupSession(
             tenant,
-            algorithm=str(algorithm),
+            algorithm=algorithm,
             config=self.server.config,
             max_rate_delay=self.server.max_rate_delay,
         )
+        # The only part of open() that can block — waiting out another
+        # session of the same tenant — happens here on the event loop;
+        # the fleet thread below only ever does the warm start.
+        await self.server.acquire_tenant_lock(tenant)
         self.lane = self.server.fleet.lane()
         self.slots = asyncio.Semaphore(self.server.queue_depth)
-        await self._run_in_lane(session.open)
+        try:
+            fut = self.lane.submit(lambda: session.open(locked=True))
+        except BaseException:
+            # Submission failed (fleet shut down): open() never ran,
+            # so the lock we took above is still ours to give back.
+            tenant.lock.release()
+            raise
+        await asyncio.wrap_future(fut)
         self.session = session
         return {
             "ok": True,
@@ -420,6 +540,15 @@ class _Connection:
             "generation": session.generation,
             "algorithm": session.algorithm,
         }
+
+    def _defer_response(self, obj: dict[str, Any]) -> None:
+        """Queue an already-known put response, preserving reply order."""
+        fut: asyncio.Future[dict[str, Any]] = (
+            asyncio.get_running_loop().create_future()
+        )
+        fut.set_result(obj)
+        self.pending.append(fut)
+        self._flush_ready()
 
     async def _op_put(self, request: dict[str, Any]) -> None:
         path = self._require(request, "path", str)
@@ -430,14 +559,23 @@ class _Connection:
         session = self.session
         if session is None or session.state != "open":
             # Payload already consumed; answer in order like any put.
-            dead: asyncio.Future[dict[str, Any]] = (
-                asyncio.get_running_loop().create_future()
-            )
-            dead.set_result(dict(_NO_SESSION))
-            self.pending.append(dead)
-            self._flush_ready()
+            self._defer_response(dict(_NO_SESSION))
             return
         assert self.slots is not None and self.lane is not None
+        # Admission runs here on the event loop: the quota pre-check
+        # and token-bucket reservation are quick, and the back-pressure
+        # delay must be an asyncio.sleep — a session sleeping out its
+        # rate limit on a fleet thread would hold pool capacity that
+        # every other session's lane tasks need.
+        try:
+            delay = session.admit(size)
+        except (ServiceError, SessionClosed) as e:
+            # Refused (or the session aborted under a queued put);
+            # still answered in submission order.
+            self._defer_response(_error_payload(e))
+            return
+        if delay > 0:
+            await asyncio.sleep(delay)
         # Bounded admission: while the session's queue is full this
         # coroutine parks here, the socket goes unread, and the client
         # feels TCP back-pressure.
@@ -446,7 +584,7 @@ class _Connection:
         result: asyncio.Future[dict[str, Any]] = loop.create_future()
 
         def work() -> dict[str, Any]:
-            store_id = session.write(path, payload)
+            store_id = session.write(path, payload, preadmitted=True)
             return {"ok": True, "store_id": store_id}
 
         fut = self.lane.submit(work)
@@ -495,7 +633,7 @@ class _Connection:
     # -- sessionless ops --------------------------------------------------
 
     async def _op_list(self, request: dict[str, Any]) -> dict[str, Any]:
-        tenant_id = self._require(request, "tenant", str)
+        tenant_id = self._tenant_arg(request)
         view = self.server.registry.view(tenant_id)
         files = await self._run_in_fleet(lambda: latest_files(view))
         return {"ok": True, "files": files}
@@ -506,7 +644,7 @@ class _Connection:
         Returns ``None`` — the payload response is written here, not by
         the main loop.
         """
-        tenant_id = self._require(request, "tenant", str)
+        tenant_id = self._tenant_arg(request)
         path = self._require(request, "path", str)
         view = self.server.registry.view(tenant_id)
         try:
@@ -519,7 +657,7 @@ class _Connection:
         return None
 
     async def _op_usage(self, request: dict[str, Any]) -> dict[str, Any]:
-        tenant_id = self._require(request, "tenant", str)
+        tenant_id = self._tenant_arg(request)
         try:
             tenant = self.server.registry.get(tenant_id)
         except KeyError as e:

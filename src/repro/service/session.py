@@ -134,11 +134,11 @@ class _QuotaObserver:
     def observe_batch(self, nbytes: int, nchunks: int) -> None:
         s = self._session
         s.tenant.ledger.charge_bytes(s.tenant.tenant_id, nbytes)
-        s.tenant.metrics.counter("service_ingest_bytes").inc(nbytes)
-        s.tenant.metrics.counter("service_ingest_chunks").inc(nchunks)
+        s.tenant.inc_metric("service_ingest_bytes", nbytes)
+        s.tenant.inc_metric("service_ingest_chunks", nchunks)
 
     def end_file(self, file: BackupFile) -> None:
-        self._session.tenant.metrics.counter("service_ingest_files").inc()
+        self._session.tenant.inc_metric("service_ingest_files")
 
 
 class DedupSession:
@@ -156,9 +156,11 @@ class DedupSession:
         Longest back-pressure sleep a single ``write`` will absorb
         before refusing with :class:`RateLimited`.
     sleep:
-        Injectable sleep (tests pass a recorder; the server's worker
-        threads use the real one, which *is* the back-pressure — the
-        client's bytes sit unread while the session sleeps).
+        Injectable sleep (tests pass a recorder) used only by the
+        library's blocking :meth:`write` path.  The server never
+        sleeps on a worker thread: it calls :meth:`admit` on the
+        event loop and absorbs the delay with ``asyncio.sleep``
+        before dispatching the pre-admitted write.
     """
 
     def __init__(
@@ -189,16 +191,26 @@ class DedupSession:
         """``new`` | ``open`` | ``committed`` | ``aborted``."""
         return self._state
 
-    def open(self) -> DedupSession:
+    def open(self, locked: bool = False) -> DedupSession:
         """Acquire the tenant's session lock and warm-start a dedup run.
 
         Blocks while another session of the *same* tenant is open
         (sessions of different tenants proceed concurrently); the store
         layout assumes one writer per keyspace at a time.
+
+        ``locked=True`` means the caller already holds ``tenant.lock``
+        and this session takes ownership of it (released on
+        commit/abort, or here on failure).  The server uses this: it
+        waits for the lock on the event loop so a blocked ``open``
+        never occupies a fleet thread, then runs the (lock-free) heavy
+        part — warm start — on the pool.
         """
         if self._state != "new":
+            if locked:  # ownership transferred on entry; give it back
+                self.tenant.lock.release()
             raise SessionClosed(f"cannot open a session in state {self._state!r}")
-        self.tenant.lock.acquire()
+        if not locked:
+            self.tenant.lock.acquire()
         try:
             self.tenant.sessions_opened += 1
             self.session_id = (
@@ -220,14 +232,41 @@ class DedupSession:
             self.tenant.lock.release()
             raise
         self._state = "open"
-        self.tenant.metrics.counter("service_sessions_opened").inc()
+        self.tenant.inc_metric("service_sessions_opened")
         return self
 
     def store_id_for(self, path: str) -> str:
         """The store-side file id this session will write ``path`` as."""
         return f"g{self.generation:06d}/{path}"
 
-    def write(self, path: str, data: bytes) -> str:
+    def admit(self, declared_bytes: int) -> float:
+        """Admission control alone: quota pre-check + rate reservation.
+
+        Returns the back-pressure delay (seconds) the caller must
+        absorb before streaming the payload — raising ``RateLimited``
+        (tokens refunded) when that delay exceeds ``max_rate_delay``,
+        ``QuotaExceeded`` when the declared size cannot fit.  Charges
+        nothing; the per-batch ledger path stays authoritative.
+
+        Split from :meth:`write` so the server can run admission on
+        the event loop and sleep the delay with ``asyncio.sleep`` —
+        a rate-limited session must never park a fleet thread, or a
+        handful of throttled clients would starve every tenant's lane
+        tasks of pool capacity.
+        """
+        self._require_open()
+        tid = self.tenant.tenant_id
+        self.tenant.ledger.check_admit(tid, declared_bytes)
+        delay = self.tenant.bucket.reserve(declared_bytes)
+        if delay > self.max_rate_delay:
+            self.tenant.bucket.cancel(declared_bytes)
+            self.tenant.inc_metric("service_rate_rejections")
+            raise RateLimited(tid, delay)
+        if delay > 0:
+            self.tenant.inc_metric("service_rate_delay_ms", int(delay * 1000))
+        return delay
+
+    def write(self, path: str, data: bytes, preadmitted: bool = False) -> str:
         """Ingest one in-memory file; returns its store id.
 
         Admission order: quota pre-check (no charge) → token-bucket
@@ -236,12 +275,21 @@ class DedupSession:
         batch-by-batch.  Any ingest failure — quota crossed mid-stream
         included — aborts the whole session and repairs the store
         before re-raising.
+
+        ``preadmitted=True`` skips the admission step: the caller
+        already ran :meth:`admit` and slept the returned delay itself.
         """
         store_id = self.store_id_for(path)
-        return self._ingest(len(data), BackupFile(file_id=store_id, data=data))
+        return self._ingest(
+            len(data), BackupFile(file_id=store_id, data=data), preadmitted
+        )
 
     def write_stream(
-        self, path: str, source: Callable[[], Any], size_hint: int
+        self,
+        path: str,
+        source: Callable[[], Any],
+        size_hint: int,
+        preadmitted: bool = False,
     ) -> str:
         """Ingest a source-backed file (content streamed on demand).
 
@@ -254,22 +302,17 @@ class DedupSession:
         return self._ingest(
             size_hint,
             BackupFile(file_id=store_id, source=source, size_hint=size_hint),
+            preadmitted,
         )
 
-    def _ingest(self, declared_bytes: int, file: BackupFile) -> str:
+    def _ingest(
+        self, declared_bytes: int, file: BackupFile, preadmitted: bool = False
+    ) -> str:
         dedup = self._require_open()
-        tid = self.tenant.tenant_id
-        self.tenant.ledger.check_admit(tid, declared_bytes)
-        delay = self.tenant.bucket.reserve(declared_bytes)
-        if delay > self.max_rate_delay:
-            self.tenant.bucket.cancel(declared_bytes)
-            self.tenant.metrics.counter("service_rate_rejections").inc()
-            raise RateLimited(tid, delay)
-        if delay > 0:
-            self.tenant.metrics.counter("service_rate_delay_ms").inc(
-                int(delay * 1000)
-            )
-            self._sleep(delay)
+        if not preadmitted:
+            delay = self.admit(declared_bytes)
+            if delay > 0:
+                self._sleep(delay)
         try:
             dedup.ingest(file)
         except BaseException:
@@ -288,8 +331,8 @@ class DedupSession:
         self.stats = stats
         tel = self._telemetry
         if tel is not None:
-            self.tenant.metrics.merge(tel.registry)
-        self.tenant.metrics.counter("service_sessions_committed").inc()
+            self.tenant.merge_metrics(tel.registry)
+        self.tenant.inc_metric("service_sessions_committed")
         self._state = "committed"
         self._dedup = None
         self.tenant.lock.release()
@@ -311,7 +354,7 @@ class DedupSession:
         try:
             self.recovery = recover(self.tenant.view)
         finally:
-            self.tenant.metrics.counter("service_sessions_aborted").inc()
+            self.tenant.inc_metric("service_sessions_aborted")
             self.tenant.lock.release()
         return self.recovery
 

@@ -14,8 +14,21 @@ The :class:`TenantRegistry` is the control plane: it owns the shared
 backend, registers tenants with their quotas and rate limits, rebuilds
 the usage ledger of returning tenants from their stored bytes, and
 keeps the per-tenant metrics registries that the ``/metrics`` endpoint
-renders with ``tenant`` labels.  It is thread-safe — the asyncio front
-end and session worker threads share it.
+renders with ``tenant`` labels.
+
+**Thread safety.**  The registry's own table is locked, and the
+explicitly-locked pieces of tenant state —
+:class:`~repro.service.quotas.QuotaLedger`,
+:class:`~repro.service.quotas.TokenBucket`, ``Tenant.lock`` — are safe
+to touch from any thread.  The per-tenant
+:class:`~repro.obs.metrics.MetricsRegistry` is *not* internally locked
+(by design: it is the same lock-free, picklable registry the dedup
+core uses process-locally), so every shared-tenant-registry access
+goes through the :meth:`Tenant.inc_metric` /
+:meth:`Tenant.merge_metrics` / :meth:`Tenant.metrics_snapshot`
+helpers, which serialise on ``Tenant.metrics_lock``.  Session worker
+threads mutate through the helpers; ``/metrics`` renders from
+snapshots, never from the live registry.
 """
 
 from __future__ import annotations
@@ -75,10 +88,32 @@ class Tenant:
     #: Live service-side metrics for this tenant (ingest counters,
     #: session counts) plus every committed session's dedup registry
     #: merged in — what ``/metrics`` renders under ``tenant="<id>"``.
+    #: The registry itself is lock-free; never touch it directly from
+    #: concurrent code — use the locked helpers below.
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Guards :attr:`metrics` (session lane threads increment while the
+    #: event loop renders ``/metrics``).
+    metrics_lock: threading.Lock = field(default_factory=threading.Lock)
     #: Monotonic per-tenant session counter (session id suffix).
     sessions_opened: int = 0
+
+    def inc_metric(self, name: str, n: int = 1) -> None:
+        """Atomically increment one of this tenant's counters."""
+        with self.metrics_lock:
+            self.metrics.counter(name).inc(n)
+
+    def merge_metrics(self, other: MetricsRegistry) -> None:
+        """Atomically fold a (private, unshared) registry into ours."""
+        with self.metrics_lock:
+            self.metrics.merge(other)
+
+    def metrics_snapshot(self) -> MetricsRegistry:
+        """A consistent point-in-time copy, safe to read lock-free."""
+        snap = MetricsRegistry()
+        with self.metrics_lock:
+            snap.merge(self.metrics)
+        return snap
 
 
 class TenantRegistry:
@@ -123,6 +158,16 @@ class TenantRegistry:
     ) -> Tenant:
         """Register (or fetch) a tenant; idempotent for existing ids.
 
+        Limits are **first-registration-sticky**: the quota and rate of
+        a tenant are fixed by whoever registers it first (explicitly or
+        from the defaults) and live until the process restarts.  A
+        later ``register`` passing *different* explicit limits raises
+        ``ValueError`` rather than silently keeping the old ones —
+        with no authentication on the protocol, silently ignoring the
+        arguments would let operators believe a limit change took
+        effect when it did not.  Re-registering with the same limits
+        (or with none) is the idempotent fetch path.
+
         A returning tenant — one whose prefix already holds objects on
         the backend — starts its quota ledger from the bytes its
         keyspace currently stores: input-byte history is not
@@ -135,6 +180,9 @@ class TenantRegistry:
         with self._lock:
             existing = self._tenants.get(tenant_id)
             if existing is not None:
+                self._check_limit_conflict(
+                    existing, quota, rate_bytes, burst_bytes
+                )
                 return existing
             view = self.view(tenant_id)
             stored = sum(view.bytes_stored(ns) for ns in view.namespaces())
@@ -154,6 +202,36 @@ class TenantRegistry:
             )
             self._tenants[tenant_id] = tenant
             return tenant
+
+    @staticmethod
+    def _check_limit_conflict(
+        tenant: Tenant,
+        quota: TenantQuota | None,
+        rate_bytes: float | None,
+        burst_bytes: float | None,
+    ) -> None:
+        """Raise ``ValueError`` if explicit args differ from the registered ones."""
+        conflicts: list[str] = []
+        if quota is not None and quota != tenant.ledger.quota:
+            q = tenant.ledger.quota
+            conflicts.append(
+                f"quota is fixed at max_bytes={q.max_bytes}/"
+                f"max_files={q.max_files}, got "
+                f"max_bytes={quota.max_bytes}/max_files={quota.max_files}"
+            )
+        if rate_bytes is not None and rate_bytes != tenant.bucket.rate:
+            conflicts.append(
+                f"rate_bytes is fixed at {tenant.bucket.rate}, got {rate_bytes}"
+            )
+        if burst_bytes is not None and burst_bytes != tenant.bucket.burst:
+            conflicts.append(
+                f"burst_bytes is fixed at {tenant.bucket.burst}, got {burst_bytes}"
+            )
+        if conflicts:
+            raise ValueError(
+                f"tenant {tenant.tenant_id!r} limits are first-registration-"
+                f"sticky: " + "; ".join(conflicts)
+            )
 
     def get(self, tenant_id: str) -> Tenant:
         """A registered tenant; raises ``KeyError`` for unknown ids."""
@@ -186,6 +264,12 @@ class TenantRegistry:
         return sorted(found | set(self.registered()))
 
     def metrics_by_tenant(self) -> list[tuple[str, MetricsRegistry]]:
-        """(tenant_id, registry) pairs for the ``/metrics`` renderer."""
+        """(tenant_id, registry snapshot) pairs for ``/metrics``.
+
+        Snapshots, not live registries: session lane threads keep
+        mutating tenant metrics while the exposition renders, so each
+        tenant's state is copied under its ``metrics_lock`` first.
+        """
         with self._lock:
-            return [(tid, t.metrics) for tid, t in sorted(self._tenants.items())]
+            tenants = sorted(self._tenants.items())
+        return [(tid, t.metrics_snapshot()) for tid, t in tenants]

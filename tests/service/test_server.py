@@ -10,13 +10,21 @@ import json
 import re
 import socket
 import threading
+import time
 
 import numpy as np
 import pytest
 
 from repro.core import DedupConfig
 from repro.registry import resolve
-from repro.service import DedupServer, QuotaExceeded, RateLimited, ServiceClient
+from repro.service import (
+    DedupServer,
+    QuotaExceeded,
+    RateLimited,
+    ServiceClient,
+    ServiceError,
+    TenantBusy,
+)
 from repro.storage import DirectoryBackend
 
 CFG = DedupConfig(ecs=1024, sd=8, bloom_bytes=1 << 18)
@@ -233,6 +241,157 @@ class TestQuotaAndRateOverTheWire:
                 assert exc_info.value.retry_after > 0.05
         finally:
             harness.stop()
+
+
+class TestPoolStarvation:
+    """Regressions for the fleet-starvation deadlock: nothing may wait
+    (for the tenant lock, or a rate-limit sleep) while holding a pool
+    thread."""
+
+    def test_concurrent_opens_of_busy_tenant_do_not_starve_the_pool(self, tmp_path):
+        """More queued opens than worker threads used to occupy the whole
+        pool waiting for alice's lock, so the lock holder's own writes
+        and commit could never run — a permanent service-wide deadlock."""
+        harness = ServerHarness(tmp_path, workers=2, open_wait=30.0)
+        try:
+            holder = harness.client()
+            holder.open("alice")
+            waiters = [harness.client() for _ in range(4)]
+            for w in waiters:
+                w._send({"op": "open", "tenant": "alice"})  # don't read yet
+            time.sleep(0.3)  # let every open reach the server and park
+            blob = rand(20_000, 11)
+            holder.put("disk.img", blob)  # needs a pool thread
+            holder.commit()  # hung forever before the fix
+            holder.close()
+
+            # Liveness: every parked waiter wins the lock in turn.
+            def drain(w):
+                assert w._recv()["ok"]  # blocks until this waiter's open
+                w._send({"op": "abort"})
+                w._recv()
+                w.close()
+
+            threads = [threading.Thread(target=drain, args=(w,)) for w in waiters]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert not any(t.is_alive() for t in threads)
+            with harness.client() as client:
+                assert client.get("alice", "disk.img") == blob
+        finally:
+            harness.stop()
+
+    def test_open_past_open_wait_is_refused_busy(self, tmp_path):
+        harness = ServerHarness(tmp_path, open_wait=0.1)
+        try:
+            holder = harness.client()
+            holder.open("alice")
+            with harness.client() as client:
+                with pytest.raises(TenantBusy) as exc_info:
+                    client.open("alice")
+                assert exc_info.value.retry_after > 0
+            holder.abort()  # the refusal disturbed nothing
+            holder.close()
+        finally:
+            harness.stop()
+
+    def test_rate_limit_sleep_does_not_hold_the_only_worker(self, tmp_path):
+        """Alice's 2 s back-pressure sleep happens on the event loop, so
+        bob's whole session fits through a single-thread pool meanwhile."""
+        harness = ServerHarness(tmp_path, workers=1, max_rate_delay=5.0)
+        try:
+            slow = harness.client()
+            # burst == rate == 20 kB/s; a 60 kB put owes 2 s of debt.
+            slow.open("alice", rate_bytes=20_000.0)
+            blob = rand(60_000, 21)
+            slow_thread = threading.Thread(target=slow.put, args=("slow.img", blob))
+            slow_thread.start()
+            time.sleep(0.2)  # alice is now sleeping out her delay
+            start = time.monotonic()
+            with harness.client() as fast:
+                fast.open("bob")
+                fast.put("fast.img", rand(20_000, 22))
+                fast.commit()
+            assert time.monotonic() - start < 1.5, (
+                "bob waited out alice's rate-limit sleep: a fleet thread "
+                "was held during back-pressure"
+            )
+            slow_thread.join(timeout=30)
+            assert not slow_thread.is_alive()
+            slow.commit()
+            slow.close()
+            # Throttled, but still byte-identical.
+            with harness.client() as client:
+                assert client.get("alice", "slow.img") == blob
+        finally:
+            harness.stop()
+
+
+class TestBadInputsAnswered:
+    """Plausible bad inputs must be answered with a machine-readable
+    refusal, never a silent connection drop (regressions for the
+    uncaught-exception paths)."""
+
+    def test_unknown_algorithm(self, harness):
+        with harness.client() as client:
+            with pytest.raises(ServiceError) as exc_info:
+                client.open("alice", algorithm="nope")
+            assert exc_info.value.code == "bad_request"
+
+    def test_non_numeric_quota(self, harness):
+        with harness.client() as client:
+            client._send({"op": "open", "tenant": "alice", "max_bytes": "lots"})
+            response = client._recv()
+            assert response["ok"] is False
+            assert response["error"] == "bad_request"
+
+    def test_non_numeric_rate(self, harness):
+        with harness.client() as client:
+            client._send({"op": "open", "tenant": "alice", "rate_bytes": "fast"})
+            assert client._recv()["error"] == "bad_request"
+
+    @pytest.mark.parametrize(
+        "request_obj",
+        [
+            {"op": "list", "tenant": "No/Good"},
+            {"op": "get", "tenant": "../../etc", "path": "x"},
+            {"op": "usage", "tenant": "UPPER"},
+        ],
+    )
+    def test_bad_tenant_id_in_sessionless_ops(self, harness, request_obj):
+        with harness.client() as client:
+            client._send(request_obj)
+            response = client._recv()
+            assert response["ok"] is False
+            assert response["error"] == "bad_request"
+
+    def test_overlong_first_line(self, harness):
+        sock = socket.create_connection(("127.0.0.1", harness.port), timeout=10)
+        rfile = sock.makefile("rb")
+        sock.sendall(b'{"op":"ping","pad":"' + b"x" * (1 << 17) + b'"}\n')
+        response = json.loads(rfile.readline())
+        assert response["ok"] is False
+        assert response["error"] == "bad_request"
+        rfile.close()
+        sock.close()
+
+    def test_overlong_line_mid_protocol(self, harness):
+        with harness.client() as client:
+            assert client.ping()
+            client._send({"op": "ping", "pad": "x" * (1 << 17)})
+            assert client._recv()["error"] == "bad_request"
+
+    def test_conflicting_relimit_refused_over_the_wire(self, harness):
+        with harness.client() as client:
+            client.open("alice", max_bytes=10_000)
+            client.abort()
+        with harness.client() as client:
+            with pytest.raises(ServiceError) as exc_info:
+                client.open("alice", max_bytes=99_999)
+            assert exc_info.value.code == "bad_request"
+            assert "first-registration-sticky" in str(exc_info.value)
 
 
 class TestDisconnect:

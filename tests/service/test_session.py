@@ -172,6 +172,52 @@ class TestQuota:
         assert list(latest_files(registry.view("bob"))) == ["a.img"]
 
 
+class TestLoopSideAdmission:
+    """The server-facing split: ``admit()`` runs on the event loop and
+    returns the back-pressure delay; ``write(preadmitted=True)`` then
+    skips admission on the pool thread.  Regression for the fleet
+    starvation bug — a throttled session must never sleep (or wait)
+    while holding a pool thread."""
+
+    def test_admit_returns_delay_without_sleeping(self, registry):
+        tenant = registry.register("alice", rate_bytes=1000.0, burst_bytes=1000.0)
+        slept = []
+        session = DedupSession(
+            tenant, config=CFG, max_rate_delay=10.0, sleep=slept.append
+        ).open()
+        delay = session.admit(3000)  # 2000-token debt at 1000 B/s
+        assert delay == pytest.approx(2.0)
+        assert slept == []  # the caller owns the sleep now
+        session.write("a", b"x" * 3000, preadmitted=True)
+        assert slept == []  # and no second reservation happened
+        session.commit()
+
+    def test_admit_refuses_past_max_delay_and_refunds(self, registry):
+        tenant = registry.register("bob", rate_bytes=100.0, burst_bytes=100.0)
+        session = DedupSession(tenant, config=CFG, max_rate_delay=0.05).open()
+        with pytest.raises(RateLimited):
+            session.admit(50_000)
+        # Tokens were given back: a payable reservation still succeeds.
+        assert session.admit(50) == pytest.approx(0.0, abs=0.6)
+        session.abort()
+
+    def test_open_locked_takes_ownership_of_preacquired_lock(self, registry):
+        tenant = registry.register("carol")
+        tenant.lock.acquire()
+        session = DedupSession(tenant, config=CFG).open(locked=True)
+        assert tenant.lock.locked()
+        session.write("a", b"x" * 2000)
+        session.commit()
+        assert not tenant.lock.locked()
+
+    def test_open_locked_releases_on_failure(self, registry):
+        tenant = registry.register("dave")
+        tenant.lock.acquire()
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            DedupSession(tenant, algorithm="nope", config=CFG).open(locked=True)
+        assert not tenant.lock.locked()
+
+
 class TestRateLimit:
     def test_backpressure_sleeps_then_finishes_identical(self, registry):
         """A rate-limited session is slowed, not corrupted: writes sleep

@@ -29,12 +29,26 @@ class TestTenantIds:
 
 
 class TestTenantRegistry:
-    def test_register_is_idempotent(self):
+    def test_register_is_idempotent_for_same_or_absent_limits(self):
         reg = TenantRegistry(MemoryBackend())
         t1 = reg.register("alice", quota=TenantQuota(max_bytes=100))
-        t2 = reg.register("alice", quota=TenantQuota(max_bytes=999))
-        assert t1 is t2
-        assert t1.ledger.quota.max_bytes == 100  # first registration wins
+        assert reg.register("alice") is t1  # no args: plain fetch
+        assert reg.register("alice", quota=TenantQuota(max_bytes=100)) is t1
+        assert t1.ledger.quota.max_bytes == 100
+
+    def test_register_rejects_conflicting_limits(self):
+        """Limits are first-registration-sticky — a later register with
+        *different* explicit limits must fail loudly, not silently keep
+        the old ones (operators would believe the change took)."""
+        reg = TenantRegistry(MemoryBackend())
+        reg.register("alice", quota=TenantQuota(max_bytes=100), rate_bytes=50.0)
+        with pytest.raises(ValueError, match="first-registration-sticky"):
+            reg.register("alice", quota=TenantQuota(max_bytes=999))
+        with pytest.raises(ValueError, match="rate_bytes"):
+            reg.register("alice", rate_bytes=75.0)
+        # Matching limits still fetch fine.
+        t = reg.register("alice", quota=TenantQuota(max_bytes=100), rate_bytes=50.0)
+        assert t.ledger.quota.max_bytes == 100
 
     def test_rejects_bad_ids(self):
         reg = TenantRegistry(MemoryBackend())
@@ -80,3 +94,51 @@ class TestTenantRegistry:
         reg.register("zeta")
         reg.register("alpha")
         assert [tid for tid, _ in reg.metrics_by_tenant()] == ["alpha", "zeta"]
+
+
+class TestTenantMetricsThreadSafety:
+    """Tenant metrics are shared between session lane threads and the
+    event loop's /metrics renderer; the locked helpers must not lose
+    updates or serve torn snapshots."""
+
+    def test_concurrent_incs_and_snapshots_lose_nothing(self):
+        import sys
+        import threading
+
+        reg = TenantRegistry(MemoryBackend())
+        tenant = reg.register("alice")
+        n_threads, n_incs = 8, 2000
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)  # force frequent preemption
+        try:
+            stop = threading.Event()
+
+            def snapshotter():
+                while not stop.is_set():
+                    snap = tenant.metrics_snapshot()
+                    # Each writer bumps "a" by 3 before "b" by 1, so any
+                    # consistent snapshot has a >= 3*b.
+                    if "a" in snap and "b" in snap:
+                        assert snap.counter("a").value >= 3 * snap.counter("b").value
+
+            def incrementer():
+                for _ in range(n_incs):
+                    tenant.inc_metric("a", 3)
+                    tenant.inc_metric("b", 1)
+
+            reader = threading.Thread(target=snapshotter)
+            reader.start()
+            writers = [
+                threading.Thread(target=incrementer) for _ in range(n_threads)
+            ]
+            for w in writers:
+                w.start()
+            for w in writers:
+                w.join(timeout=60)
+            stop.set()
+            reader.join(timeout=60)
+        finally:
+            sys.setswitchinterval(old_interval)
+        final = tenant.metrics_snapshot()
+        assert final.counter("a").value == n_threads * n_incs * 3
+        assert final.counter("b").value == n_threads * n_incs
