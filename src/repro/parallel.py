@@ -28,6 +28,7 @@ from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from collections.abc import Callable, Iterable
+from typing import Any
 
 from .analysis.timing import DeviceModel
 from .core.base import CpuWork, DedupStats, PipelineStats
@@ -64,7 +65,7 @@ class SerialLane:
     def __init__(self, pool: ThreadPoolExecutor) -> None:
         self._pool = pool
         self._lock = threading.Lock()
-        self._queue: deque[tuple[Future, Callable[[], object]]] = deque()
+        self._queue: deque[tuple[Future[Any], Callable[[], object]]] = deque()
         self._pumping = False
 
     @property
@@ -73,15 +74,37 @@ class SerialLane:
         with self._lock:
             return len(self._queue)
 
-    def submit(self, fn: Callable[[], object]) -> Future:
-        """Enqueue a zero-argument callable; returns its future."""
-        fut: Future = Future()
+    def submit(self, fn: Callable[[], object]) -> Future[Any]:
+        """Enqueue a zero-argument callable; returns its future.
+
+        Raises :class:`RuntimeError` (propagated from the pool) when
+        the fleet is shut down — after failing every future the lane
+        had queued, so no caller is left waiting on a wake-up that can
+        never come.
+        """
+        fut: Future[Any] = Future()
         with self._lock:
             self._queue.append((fut, fn))
             start_pump = not self._pumping
             self._pumping = True
         if start_pump:
-            self._pool.submit(self._pump)
+            try:
+                self._pool.submit(self._pump)
+            except RuntimeError:
+                # Pool shut down: no pump will ever drain the queue.
+                # Strand nothing — fail the queued futures (ours, plus
+                # any a racing submit added behind it) and reset the
+                # pump flag so the lane stays consistent.
+                with self._lock:
+                    stranded = list(self._queue)
+                    self._queue.clear()
+                    self._pumping = False
+                for stranded_fut, _ in stranded:
+                    if stranded_fut.set_running_or_notify_cancel():
+                        stranded_fut.set_exception(
+                            RuntimeError("fleet executor is shut down")
+                        )
+                raise
         return fut
 
     def _pump(self) -> None:
@@ -124,7 +147,7 @@ class FleetExecutor:
         """A new serial lane over the shared pool."""
         return SerialLane(self._pool)
 
-    def submit(self, fn: Callable[[], object]) -> Future:
+    def submit(self, fn: Callable[[], object]) -> Future[Any]:
         """Run an unordered task directly on the pool."""
         return self._pool.submit(fn)
 

@@ -140,7 +140,9 @@ class ServiceClient:
     def usage(self, tenant: str) -> dict[str, Any]:
         """The tenant's quota ledger snapshot."""
         self._send({"op": "usage", "tenant": tenant})
-        return _raise_for(self._recv())["usage"]
+        usage = _raise_for(self._recv())["usage"]
+        assert isinstance(usage, dict)
+        return usage
 
     def ping(self) -> bool:
         """Round-trip liveness check."""

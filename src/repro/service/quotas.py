@@ -130,7 +130,9 @@ class QuotaLedger:
     partial batches stay charged — the work was done).
     """
 
-    def __init__(self, quota: TenantQuota, bytes_used: int = 0, files_used: int = 0):
+    def __init__(
+        self, quota: TenantQuota, bytes_used: int = 0, files_used: int = 0
+    ) -> None:
         self.quota = quota
         self._lock = threading.Lock()
         self._bytes = bytes_used

@@ -54,6 +54,8 @@ from __future__ import annotations
 
 import asyncio
 import json
+from collections.abc import Callable
+from concurrent.futures import Future
 from typing import Any
 
 from ..core.config import DedupConfig
@@ -349,11 +351,11 @@ class _Connection:
 
     # -- plumbing ---------------------------------------------------------
 
-    async def _run_in_lane(self, fn: Any) -> Any:
+    async def _run_in_lane(self, fn: Callable[[], object]) -> Any:
         assert self.lane is not None
         return await asyncio.wrap_future(self.lane.submit(fn))
 
-    async def _run_in_fleet(self, fn: Any) -> Any:
+    async def _run_in_fleet(self, fn: Callable[[], object]) -> Any:
         return await asyncio.wrap_future(self.server.fleet.submit(fn))
 
     def _send(self, obj: dict[str, Any]) -> None:
@@ -450,7 +452,10 @@ class _Connection:
         for fut in self.pending:
             try:
                 await fut
-            except BaseException:  # noqa: BLE001 - session already aborting
+            except asyncio.CancelledError:
+                # Loop teardown mid-drain.  Write futures never carry
+                # exceptions otherwise: _finish_put converts failures
+                # to error payloads before completing them.
                 pass
         self.pending = []
         session = self.session
@@ -589,13 +594,15 @@ class _Connection:
 
         fut = self.lane.submit(work)
 
-        def done(f: Any) -> None:
+        def done(f: Future[Any]) -> None:
             loop.call_soon_threadsafe(self._finish_put, f, result)
 
         fut.add_done_callback(done)
         self.pending.append(result)
 
-    def _finish_put(self, fut: Any, result: asyncio.Future[dict[str, Any]]) -> None:
+    def _finish_put(
+        self, fut: Future[Any], result: asyncio.Future[dict[str, Any]]
+    ) -> None:
         assert self.slots is not None
         self.slots.release()
         if result.cancelled():

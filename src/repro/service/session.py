@@ -45,7 +45,7 @@ from __future__ import annotations
 import re
 import time
 from collections.abc import Callable
-from typing import Any
+from typing import BinaryIO
 
 from ..core.base import Deduplicator, DedupStats
 from ..core.config import DedupConfig
@@ -57,7 +57,7 @@ from ..storage.disk_model import DiskModel
 from ..storage.file_manifest import FileManifestStore
 from ..storage.recover import RecoveryReport, recover
 from ..workloads.machine import BackupFile
-from .quotas import RateLimited
+from .quotas import RateLimited, TenantBusy
 from .tenancy import Tenant
 
 __all__ = [
@@ -155,6 +155,11 @@ class DedupSession:
     max_rate_delay:
         Longest back-pressure sleep a single ``write`` will absorb
         before refusing with :class:`RateLimited`.
+    open_wait:
+        Longest :meth:`open` waits for the tenant's session lock
+        before refusing with :class:`TenantBusy`.  The wait is always
+        bounded — an untimed lock acquire on a fleet thread is the
+        PR 6 pool-starvation deadlock (and DDC102 bans it).
     sleep:
         Injectable sleep (tests pass a recorder) used only by the
         library's blocking :meth:`write` path.  The server never
@@ -169,12 +174,14 @@ class DedupSession:
         algorithm: str = "bf-mhd",
         config: DedupConfig | None = None,
         max_rate_delay: float = 5.0,
+        open_wait: float = 300.0,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.tenant = tenant
         self.algorithm = algorithm
         self.config = config or DedupConfig()
         self.max_rate_delay = max_rate_delay
+        self.open_wait = open_wait
         self._sleep = sleep
         self._state = "new"
         self.session_id = ""
@@ -194,9 +201,14 @@ class DedupSession:
     def open(self, locked: bool = False) -> DedupSession:
         """Acquire the tenant's session lock and warm-start a dedup run.
 
-        Blocks while another session of the *same* tenant is open
-        (sessions of different tenants proceed concurrently); the store
-        layout assumes one writer per keyspace at a time.
+        Waits (up to ``open_wait`` seconds, then :class:`TenantBusy`)
+        while another session of the *same* tenant is open — sessions
+        of different tenants proceed concurrently; the store layout
+        assumes one writer per keyspace at a time.  The wait is
+        deliberately never unbounded: the library ``open()`` runs on
+        whatever thread calls it, and an untimed lock acquire on a
+        fleet thread is exactly the pool-starvation deadlock the PR 6
+        review caught (machine-checked as DDC102 now).
 
         ``locked=True`` means the caller already holds ``tenant.lock``
         and this session takes ownership of it (released on
@@ -209,8 +221,8 @@ class DedupSession:
             if locked:  # ownership transferred on entry; give it back
                 self.tenant.lock.release()
             raise SessionClosed(f"cannot open a session in state {self._state!r}")
-        if not locked:
-            self.tenant.lock.acquire()
+        if not locked and not self.tenant.lock.acquire(timeout=self.open_wait):
+            raise TenantBusy(self.tenant.tenant_id, self.open_wait)
         try:
             self.tenant.sessions_opened += 1
             self.session_id = (
@@ -287,7 +299,7 @@ class DedupSession:
     def write_stream(
         self,
         path: str,
-        source: Callable[[], Any],
+        source: Callable[[], BinaryIO],
         size_hint: int,
         preadmitted: bool = False,
     ) -> str:

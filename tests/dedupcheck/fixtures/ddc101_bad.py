@@ -1,0 +1,11 @@
+"""Violates DDC101: blocking calls inside a coroutine."""
+
+import time
+
+
+class Handler:
+    async def handle(self, request):
+        time.sleep(0.5)
+        self._lock.acquire()
+        with open("/tmp/spool", "rb") as fh:
+            return fh.read()

@@ -1,0 +1,16 @@
+"""Violates DDC102: a fleet-submitted function waits without timeouts."""
+
+import time
+
+
+class Worker:
+    def start(self, lane):
+        return lane.submit(self.run)
+
+    def run(self):
+        self.tenant.lock.acquire()
+        try:
+            time.sleep(1.0)
+            return self.upstream.result()
+        finally:
+            self.tenant.lock.release()

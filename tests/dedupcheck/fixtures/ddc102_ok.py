@@ -1,0 +1,19 @@
+"""Clean under DDC102: fleet-side waits are bounded or lock-scoped."""
+
+
+class Worker:
+    def start(self, lane):
+        return lane.submit(self.run)
+
+    def run(self):
+        if not self.tenant.lock.acquire(timeout=30.0):
+            raise TimeoutError("tenant busy")
+        try:
+            return self.upstream.result(timeout=30.0)
+        finally:
+            self.tenant.lock.release()
+
+    def snapshot(self):
+        # A bounded critical section is mutual exclusion, not waiting.
+        with self.lock:
+            return dict(self.counters)

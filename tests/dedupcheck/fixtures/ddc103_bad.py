@@ -1,0 +1,8 @@
+"""Violates DDC103: awaits while holding a threading lock."""
+
+
+class Server:
+    async def flush(self):
+        with self.metrics_lock:
+            payload = self.render()
+            await self.send(payload)

@@ -1,0 +1,13 @@
+"""Clean under DDC103: copy under the lock, await after release."""
+
+
+class Server:
+    async def flush(self):
+        with self.metrics_lock:
+            payload = self.render()
+        await self.send(payload)
+
+    async def flush_async_lock(self):
+        # asyncio locks are made to be held across suspension points.
+        async with self.state_lock:
+            await self.send(self.render())

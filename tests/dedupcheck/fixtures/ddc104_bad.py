@@ -1,0 +1,6 @@
+"""Violates DDC104: pokes a tenant's registry around its lock."""
+
+
+class Accountant:
+    def record(self, tenant, n):
+        tenant.metrics.counter("session.bytes").inc(n)

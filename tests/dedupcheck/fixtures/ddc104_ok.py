@@ -1,0 +1,16 @@
+"""Clean under DDC104: shared metrics move through the locked helpers."""
+
+
+class Accountant:
+    def __init__(self):
+        self.metrics = {}
+
+    def record(self, tenant, n):
+        tenant.inc_metric("session.bytes", n)
+
+    def report(self, tenant):
+        return tenant.metrics_snapshot()
+
+    def local(self, n):
+        # An object's own registry is not shared state.
+        self.metrics["session.bytes"] = n

@@ -1,0 +1,9 @@
+"""Violates DDC105: drops spawned task handles."""
+
+import asyncio
+
+
+class Notifier:
+    async def fire(self, payload):
+        asyncio.create_task(self.push(payload))
+        asyncio.ensure_future(self.push(payload))

@@ -1,0 +1,13 @@
+"""Clean under DDC105: every task handle is retained and consumed."""
+
+import asyncio
+
+
+class Notifier:
+    def __init__(self):
+        self.inflight = set()
+
+    async def fire(self, payload):
+        task = asyncio.create_task(self.push(payload))
+        self.inflight.add(task)
+        await task

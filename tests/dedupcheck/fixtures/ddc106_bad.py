@@ -1,0 +1,11 @@
+"""Violates DDC106: swallows operation errors without replying."""
+
+
+class Connection:
+    async def serve_one(self, request):
+        try:
+            return self.dispatch(request)
+        except ValueError:
+            pass
+        except Exception:
+            ...

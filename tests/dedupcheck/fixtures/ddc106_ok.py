@@ -1,0 +1,17 @@
+"""Clean under DDC106: every caught error answers, or the peer is gone."""
+
+
+class Connection:
+    async def serve_one(self, request):
+        try:
+            return self.dispatch(request)
+        except ValueError as e:
+            self.send({"ok": False, "error": "bad_request", "message": str(e)})
+        except ConnectionResetError:
+            pass  # peer hung up; there is no one left to answer
+
+    async def cleanup(self):
+        try:
+            await self.drain()
+        except (ConnectionError, TimeoutError):
+            pass

@@ -1,0 +1,21 @@
+"""The PR 6 pool-starvation deadlock, as originally written.
+
+This fixture reverts the PR 6 fix: the tenant lock is taken *inside*
+the lane task — on a fleet thread, with no timeout.  With every worker
+parked on a busy tenant's lock, the queued lane task that would
+release it can never get a thread.  DDC102 must catch this shape so
+the deadlock class cannot be reintroduced.
+"""
+
+
+class Session:
+    def open(self):
+        self.tenant.lock.acquire()
+        self.warm_start()
+        return self
+
+
+class Connection:
+    async def op_open(self, lane, session):
+        fut = lane.submit(session.open)
+        return await self.wrap(fut)

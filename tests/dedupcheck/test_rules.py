@@ -25,6 +25,12 @@ CASES = [
     ("DDC005", "ddc005", "src/repro/storage/newstore.py"),
     ("DDC006", "ddc006", "src/repro/baselines/newalgo.py"),
     ("DDC007", "ddc007", "src/repro/obs/newsink.py"),
+    ("DDC101", "ddc101", "src/repro/service/newloop.py"),
+    ("DDC102", "ddc102", "src/repro/service/newlane.py"),
+    ("DDC103", "ddc103", "src/repro/service/newserver.py"),
+    ("DDC104", "ddc104", "src/repro/service/newledger.py"),
+    ("DDC105", "ddc105", "src/repro/service/newnotify.py"),
+    ("DDC106", "ddc106", "src/repro/service/newconn.py"),
 ]
 
 
@@ -81,6 +87,32 @@ def test_ddc006_exempt_in_base():
     assert run("ddc006_bad.py", "src/repro/core/base.py") == []
 
 
+def test_ddc102_needs_a_submission_site():
+    """The same waits are legal when nothing routes them to the fleet."""
+    source = (FIXTURES / "ddc102_bad.py").read_text()
+    source = source.replace("return lane.submit(self.run)", "return None")
+    assert check_source(source, "src/repro/service/newlane.py", ALL_RULES) == []
+
+
+def test_ddc104_and_ddc106_only_police_the_service():
+    """Both rules are scoped to repro/service/ handler code."""
+    assert run("ddc104_bad.py", "src/repro/analysis/report.py") == []
+    assert run("ddc106_bad.py", "src/repro/analysis/report.py") == []
+
+
+def test_pr6_deadlock_revert_is_caught():
+    """Reverting the PR 6 starvation fix trips DDC102.
+
+    The fixture is the pre-fix server shape: a lane task taking the
+    tenant lock untimed on a fleet thread.  The linter must fail it
+    (non-zero CLI exit) while the real source tree stays clean.
+    """
+    violations = run("pr6_deadlock_revert.py", "src/repro/service/server.py")
+    assert violations, "the reverted deadlock must be flagged"
+    assert {v.code for v in violations} == {"DDC102"}
+    assert any("Session.open" in v.message for v in violations)
+
+
 def test_violation_rendering():
     """Output lines follow the path:line:col: CODE message shape."""
     (violation, *_rest) = run("ddc005_bad.py", "src/repro/storage/x.py")
@@ -108,9 +140,115 @@ def test_cli_reports_and_exits_nonzero(tmp_path, capsys):
 
 
 def test_cli_list_rules(capsys):
-    """--list prints the full catalogue."""
+    """--list prints the full catalogue, sorted and stable."""
     assert main(["--list"]) == 0
     out = capsys.readouterr().out
     for rule in ALL_RULES:
         assert rule.code in out
-    assert len(ALL_RULES) == 7
+    assert len(ALL_RULES) == 13
+    assert "DDC000" in out  # the suppression pseudo-rule is documented
+    codes = [line.split()[0] for line in out.strip().splitlines()]
+    assert codes == sorted(codes)
+    # Stable: a second render is byte-identical (usable in docs).
+    assert main(["--list"]) == 0
+    assert capsys.readouterr().out == out
+
+
+class TestSuppressions:
+    BAD = (FIXTURES / "ddc104_bad.py").read_text()
+    PATH = "src/repro/service/newledger.py"
+
+    def test_inline_suppression_silences_the_finding(self):
+        source = self.BAD.replace(
+            ".inc(n)", ".inc(n)  # ddc: ignore[DDC104]"
+        )
+        assert check_source(source, self.PATH, ALL_RULES) == []
+
+    def test_unused_suppression_is_itself_an_error(self):
+        source = '"""Clean module."""\n\nVALUE = 1  # ddc: ignore[DDC104]\n'
+        violations = check_source(source, self.PATH, ALL_RULES)
+        assert [v.code for v in violations] == ["DDC000"]
+
+    def test_suppression_is_code_specific(self):
+        """Suppressing the wrong code silences nothing and is unused."""
+        source = self.BAD.replace(
+            ".inc(n)", ".inc(n)  # ddc: ignore[DDC101]"
+        )
+        violations = check_source(source, self.PATH, ALL_RULES)
+        assert {v.code for v in violations} == {"DDC000", "DDC104"}
+
+
+class TestBaseline:
+    def _scan_tree(self, tmp_path):
+        bad = tmp_path / "repro" / "service" / "newledger.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text((FIXTURES / "ddc104_bad.py").read_text())
+        return bad
+
+    def test_round_trip_silences_known_findings(self, tmp_path, capsys):
+        self._scan_tree(tmp_path)
+        baseline = tmp_path / "baseline.txt"
+        assert main([str(tmp_path)]) == 1
+        capsys.readouterr()
+        assert (
+            main([str(tmp_path), "--baseline", str(baseline), "--update-baseline"])
+            == 0
+        )
+        capsys.readouterr()
+        # Grandfathered findings no longer fail the run.
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == 0
+
+    def test_growth_beyond_the_baseline_fails(self, tmp_path, capsys):
+        bad = self._scan_tree(tmp_path)
+        baseline = tmp_path / "baseline.txt"
+        main([str(tmp_path), "--baseline", str(baseline), "--update-baseline"])
+        capsys.readouterr()
+        bad.write_text(
+            bad.read_text()
+            + "\n\nclass More:\n    def poke(self, tenant):\n"
+            + "        return tenant.metrics\n"
+        )
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == 1
+        err = capsys.readouterr().err
+        assert "beyond the baseline" in err
+
+    def test_stale_entries_are_reported_prunable(self, tmp_path, capsys):
+        bad = self._scan_tree(tmp_path)
+        baseline = tmp_path / "baseline.txt"
+        main([str(tmp_path), "--baseline", str(baseline), "--update-baseline"])
+        capsys.readouterr()
+        bad.write_text('"""Fixed."""\n')
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == 0
+        err = capsys.readouterr().err
+        assert "stale baseline entry" in err
+
+    def test_committed_baseline_is_empty(self):
+        """The repo's own baseline never grows — src stays clean."""
+        committed = REPO_ROOT / "tools" / "dedupcheck" / "baseline.txt"
+        entries = [
+            line
+            for line in committed.read_text().splitlines()
+            if line.strip() and not line.startswith("#")
+        ]
+        assert entries == []
+
+
+def test_sarif_output_is_valid(tmp_path):
+    """--format sarif emits a well-formed SARIF 2.1.0 log."""
+    import json
+
+    bad = tmp_path / "repro" / "service" / "newledger.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text((FIXTURES / "ddc104_bad.py").read_text())
+    out = tmp_path / "report.sarif"
+    assert main([str(tmp_path), "--format", "sarif", "--output", str(out)]) == 1
+    log = json.loads(out.read_text())
+    assert log["version"] == "2.1.0"
+    (run_obj,) = log["runs"]
+    rule_ids = {r["id"] for r in run_obj["tool"]["driver"]["rules"]}
+    assert {rule.code for rule in ALL_RULES} <= rule_ids
+    results = run_obj["results"]
+    assert results and all(r["ruleId"] == "DDC104" for r in results)
+    loc = results[0]["locations"][0]["physicalLocation"]
+    assert loc["region"]["startLine"] > 0
+    assert loc["region"]["startColumn"] > 0  # SARIF columns are 1-based

@@ -16,6 +16,7 @@ from repro.service import (
     QuotaExceeded,
     RateLimited,
     SessionClosed,
+    TenantBusy,
     TenantQuota,
     TenantRegistry,
     latest_files,
@@ -77,6 +78,26 @@ class TestLifecycle:
             # we can observe without deadlocking via the lock itself.
             assert tenant.lock.locked()
         assert not tenant.lock.locked()
+
+    def test_open_refuses_busy_tenant_after_open_wait(self, registry):
+        """open() waits a *bounded* time for the tenant lock, then
+        refuses with TenantBusy — never an unbounded acquire (the PR 6
+        pool-starvation shape, now also machine-checked as DDC102)."""
+        tenant = registry.register("alice")
+        tenant.lock.acquire()  # another session of this tenant is live
+        try:
+            session = DedupSession(tenant, config=CFG, open_wait=0.05)
+            with pytest.raises(TenantBusy) as exc_info:
+                session.open()
+            assert exc_info.value.tenant_id == "alice"
+            assert session.state == "new"  # refusal leaves it reopenable
+            assert tenant.lock.locked()  # the holder keeps the lock
+        finally:
+            tenant.lock.release()
+        # Once the holder is gone the same session opens fine.
+        session.open()
+        session.write("a", b"x" * 2000)
+        session.commit()
 
     def test_context_manager_aborts_on_error(self, registry):
         tenant = registry.register("alice")

@@ -6,7 +6,7 @@ import time
 import pytest
 
 from repro.core import DedupConfig, MHDDeduplicator
-from repro.parallel import FleetExecutor, dedup_sharded, shard_by_machine
+from repro.parallel import FleetExecutor, SerialLane, dedup_sharded, shard_by_machine
 from repro.workloads import BackupFile, tiny_corpus
 
 CFG = DedupConfig(ecs=1024, sd=8, bloom_bytes=1 << 18)
@@ -203,6 +203,40 @@ class TestFleetExecutor:
     def test_rejects_bad_worker_count(self):
         with pytest.raises(ValueError):
             FleetExecutor(workers=0)
+
+    def test_submit_after_shutdown_raises_and_strands_nothing(self):
+        fleet = FleetExecutor(workers=2)
+        lane = fleet.lane()
+        assert lane.submit(lambda: 1).result(timeout=10) == 1
+        fleet.shutdown()
+        with pytest.raises(RuntimeError):
+            lane.submit(lambda: 2)
+        # The doomed task was drained, not left behind a pump that
+        # will never run.
+        assert lane.depth == 0
+
+    def test_submit_failure_fails_racing_futures(self):
+        """A submit racing the losing pump start gets its future failed,
+        not stranded forever behind a pump that never runs."""
+        box = {}
+
+        class ClosedPool:
+            def submit(self, fn):
+                # Emulate a second lane.submit landing between the
+                # pump flag being set and the pump start failing: it
+                # queues without trying to start a pump of its own.
+                box["racer"] = box["lane"].submit(lambda: "never runs")
+                raise RuntimeError("cannot schedule new futures after shutdown")
+
+        lane = SerialLane(ClosedPool())
+        box["lane"] = lane
+        with pytest.raises(RuntimeError):
+            lane.submit(lambda: "never runs")
+        with pytest.raises(RuntimeError, match="shut down"):
+            box["racer"].result(timeout=0)
+        assert lane.depth == 0
+        # The lane stays usable once a pool accepts work again.
+        assert not lane._pumping
 
 
 def test_thread_executor_matches_process_results(files):

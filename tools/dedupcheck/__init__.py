@@ -16,7 +16,22 @@ Exit status is non-zero when any rule fires; output is one
 catalogue and the rationale behind each rule.
 """
 
-from .engine import Violation, check_paths, check_source
+from .concurrency import CONCURRENCY_RULES
+from .engine import (
+    FileContext,
+    ProjectContext,
+    Violation,
+    check_paths,
+    check_source,
+)
 from .rules import ALL_RULES
 
-__all__ = ["ALL_RULES", "Violation", "check_paths", "check_source"]
+__all__ = [
+    "ALL_RULES",
+    "CONCURRENCY_RULES",
+    "FileContext",
+    "ProjectContext",
+    "Violation",
+    "check_paths",
+    "check_source",
+]

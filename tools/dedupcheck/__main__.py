@@ -1,4 +1,17 @@
-"""Command-line entry point: ``python -m tools.dedupcheck src/``."""
+"""Command-line entry point: ``python -m tools.dedupcheck src/``.
+
+Flags beyond the basic scan:
+
+* ``--list`` — the sorted rule catalogue (stable output, usable in
+  docs);
+* ``--format sarif`` — SARIF 2.1.0 on stdout (or ``--output FILE``)
+  for CI annotation uploads;
+* ``--baseline FILE`` — check mode against a committed baseline:
+  grandfathered findings are silenced, *any* finding the baseline
+  does not cover fails the run (the baseline may only shrink), and
+  stale entries are reported as prunable;
+* ``--update-baseline`` — rewrite the baseline file from this scan.
+"""
 
 from __future__ import annotations
 
@@ -6,8 +19,20 @@ import argparse
 import sys
 from collections.abc import Sequence
 
-from .engine import check_paths
+from .baseline import load_baseline, partition, write_baseline
+from .engine import SUPPRESSION_CODE, SUPPRESSION_SUMMARY, check_paths
 from .rules import ALL_RULES
+from .sarif import sarif_json
+
+
+def list_rules() -> str:
+    """The rule catalogue as a stable, sorted two-column table."""
+    rows = sorted(
+        [(SUPPRESSION_CODE, SUPPRESSION_SUMMARY)]
+        + [(rule.code, rule.summary) for rule in ALL_RULES]
+    )
+    width = max(len(code) for code, _ in rows)
+    return "\n".join(f"{code:<{width}}  {summary}" for code, summary in rows)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -25,23 +50,86 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--list",
         action="store_true",
-        help="print the rule catalogue and exit",
+        help="print the rule catalogue (sorted, stable) and exit",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="silence findings recorded in FILE; fail on any finding "
+        "the baseline does not cover (zero-growth check mode)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline FILE from this scan's findings",
     )
     args = parser.parse_args(argv)
 
     if args.list:
-        for rule in ALL_RULES:
-            print(f"{rule.code}  {rule.summary}")
+        print(list_rules())
         return 0
+    if args.update_baseline and args.baseline is None:
+        parser.error("--update-baseline requires --baseline FILE")
 
     violations = check_paths(args.paths, ALL_RULES)
-    for violation in violations:
-        print(violation.render())
+
+    stale_count = 0
+    if args.baseline is not None:
+        if args.update_baseline:
+            write_baseline(violations, args.baseline)
+            print(
+                f"dedupcheck: baseline {args.baseline} rewritten with "
+                f"{len(violations)} finding(s)",
+                file=sys.stderr,
+            )
+            return 0
+        result = partition(violations, load_baseline(args.baseline))
+        violations = result.new
+        stale_count = len(result.stale)
+        for key in result.stale:
+            print(
+                "dedupcheck: stale baseline entry (fixed — prune with "
+                f"--update-baseline): {key[0]}: {key[1]} {key[2]}",
+                file=sys.stderr,
+            )
+
+    report = (
+        sarif_json(violations, ALL_RULES)
+        if args.format == "sarif"
+        else "\n".join(v.render() for v in violations)
+    )
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+    elif report:
+        print(report)
+
     if violations:
+        suffix = " beyond the baseline" if args.baseline is not None else ""
         print(
-            f"dedupcheck: {len(violations)} violation(s)", file=sys.stderr
+            f"dedupcheck: {len(violations)} violation(s){suffix}",
+            file=sys.stderr,
         )
         return 1
+    if stale_count:
+        print(
+            f"dedupcheck: clean ({stale_count} prunable baseline "
+            "entr(y/ies))",
+            file=sys.stderr,
+        )
     return 0
 
 

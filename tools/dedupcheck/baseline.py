@@ -1,0 +1,116 @@
+"""Committed-baseline support: grandfather old findings, block new ones.
+
+A baseline file holds the findings a repository has accepted (one
+tab-separated ``path<TAB>code<TAB>message`` line per occurrence, plus
+``#`` comments).  Line/column numbers are deliberately *not* part of
+the key — unrelated edits move code around, and a baseline that churns
+on every refactor trains people to regenerate it blindly, which is how
+new findings sneak in.
+
+Check mode (``--baseline FILE``) fails when the scan produces any
+finding the baseline does not already cover — the baseline may only
+ever shrink.  Entries the scan no longer produces are reported as
+stale (prune them with ``--update-baseline``); they never fail the
+run, so fixing grandfathered findings stays zero-friction.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+
+from .engine import Violation
+
+__all__ = [
+    "BaselineResult",
+    "baseline_key",
+    "load_baseline",
+    "partition",
+    "write_baseline",
+]
+
+#: A finding's identity for baselining purposes.
+BaselineKey = tuple[str, str, str]
+
+
+def baseline_key(violation: Violation) -> BaselineKey:
+    """``(path, code, message)`` — location-free identity of a finding."""
+    return (violation.path, violation.code, violation.message)
+
+
+def load_baseline(path: str) -> Counter[BaselineKey]:
+    """Parse a baseline file into an occurrence-counted multiset.
+
+    A missing file is an empty baseline, so bootstrapping a repo needs
+    no special casing.
+    """
+    entries: Counter[BaselineKey] = Counter()
+    if not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t", 2)
+            if len(parts) != 3:
+                raise ValueError(f"malformed baseline line: {line!r}")
+            entries[(parts[0], parts[1], parts[2])] += 1
+    return entries
+
+
+class BaselineResult:
+    """Outcome of matching a scan against a baseline."""
+
+    def __init__(
+        self,
+        new: list[Violation],
+        matched: list[Violation],
+        stale: list[BaselineKey],
+    ) -> None:
+        #: Findings the baseline does not cover (these fail the run).
+        self.new = new
+        #: Findings covered (and silenced) by the baseline.
+        self.matched = matched
+        #: Baseline entries the scan no longer produces, one per
+        #: stale occurrence (safe to prune).
+        self.stale = stale
+
+
+def partition(
+    violations: list[Violation], baseline: Counter[BaselineKey]
+) -> BaselineResult:
+    """Split a scan's findings into new / matched, and spot stale entries.
+
+    Occurrence counts matter: a baseline listing one ``DDC101`` in a
+    file covers exactly one — a second identical finding is *new*
+    (the code regressed), not silently absorbed.
+    """
+    budget = Counter(baseline)
+    new: list[Violation] = []
+    matched: list[Violation] = []
+    for violation in violations:
+        key = baseline_key(violation)
+        if budget[key] > 0:
+            budget[key] -= 1
+            matched.append(violation)
+        else:
+            new.append(violation)
+    stale = [key for key, count in sorted(budget.items()) for _ in range(count)]
+    return BaselineResult(new=new, matched=matched, stale=stale)
+
+
+def write_baseline(violations: list[Violation], path: str) -> None:
+    """Write the given findings as the new baseline (sorted, stable)."""
+    lines = sorted("\t".join(baseline_key(v)) for v in violations)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(
+            "# dedupcheck baseline — grandfathered findings.\n"
+            "# One `path<TAB>code<TAB>message` line per accepted "
+            "occurrence.\n"
+            "# This file may only shrink: new findings must be fixed or\n"
+            "# `# ddc: ignore[...]`-suppressed with a reason, never added "
+            "here.\n"
+        )
+        for line in lines:
+            fh.write(line + "\n")

@@ -15,6 +15,11 @@ DDC007  ``repro/obs/`` is a read-only leaf: no dedup-machinery imports,
         no calls that mutate the observed pipeline
 ======  ==============================================================
 
+The DDC1xx concurrency pack (blocking calls in coroutines, fleet-thread
+wait bans, lock discipline, lost tasks, protocol always-answer) lives
+in :mod:`tools.dedupcheck.concurrency` and is folded into
+:data:`ALL_RULES` below.
+
 Every rule decides its own applicability from the posix-normalised
 file path, so the same classes serve both the repository scan and the
 fixture tests (which pass virtual paths).
@@ -25,6 +30,7 @@ from __future__ import annotations
 import ast
 from collections.abc import Iterator
 
+from .concurrency import CONCURRENCY_RULES
 from .engine import Violation
 
 __all__ = ["ALL_RULES"]
@@ -509,7 +515,8 @@ class ObsReadOnly:
         )
 
 
-#: The full rule pack, in catalogue order.
+#: The full rule pack, in catalogue order (DDC0xx invariants first,
+#: then the DDC1xx concurrency pack).
 ALL_RULES = (
     HashlibConfinement(),
     ManifestMutationConfinement(),
@@ -518,4 +525,4 @@ ALL_RULES = (
     NoQuadraticBytes(),
     StatsViaHelpers(),
     ObsReadOnly(),
-)
+) + CONCURRENCY_RULES

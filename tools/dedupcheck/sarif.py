@@ -1,0 +1,92 @@
+"""SARIF 2.1.0 output for CI annotation surfaces.
+
+``python -m tools.dedupcheck src/ --format sarif`` emits one SARIF run
+with the full rule catalogue under ``tool.driver.rules`` and one
+result per finding.  GitHub's code-scanning upload turns these into
+inline PR annotations, which is the whole point: a DDC102 fleet-wait
+finding shows up on the offending line of the diff, not in a CI log
+nobody reads.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from typing import Any
+
+from .engine import SUPPRESSION_CODE, SUPPRESSION_SUMMARY, Rule, Violation
+
+__all__ = ["to_sarif", "sarif_json"]
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_entries(rules: Sequence[Rule]) -> list[dict[str, Any]]:
+    catalogue = {rule.code: rule.summary for rule in rules}
+    catalogue.setdefault(SUPPRESSION_CODE, SUPPRESSION_SUMMARY)
+    return [
+        {
+            "id": code,
+            "shortDescription": {"text": summary},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for code, summary in sorted(catalogue.items())
+    ]
+
+
+def to_sarif(
+    violations: Sequence[Violation], rules: Sequence[Rule]
+) -> dict[str, Any]:
+    """Build the SARIF log object (plain dicts, ready for ``json.dump``)."""
+    entries = _rule_entries(rules)
+    rule_index = {entry["id"]: i for i, entry in enumerate(entries)}
+    results: list[dict[str, Any]] = []
+    for violation in violations:
+        results.append(
+            {
+                "ruleId": violation.code,
+                "ruleIndex": rule_index.get(violation.code, -1),
+                "level": "error",
+                "message": {"text": violation.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": violation.path,
+                                "uriBaseId": "%SRCROOT%",
+                            },
+                            "region": {
+                                "startLine": violation.line,
+                                # SARIF columns are 1-based; AST's are 0-based.
+                                "startColumn": violation.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "dedupcheck",
+                        "rules": entries,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def sarif_json(
+    violations: Sequence[Violation], rules: Sequence[Rule]
+) -> str:
+    """The SARIF log serialised for writing to a file or stdout."""
+    return json.dumps(to_sarif(violations, rules), indent=2, sort_keys=False)
