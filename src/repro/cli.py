@@ -23,7 +23,10 @@ Sub-commands:
 * ``gen-corpus`` — write the seeded synthetic corpus to a directory.
 * ``inspect`` — dump one file's recipe and the manifests behind it.
 * ``trace-view`` — render the per-stage time/I/O attribution table of
-  a span trace written by ``run --trace``.
+  one span trace, or merge several (e.g. a client trace plus the
+  server's session trace) into one cross-process tree first.
+* ``profile`` — run any other sub-command under the continuous stack
+  sampler and write a collapsed-stack (flamegraph-ready) profile.
 
 Examples::
 
@@ -40,7 +43,11 @@ Examples::
     repro-dedup gc --store-dir /backup/store --delete 'pc00/gen000/*'
     repro-dedup list
     repro-dedup serve --store-dir /srv/dedup --port 7846 --max-bytes 1073741824
+    repro-dedup serve --store-dir /srv/dedup --trace-dir /srv/traces --profile srv.folded
     repro-dedup client push --tenant alice --port 7846 ~/disks/*.img
+    repro-dedup client push --tenant alice --port 7846 --trace push.jsonl ~/disks/*.img
+    repro-dedup trace-view push.jsonl /srv/traces/trace-alice-0001.jsonl
+    repro-dedup profile --out run.folded run --algo bf-mhd --machines 2
     repro-dedup client restore --tenant alice --port 7846 --output-dir /tmp/out
 """
 
@@ -78,6 +85,7 @@ from .obs import (
     PromTextSink,
     Telemetry,
     load_trace,
+    merge_traces,
     summarize,
 )
 from .obs.traceview import render_table as render_span_table
@@ -393,19 +401,33 @@ def cmd_inspect(args) -> int:
 
 def cmd_trace_view(args) -> int:
     try:
-        spans, metrics = load_trace(args.trace_file)
+        loaded = [load_trace(p) for p in args.trace_files]
+        if len(loaded) == 1:
+            spans = loaded[0][0]
+        else:
+            spans = merge_traces([s for s, _ in loaded])
+        metrics: dict = {}
+        for _, m in loaded:
+            metrics.update(m)
         summary = summarize(spans)
     except (OSError, ValueError) as e:
         print(f"invalid trace: {e}", file=sys.stderr)
         return 1
     if not spans:
-        print(f"{args.trace_file}: trace contains no spans", file=sys.stderr)
+        print(f"{', '.join(args.trace_files)}: trace contains no spans", file=sys.stderr)
         return 1
+    trace_ids = {ev.trace_id for ev in spans if ev.trace_id}
     print(render_span_table(summary))
     print(
         f"{summary.span_count} spans; run {summary.run_s:.4f}s; "
-        f"stage self-times cover {summary.coverage:.1%}"
+        f"stage self-times cover {summary.coverage:.1%}; "
+        f"wait {summary.wait_s:.4f}s / work {summary.work_s:.4f}s"
     )
+    if len(loaded) > 1:
+        print(
+            f"merged {len(loaded)} trace files; "
+            f"{len(trace_ids) or 1} distinct trace id(s)"
+        )
     if args.show_metrics:
         if not metrics:
             print("(trace carries no metrics record)", file=sys.stderr)
@@ -517,6 +539,7 @@ def cmd_list(args) -> int:
 def cmd_serve(args) -> int:
     import asyncio
 
+    from .parallel import FleetExecutor
     from .service import DedupServer, TenantQuota
 
     backend: StorageBackend = DirectoryBackend(args.store_dir)
@@ -531,7 +554,16 @@ def cmd_serve(args) -> int:
         workers=args.workers,
         queue_depth=args.queue_depth,
         max_rate_delay=args.max_rate_delay,
+        trace_dir=args.trace_dir,
     )
+    sampler = None
+    if args.profile:
+        from .obs.profile import StackSampler
+
+        # Sample only the ingest fleet: the event loop's stacks are
+        # all epoll waits, which would drown the interesting frames.
+        sampler = StackSampler(thread_prefixes=(FleetExecutor.THREAD_NAME_PREFIX,))
+        sampler.start()
 
     async def _run() -> None:
         await server.start()
@@ -539,6 +571,8 @@ def cmd_serve(args) -> int:
         # wait for it, then read the bound port from it).
         print(f"serving on {server.host}:{server.port}", flush=True)
         print(f"store: {args.store_dir}  algo: {args.algo}", flush=True)
+        if args.trace_dir:
+            print(f"traces: {args.trace_dir}", flush=True)
         try:
             await server.serve_forever()
         finally:
@@ -548,6 +582,15 @@ def cmd_serve(args) -> int:
         asyncio.run(_run())
     except KeyboardInterrupt:
         print("interrupted; server stopped", file=sys.stderr)
+    finally:
+        if sampler is not None:
+            sampler.stop()
+            stacks = sampler.write(args.profile)
+            print(
+                f"profile: {stacks} stacks ({sampler.samples} samples) "
+                f"-> {args.profile}",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -565,9 +608,25 @@ def _client_files(paths: list[str]) -> list[tuple[str, bytes]]:
 
 
 def cmd_client(args) -> int:
+    tel: Telemetry | None = None
+    if getattr(args, "trace", None):
+        tel = Telemetry(sinks=[JsonlTraceSink(args.trace)], origin="client")
+    try:
+        return _cmd_client_inner(args, tel)
+    finally:
+        if tel is not None:
+            trace_id = tel.trace_id
+            tel.close()
+            print(
+                f"client trace written to {args.trace} (trace id {trace_id})",
+                file=sys.stderr,
+            )
+
+
+def _cmd_client_inner(args, tel: Telemetry | None) -> int:
     from .service import ServiceClient, ServiceError
 
-    with ServiceClient(args.host, args.port) as client:
+    with ServiceClient(args.host, args.port, telemetry=tel) as client:
         try:
             if args.action == "push":
                 files = _client_files(args.paths)
@@ -616,6 +675,32 @@ def cmd_client(args) -> int:
             print(f"service refused: {e}", file=sys.stderr)
             return 1
     return 0
+
+
+def cmd_profile(args) -> int:
+    from .obs.profile import StackSampler
+
+    rest = [a for a in args.rest if a != "--"]
+    if not rest:
+        print("profile: give a sub-command to run, e.g. "
+              "`repro-dedup profile --out p.txt run --algo bf-mhd`", file=sys.stderr)
+        return 2
+    if rest[0] == "profile":
+        print("profile: cannot profile itself", file=sys.stderr)
+        return 2
+    inner = build_parser().parse_args(rest)
+    prefixes = None
+    if args.threads:
+        prefixes = tuple(p for p in args.threads.split(",") if p)
+    sampler = StackSampler(interval_s=args.interval, thread_prefixes=prefixes)
+    with sampler:
+        code = int(inner.func(inner))
+    stacks = sampler.write(args.out)
+    print(
+        f"profile: {stacks} stacks ({sampler.samples} samples) -> {args.out}",
+        file=sys.stderr,
+    )
+    return code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -803,6 +888,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=5.0,
         help="longest back-pressure sleep before a 429-style refusal (s)",
     )
+    p_srv.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        help="write one JSONL span trace per traced session under DIR",
+    )
+    p_srv.add_argument(
+        "--profile",
+        metavar="PATH",
+        help="sample fleet-thread stacks; write collapsed stacks to PATH on exit",
+    )
     _add_dedup_args(p_srv, store_dir=False)
     p_srv.set_defaults(func=cmd_serve)
 
@@ -827,6 +922,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_push.add_argument(
         "--rate-bytes", type=float, default=0.0, help="tenant rate limit on first contact"
     )
+    p_push.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="trace the push client-side and propagate the trace id to the server",
+    )
     p_push.add_argument("paths", nargs="+", help="files or directories to push")
 
     p_get = cl_sub.add_parser("restore", help="restore a tenant's files")
@@ -840,13 +940,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_tv = sub.add_parser(
         "trace-view", help="render a span trace's per-stage attribution table"
     )
-    p_tv.add_argument("trace_file", help="JSONL trace written by run --trace")
+    p_tv.add_argument(
+        "trace_files",
+        nargs="+",
+        help="JSONL trace(s); several files are merged into one cross-process tree",
+    )
     p_tv.add_argument(
         "--show-metrics",
         action="store_true",
         help="also print the final metric values recorded in the trace",
     )
     p_tv.set_defaults(func=cmd_trace_view)
+
+    p_prof = sub.add_parser(
+        "profile", help="run another sub-command under the continuous stack sampler"
+    )
+    p_prof.add_argument(
+        "--out", required=True, metavar="PATH", help="collapsed-stack output file"
+    )
+    p_prof.add_argument(
+        "--interval", type=float, default=0.005, help="sampling interval (s)"
+    )
+    p_prof.add_argument(
+        "--threads",
+        metavar="PREFIX[,PREFIX...]",
+        help="only sample threads whose name starts with one of these prefixes",
+    )
+    p_prof.add_argument(
+        "rest",
+        nargs=argparse.REMAINDER,
+        help="the repro-dedup sub-command to run (e.g. `run --algo bf-mhd`)",
+    )
+    p_prof.set_defaults(func=cmd_profile)
 
     return parser
 

@@ -15,6 +15,10 @@ it without cycles.  The pieces:
 * :class:`Telemetry` / :data:`NULL_TELEMETRY` — the facade the stack
   holds; see docs/OBSERVABILITY.md for the metric catalogue and trace
   schema.
+* :class:`SLOEngine` (:mod:`repro.obs.slo`) — per-tenant rolling-window
+  objectives with multi-window burn-rate alerting.
+* :class:`StackSampler` (:mod:`repro.obs.profile`) — continuous
+  profiling to collapsed-stack (flamegraph) output.
 """
 
 from .metrics import (
@@ -36,6 +40,8 @@ from .sinks import (
     prom_text,
     prom_text_multi,
 )
+from .profile import StackSampler
+from .slo import DEFAULT_SLOS, SLOEngine, SLOSpec
 from .telemetry import (
     NULL_TELEMETRY,
     HeartbeatEvent,
@@ -43,8 +49,24 @@ from .telemetry import (
     note_anomaly,
     runtime_anomalies,
 )
-from .trace import NULL_SPAN, NullSpan, Span, SpanEvent, Tracer
-from .traceview import StageRow, TraceSummary, render_table, summarize
+from .trace import (
+    NULL_SPAN,
+    NullSpan,
+    Span,
+    SpanEvent,
+    Tracer,
+    new_trace_id,
+    parse_span_ref,
+    span_ref,
+)
+from .traceview import (
+    WAIT_PREFIX,
+    StageRow,
+    TraceSummary,
+    merge_traces,
+    render_table,
+    summarize,
+)
 
 __all__ = [
     "Counter",
@@ -72,8 +94,17 @@ __all__ = [
     "NullSpan",
     "NULL_SPAN",
     "Tracer",
+    "new_trace_id",
+    "span_ref",
+    "parse_span_ref",
     "StageRow",
     "TraceSummary",
     "summarize",
     "render_table",
+    "merge_traces",
+    "WAIT_PREFIX",
+    "SLOSpec",
+    "SLOEngine",
+    "DEFAULT_SLOS",
+    "StackSampler",
 ]

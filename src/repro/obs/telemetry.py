@@ -50,6 +50,8 @@ class HeartbeatEvent:
     input_bytes: int  # bytes ingested so far
     unique_bytes: int  # bytes resolved unique so far
     duplicate_bytes: int  # bytes resolved duplicate so far
+    tenant: str = ""  # owning tenant ("" outside the service)
+    active_sessions: int = 0  # server-wide live sessions at beat time
 
     @property
     def der_so_far(self) -> float:
@@ -74,6 +76,17 @@ class Telemetry:
         Optional ``() -> (disk_ops, disk_bytes)`` sampler attached to
         every span (set automatically when a telemetry object is handed
         to a deduplicator).
+    trace_id / origin:
+        Cross-process trace context for the tracer (see
+        :class:`~repro.obs.trace.Tracer`); a server session passes the
+        trace id received from its client so both processes' spans
+        share one id.
+    tenant:
+        Tenant label stamped on heartbeat events ("" outside the
+        service).
+    active_sessions:
+        Optional supplier of the server-wide live-session count,
+        sampled at each heartbeat.
     """
 
     def __init__(
@@ -83,6 +96,10 @@ class Telemetry:
         heartbeat_files: int = 32,
         heartbeat_bytes: int = 64 << 20,
         io_probe: Callable[[], tuple[int, int]] | None = None,
+        trace_id: str = "",
+        origin: str = "",
+        tenant: str = "",
+        active_sessions: Callable[[], int] | None = None,
     ) -> None:
         if heartbeat_files < 1 or heartbeat_bytes < 1:
             raise ValueError("heartbeat intervals must be >= 1")
@@ -91,10 +108,17 @@ class Telemetry:
         self.heartbeat = heartbeat
         self.heartbeat_files = heartbeat_files
         self.heartbeat_bytes = heartbeat_bytes
+        self.tenant = tenant
+        self.active_sessions = active_sessions
         self._hb_next_files = heartbeat_files
         self._hb_next_bytes = heartbeat_bytes
         self._tracer: Tracer | None = (
-            Tracer([s.emit_span for s in self.sinks], io_probe=io_probe)
+            Tracer(
+                [s.emit_span for s in self.sinks],
+                io_probe=io_probe,
+                trace_id=trace_id,
+                origin=origin,
+            )
             if self.sinks
             else None
         )
@@ -112,6 +136,11 @@ class Telemetry:
         """Whether spans are live (any sink attached)."""
         return self._tracer is not None
 
+    @property
+    def trace_id(self) -> str:
+        """The cross-process trace id ("" when tracing is off)."""
+        return self._tracer.trace_id if self._tracer is not None else ""
+
     # ---- spans -----------------------------------------------------------
 
     def span(self, name: str, **attrs: Any) -> Span | NullSpan:
@@ -124,6 +153,32 @@ class Telemetry:
         if tracer is None:
             return NULL_SPAN
         return tracer.span(name, attrs or None)
+
+    def closed_span(
+        self,
+        name: str,
+        duration: float,
+        parent: int = -1,
+        attrs: dict[str, Any] | None = None,
+    ) -> int:
+        """Report an already-measured interval as a span (thread-safe).
+
+        No-op (returns -1) when tracing is off.  Used by the service's
+        event loop to attribute waits — lock acquisition, rate-limit
+        sleeps, queue back-pressure — to a session trace whose stack
+        lives on a lane thread.
+        """
+        tracer = self._tracer
+        if tracer is None:
+            return -1
+        return tracer.closed_span(name, duration, parent=parent, attrs=attrs)
+
+    def span_ref(self, span_id: int) -> str:
+        """Cross-process reference for one of this trace's spans."""
+        tracer = self._tracer
+        if tracer is None:
+            return ""
+        return tracer.ref(span_id)
 
     def set_io_probe(self, probe: Callable[[], tuple[int, int]] | None) -> None:
         """(Re)attach the I/O sampler spans use for attribution."""
@@ -153,6 +208,10 @@ class Telemetry:
                 input_bytes=input_bytes,
                 unique_bytes=unique_bytes,
                 duplicate_bytes=duplicate_bytes,
+                tenant=self.tenant,
+                active_sessions=(
+                    self.active_sessions() if self.active_sessions is not None else 0
+                ),
             )
         )
 

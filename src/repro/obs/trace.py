@@ -23,16 +23,59 @@ The clock lives *here*, not in the algorithm packages — dedupcheck's
 DDC004 bans wall-clock reads from ``repro/core``/``chunking``/
 ``baselines``, so instrumented code only ever calls through this
 module (and through no-op spans when tracing is off).
+
+Cross-process stitching (the distributed half): every tracer carries a
+``trace_id`` (random 128-bit hex, W3C-traceparent flavoured) and an
+``origin`` naming the process/component that produced the trace.  Both
+are stamped on each :class:`SpanEvent`.  A span in *another* process is
+referenced by a **span ref** ``"<origin>#<span_id>"``; carrying one in
+a span's ``attrs["remote_parent"]`` lets
+:func:`repro.obs.traceview.merge_traces` resolve it into a real parent
+link, so one trace id stitches client → server → ingest into a single
+tree.  Old trace files without these fields load with the empty-string
+defaults and keep working.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["SpanEvent", "Span", "NullSpan", "NULL_SPAN", "Tracer"]
+__all__ = [
+    "SpanEvent",
+    "Span",
+    "NullSpan",
+    "NULL_SPAN",
+    "Tracer",
+    "new_trace_id",
+    "span_ref",
+    "parse_span_ref",
+]
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id as 32 lowercase hex chars."""
+    return os.urandom(16).hex()
+
+
+def span_ref(origin: str, span_id: int) -> str:
+    """Cross-process span reference: ``"<origin>#<span_id>"``."""
+    return f"{origin}#{span_id}"
+
+
+def parse_span_ref(ref: str) -> tuple[str, int] | None:
+    """Split a span ref back into ``(origin, span_id)``; None if malformed."""
+    origin, sep, tail = ref.rpartition("#")
+    if not sep:
+        return None
+    try:
+        return origin, int(tail)
+    except ValueError:
+        return None
 
 
 @dataclass(frozen=True)
@@ -45,10 +88,12 @@ class SpanEvent:
     start: float
     duration: float
     attrs: dict[str, Any] = field(default_factory=dict)
+    trace_id: str = ""  # shared across processes participating in one trace
+    origin: str = ""  # which tracer (process/component) produced the span
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-serialisable form (the JSONL trace record body)."""
-        return {
+        d: dict[str, Any] = {
             "name": self.name,
             "span_id": self.span_id,
             "parent": self.parent,
@@ -56,6 +101,11 @@ class SpanEvent:
             "duration": self.duration,
             "attrs": self.attrs,
         }
+        if self.trace_id:
+            d["trace_id"] = self.trace_id
+        if self.origin:
+            d["origin"] = self.origin
+        return d
 
     @classmethod
     def from_dict(cls, d: dict[str, Any]) -> SpanEvent:
@@ -67,6 +117,8 @@ class SpanEvent:
             start=float(d["start"]),
             duration=float(d["duration"]),
             attrs=dict(d.get("attrs", {})),
+            trace_id=str(d.get("trace_id", "")),
+            origin=str(d.get("origin", "")),
         )
 
 
@@ -142,6 +194,8 @@ class Span:
                 start=self.start,
                 duration=duration,
                 attrs=self.attrs,
+                trace_id=tracer.trace_id,
+                origin=tracer.origin,
             )
         )
 
@@ -160,29 +214,94 @@ class Tracer:
         I/O delta observed while it was open (``attrs["io_ops"]`` /
         ``attrs["io_bytes"]``) — the data behind ``trace-view``'s I/O
         attribution columns.
+    trace_id:
+        The cross-process trace id stamped on every span; generated
+        fresh when empty.  A server continuing a client's trace passes
+        the id it received over the wire.
+    origin:
+        Name of the process/component producing this trace (``client``,
+        ``server s3``, …); makes span ids globally unique as
+        ``"<origin>#<span_id>"`` refs so traces from several files can
+        be merged.
+
+    The span *stack* (parentage) is single-threaded by design — one
+    tracer belongs to one run or one session lane.  Id allocation and
+    sink emission are lock-protected, so other threads (e.g. the
+    server's event loop) may safely report after-the-fact
+    :meth:`closed_span` events into the same trace.
     """
 
-    __slots__ = ("epoch", "io_probe", "_emitters", "_stack", "_counter")
+    __slots__ = (
+        "epoch",
+        "io_probe",
+        "trace_id",
+        "origin",
+        "_emitters",
+        "_stack",
+        "_lock",
+        "_counter",
+    )
 
     def __init__(
         self,
         emit: Sequence[Callable[[SpanEvent], None]],
         io_probe: Callable[[], tuple[int, int]] | None = None,
+        trace_id: str = "",
+        origin: str = "",
     ) -> None:
         self.epoch = time.perf_counter()
         self.io_probe = io_probe
+        self.trace_id = trace_id or new_trace_id()
+        self.origin = origin
         self._emitters = tuple(emit)
         self._stack: list[int] = []
+        self._lock = threading.Lock()
         self._counter = 0
 
     def _next_id(self) -> int:
-        self._counter += 1
-        return self._counter
+        with self._lock:
+            self._counter += 1
+            return self._counter
 
     def span(self, name: str, attrs: dict[str, Any] | None = None) -> Span:
         """A new span named after one pipeline stage (not yet entered)."""
         return Span(self, name, {} if attrs is None else attrs)
 
+    def closed_span(
+        self,
+        name: str,
+        duration: float,
+        parent: int = -1,
+        attrs: dict[str, Any] | None = None,
+    ) -> int:
+        """Emit an already-finished span ending *now* (thread-safe).
+
+        The parentage stack is not touched, so any thread may report a
+        measured interval — e.g. the server's event loop attributing a
+        rate-limit sleep or lock wait to a session whose lane thread
+        owns the stack.  Returns the new span's id.
+        """
+        end = time.perf_counter() - self.epoch
+        span_id = self._next_id()
+        self._emit(
+            SpanEvent(
+                name=name,
+                span_id=span_id,
+                parent=parent,
+                start=max(0.0, end - duration),
+                duration=duration,
+                attrs={} if attrs is None else attrs,
+                trace_id=self.trace_id,
+                origin=self.origin,
+            )
+        )
+        return span_id
+
+    def ref(self, span_id: int) -> str:
+        """The cross-process reference for one of this tracer's spans."""
+        return span_ref(self.origin, span_id)
+
     def _emit(self, event: SpanEvent) -> None:
-        for emit in self._emitters:
-            emit(event)
+        with self._lock:
+            for emit in self._emitters:
+                emit(event)

@@ -10,15 +10,36 @@ wall-clock actually go".
 I/O attribution works the same way on the ``io_ops``/``io_bytes``
 attrs the tracer's probe stamps on each span: a span's self I/O is its
 delta minus its direct children's deltas.
+
+Cross-process traces: :func:`merge_traces` takes span lists from
+several JSONL files (client + server sessions), rebases their
+per-tracer span ids into one id space and resolves
+``attrs["remote_parent"]`` refs (``"<origin>#<span_id>"``) into real
+parent links, producing a single tree :func:`summarize` can attribute.
+Spans named with the ``wait.`` prefix (lock waits, rate-limit sleeps,
+queue back-pressure) are wait-time; everything else is work-time — the
+:attr:`TraceSummary.wait_s` / :attr:`TraceSummary.work_s` split.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
-from .trace import SpanEvent
+from .trace import SpanEvent, parse_span_ref
 
-__all__ = ["StageRow", "TraceSummary", "summarize", "render_table"]
+__all__ = [
+    "StageRow",
+    "TraceSummary",
+    "summarize",
+    "render_table",
+    "merge_traces",
+    "WAIT_PREFIX",
+]
+
+#: Span-name prefix marking time spent *waiting* (locks, rate limits,
+#: queue back-pressure) rather than doing dedup work.
+WAIT_PREFIX = "wait."
 
 
 @dataclass
@@ -60,6 +81,16 @@ class TraceSummary:
         if self.run_s <= 0.0:
             return 0.0
         return self.covered_s / self.run_s
+
+    @property
+    def wait_s(self) -> float:
+        """Self time in ``wait.*`` stages (lock/rate/queue waits)."""
+        return sum(r.self_s for r in self.rows if r.name.startswith(WAIT_PREFIX))
+
+    @property
+    def work_s(self) -> float:
+        """Self time everywhere else (actual dedup/protocol work)."""
+        return self.covered_s - self.wait_s
 
 
 def summarize(spans: list[SpanEvent]) -> TraceSummary:
@@ -104,6 +135,63 @@ def summarize(spans: list[SpanEvent]) -> TraceSummary:
     return summary
 
 
+def merge_traces(traces: Sequence[list[SpanEvent]]) -> list[SpanEvent]:
+    """Stitch span lists from several trace files into one tree.
+
+    Span ids are per-tracer ordinals, so each input list gets its ids
+    rebased into one shared id space (keyed by the span's ``origin``,
+    or by file position for legacy origin-less traces).  A root span
+    carrying ``attrs["remote_parent"] = "<origin>#<span_id>"`` is then
+    re-parented onto the referenced span when the referenced trace is
+    present — unresolvable refs are left as roots, so a server trace
+    still summarizes alone.  Raises ``ValueError`` on id collisions or
+    dangling in-file parents, mirroring :func:`summarize`.
+
+    Per-process ``start`` offsets are *not* rebased (each tracer has
+    its own epoch); attribution rests on durations only.
+    """
+    remap: dict[tuple[str, int], int] = {}
+    next_id = 1
+    for i, spans in enumerate(traces):
+        for ev in spans:
+            key = (ev.origin or f"<file{i}>", ev.span_id)
+            if key in remap:
+                raise ValueError(f"duplicate span id {ev.span_id} for origin {key[0]!r}")
+            remap[key] = next_id
+            next_id += 1
+    merged: list[SpanEvent] = []
+    for i, spans in enumerate(traces):
+        origin_key = f"<file{i}>"
+        for ev in spans:
+            key = ev.origin or origin_key
+            if ev.parent != -1:
+                parent = remap.get((key, ev.parent))
+                if parent is None:
+                    raise ValueError(
+                        f"span {ev.span_id} ({key!r}) references unknown parent {ev.parent}"
+                    )
+            else:
+                parent = -1
+                ref = ev.attrs.get("remote_parent")
+                if isinstance(ref, str):
+                    parsed = parse_span_ref(ref)
+                    if parsed is not None:
+                        parent = remap.get(parsed, -1)
+            merged.append(
+                SpanEvent(
+                    name=ev.name,
+                    span_id=remap[(key, ev.span_id)],
+                    parent=parent,
+                    start=ev.start,
+                    duration=ev.duration,
+                    attrs=ev.attrs,
+                    trace_id=ev.trace_id,
+                    origin=ev.origin,
+                )
+            )
+    return merged
+
+
 def _human_bytes(n: int) -> str:
     """Render a byte count with a binary unit suffix."""
     v = float(n)
@@ -131,6 +219,29 @@ def render_table(summary: TraceSummary) -> str:
                 _human_bytes(r.io_bytes),
             )
         )
+    covered = summary.covered_s if summary.covered_s > 0.0 else 1.0
+    body.append(
+        (
+            "(wait)",
+            "",
+            "",
+            f"{summary.wait_s:.4f}",
+            f"{100.0 * summary.wait_s / covered:.1f}",
+            "",
+            "",
+        )
+    )
+    body.append(
+        (
+            "(work)",
+            "",
+            "",
+            f"{summary.work_s:.4f}",
+            f"{100.0 * summary.work_s / covered:.1f}",
+            "",
+            "",
+        )
+    )
     body.append(
         (
             "(run)",

@@ -131,16 +131,28 @@ class FleetExecutor:
     its work is dominated by per-session ordering anyway.  A thread
     fleet with serial lanes gives the right semantics; hashing releases
     the GIL often enough for streams to overlap I/O.
+
+    ``thread_name_prefix`` names the worker threads (``fleet-N`` by
+    default) — the handle the continuous profiler's
+    :class:`~repro.obs.profile.StackSampler` filters on to sample only
+    dedup work, and the prefix the DDC102 "fleet threads never wait"
+    lint reasons about.
     """
 
-    def __init__(self, workers: int | None = None) -> None:
+    #: Default worker-thread name prefix; the profiler filters on it.
+    THREAD_NAME_PREFIX = "fleet"
+
+    def __init__(
+        self, workers: int | None = None, thread_name_prefix: str | None = None
+    ) -> None:
         if workers is None:
             workers = min(32, (os.cpu_count() or 1) + 4)
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        self.thread_name_prefix = thread_name_prefix or self.THREAD_NAME_PREFIX
         self._pool = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="fleet"
+            max_workers=workers, thread_name_prefix=self.thread_name_prefix
         )
 
     def lane(self) -> SerialLane:

@@ -13,6 +13,14 @@ a search-and-replace.
 pipelines: all payloads are written before any response is read, which
 exercises the server's bounded per-session queue and is how a real
 backup agent would stream a disk image's slices.
+
+**Tracing.**  Constructed with a traced
+:class:`~repro.obs.telemetry.Telemetry`, the client opens a root
+``client.push`` span per session and sends its trace id + span ref in
+the ``open`` request; a server started with ``--trace-dir`` continues
+the same trace, and ``repro-dedup trace-view`` merges both files into
+one cross-process tree.  Servers predating the trace fields ignore
+them; clients without telemetry send none.
 """
 
 from __future__ import annotations
@@ -21,6 +29,8 @@ import json
 import socket
 from typing import Any
 
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
+from ..obs.trace import Span
 from .quotas import QuotaExceeded, RateLimited, ServiceError, TenantBusy
 
 __all__ = ["ServiceClient"]
@@ -44,11 +54,26 @@ def _raise_for(response: dict[str, Any]) -> dict[str, Any]:
 
 
 class ServiceClient:
-    """One connection to a :class:`~repro.service.server.DedupServer`."""
+    """One connection to a :class:`~repro.service.server.DedupServer`.
 
-    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+    ``telemetry`` (optional) enables client-side tracing: a traced
+    Telemetry (one with a sink) makes every ``open``→``commit``/
+    ``abort`` lifecycle a root ``client.push`` span, with per-put
+    ``client.send`` child spans, and propagates the trace context over
+    the wire.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        telemetry: Telemetry | None = None,
+    ) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._rfile = self._sock.makefile("rb")
+        self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._root: Span | None = None
 
     # -- wire plumbing ----------------------------------------------------
 
@@ -85,12 +110,34 @@ class ServiceClient:
             request["max_files"] = max_files
         if rate_bytes is not None:
             request["rate_bytes"] = rate_bytes
+        if self._tel.tracing and self._root is None:
+            root = self._tel.span("client.push", tenant=tenant)
+            if isinstance(root, Span):
+                self._root = root.__enter__()
+                request["trace_id"] = self._tel.trace_id
+                request["parent_span"] = self._tel.span_ref(self._root.span_id)
+        try:
+            return _raise_for(self._send_recv(request))
+        except BaseException:
+            self._finish_trace("refused")
+            raise
+
+    def _send_recv(self, request: dict[str, Any]) -> dict[str, Any]:
         self._send(request)
-        return _raise_for(self._recv())
+        return self._recv()
+
+    def _finish_trace(self, outcome: str) -> None:
+        """Close the root span (if a traced session is in flight)."""
+        root = self._root
+        if root is not None:
+            self._root = None
+            root.set_attr("outcome", outcome)
+            root.__exit__(None, None, None)
 
     def put(self, path: str, data: bytes) -> dict[str, Any]:
         """Ingest one file and wait for its result."""
-        self._send({"op": "put", "path": path, "size": len(data)}, data)
+        with self._tel.span("client.send", path=path, size=len(data)):
+            self._send({"op": "put", "path": path, "size": len(data)}, data)
         return _raise_for(self._recv())
 
     def push_many(self, files: list[tuple[str, bytes]]) -> list[dict[str, Any]]:
@@ -100,7 +147,8 @@ class ServiceClient:
         mid-batch does not hide the later per-file outcomes.
         """
         for path, data in files:
-            self._send({"op": "put", "path": path, "size": len(data)}, data)
+            with self._tel.span("client.send", path=path, size=len(data)):
+                self._send({"op": "put", "path": path, "size": len(data)}, data)
         # Any non-put request forces the server to flush put responses.
         self._send({"op": "ping"})
         responses = [self._recv() for _ in files]
@@ -110,12 +158,21 @@ class ServiceClient:
     def commit(self) -> dict[str, Any]:
         """Finalize the open session; returns stats and usage."""
         self._send({"op": "commit"})
-        return _raise_for(self._recv())
+        try:
+            response = _raise_for(self._recv())
+        except BaseException:
+            self._finish_trace("failed")
+            raise
+        self._finish_trace("committed")
+        return response
 
     def abort(self) -> dict[str, Any]:
         """Abort the open session (server repairs the keyspace)."""
         self._send({"op": "abort"})
-        return _raise_for(self._recv())
+        try:
+            return _raise_for(self._recv())
+        finally:
+            self._finish_trace("aborted")
 
     # -- sessionless ops --------------------------------------------------
 
@@ -151,6 +208,7 @@ class ServiceClient:
 
     def close(self) -> None:
         """Close the connection (an open session aborts server-side)."""
+        self._finish_trace("abandoned")
         try:
             self._rfile.close()
         finally:

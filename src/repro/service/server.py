@@ -54,13 +54,18 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
+import time
 from collections.abc import Callable
 from concurrent.futures import Future
+from pathlib import Path
 from typing import Any
 
 from ..core.config import DedupConfig
 from ..obs.metrics import MetricsRegistry
-from ..obs.sinks import prom_text_multi
+from ..obs.sinks import JsonlTraceSink, prom_text_multi
+from ..obs.slo import SLOEngine
+from ..obs.telemetry import HeartbeatEvent
 from ..parallel import FleetExecutor, SerialLane
 from ..registry import resolve
 from ..storage import StorageBackend
@@ -69,6 +74,12 @@ from .session import DedupSession, SessionClosed, latest_files, restore_file
 from .tenancy import Tenant, TenantRegistry, validate_tenant_id
 
 __all__ = ["DedupServer"]
+
+logger = logging.getLogger("repro.service")
+
+#: Waits shorter than this are not worth a trace span (scheduler
+#: noise, uncontended lock acquires) — keeps traces readable.
+_WAIT_SPAN_FLOOR = 0.001
 
 #: Longest accepted protocol line (headers are small; payloads are raw).
 #: Passed as the StreamReader ``limit`` — overruns surface as a
@@ -125,6 +136,16 @@ class DedupServer:
         Longest an ``open`` waits (on the event loop, never on a fleet
         thread) for the tenant's session lock before the ``busy``
         refusal.
+    trace_dir:
+        When set, every session writes a JSONL trace file
+        ``trace-<tenant>-<n>.jsonl`` there, continuing the client's
+        trace context when the ``open`` request carries one —
+        ``repro-dedup trace-view client.jsonl trace-server-….jsonl``
+        merges them into one cross-process tree.
+    slo:
+        The per-tenant SLO engine behind ``/slo`` and the ``slo.*``
+        gauges in ``/metrics``; a default-spec engine is installed
+        when omitted.
     """
 
     def __init__(
@@ -141,6 +162,8 @@ class DedupServer:
         queue_depth: int = 4,
         max_rate_delay: float = 5.0,
         open_wait: float = 30.0,
+        trace_dir: str | Path | None = None,
+        slo: SLOEngine | None = None,
     ) -> None:
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
@@ -160,7 +183,30 @@ class DedupServer:
         self.fleet = FleetExecutor(workers)
         #: Service-global (unlabeled) metrics: connections, HTTP hits.
         self.metrics = MetricsRegistry()
+        self.slo = slo if slo is not None else SLOEngine()
+        self.trace_dir: Path | None = Path(trace_dir) if trace_dir is not None else None
+        if self.trace_dir is not None:
+            self.trace_dir.mkdir(parents=True, exist_ok=True)
+        self._trace_seq = 0
         self._server: asyncio.AbstractServer | None = None
+
+    def _session_trace_sink(self, tenant_id: str) -> JsonlTraceSink | None:
+        """A fresh per-session trace sink under ``trace_dir`` (or None)."""
+        if self.trace_dir is None:
+            return None
+        self._trace_seq += 1
+        return JsonlTraceSink(self.trace_dir / f"trace-{tenant_id}-{self._trace_seq:04d}.jsonl")
+
+    def _heartbeat(self, event: HeartbeatEvent) -> None:
+        """Log session liveness: the no-trace attribution channel."""
+        logger.info(
+            "heartbeat tenant=%s files=%d input_bytes=%d der=%.2f active_sessions=%d",
+            event.tenant,
+            event.files,
+            event.input_bytes,
+            event.der_so_far,
+            event.active_sessions,
+        )
 
     # ---- lifecycle ------------------------------------------------------
 
@@ -197,6 +243,10 @@ class DedupServer:
         groups: list[tuple[dict[str, str], MetricsRegistry]] = [({}, self.metrics)]
         groups += [
             ({"tenant": tid}, reg) for tid, reg in self.registry.metrics_by_tenant()
+        ]
+        groups += [
+            ({"tenant": tid}, reg)
+            for tid, reg in sorted(self.slo.gauge_registries().items())
         ]
         return prom_text_multi(groups)
 
@@ -275,6 +325,10 @@ class DedupServer:
             body = self.metrics_text().encode("utf-8")
             status = "200 OK"
             ctype = "text/plain; version=0.0.4; charset=utf-8"
+        elif path == "/slo":
+            body = (json.dumps(self.slo.snapshot(), sort_keys=True) + "\n").encode("utf-8")
+            status = "200 OK"
+            ctype = "application/json; charset=utf-8"
         elif path == "/healthz":
             body = b"ok\n"
             status = "200 OK"
@@ -348,6 +402,23 @@ class _Connection:
         self.slots: asyncio.Semaphore | None = None
         #: In-order responses for pipelined puts awaiting their result.
         self.pending: list[asyncio.Future[dict[str, Any]]] = []
+        #: Session-latency bookkeeping for the SLO engine.
+        self._session_t0 = 0.0
+        self._slo_recorded = True  # no session yet — nothing to record
+
+    def _record_session_slo(self, ok: bool) -> None:
+        """Report the current session's latency + outcome once.
+
+        Called at every point the connection observes its session
+        leaving the ``open`` state: commit, abort, a put that aborted
+        it server-side, or connection teardown.
+        """
+        session = self.session
+        if session is None or self._slo_recorded:
+            return
+        self._slo_recorded = True
+        elapsed = time.perf_counter() - self._session_t0
+        self.server.slo.record_session(session.tenant.tenant_id, elapsed, ok=ok)
 
     # -- plumbing ---------------------------------------------------------
 
@@ -458,6 +529,7 @@ class _Connection:
                 # to error payloads before completing them.
                 pass
         self.pending = []
+        self._record_session_slo(ok=False)  # no-op unless still unrecorded
         session = self.session
         self.session = None
         if session is not None and session.state == "open":
@@ -510,6 +582,11 @@ class _Connection:
             isinstance(rate, bool) or not isinstance(rate, (int, float))
         ):
             raise _ProtocolError("'rate_bytes' must be a number")
+        # Optional trace context (old clients simply omit both fields).
+        trace_id = request.get("trace_id", "")
+        parent_span = request.get("parent_span", "")
+        if not isinstance(trace_id, str) or not isinstance(parent_span, str):
+            raise _ProtocolError("'trace_id'/'parent_span' must be str")
         try:
             tenant = self.server.registry.register(
                 tenant_id,
@@ -523,11 +600,24 @@ class _Connection:
             algorithm=algorithm,
             config=self.server.config,
             max_rate_delay=self.server.max_rate_delay,
+            trace_sink=self.server._session_trace_sink(tenant_id),
+            trace_id=trace_id,
+            parent_ref=parent_span,
+            heartbeat=self.server._heartbeat,
+            active_sessions=self.server.registry.active_sessions,
         )
         # The only part of open() that can block — waiting out another
         # session of the same tenant — happens here on the event loop;
         # the fleet thread below only ever does the warm start.
-        await self.server.acquire_tenant_lock(tenant)
+        lock_t0 = time.perf_counter()
+        try:
+            await self.server.acquire_tenant_lock(tenant)
+        except TenantBusy:
+            self.server.slo.record_admission(tenant_id, rejected=True)
+            raise
+        lock_wait = time.perf_counter() - lock_t0
+        if lock_wait >= _WAIT_SPAN_FLOOR:
+            session.record_wait("wait.tenant_lock", lock_wait)
         self.lane = self.server.fleet.lane()
         self.slots = asyncio.Semaphore(self.server.queue_depth)
         try:
@@ -539,12 +629,18 @@ class _Connection:
             raise
         await asyncio.wrap_future(fut)
         self.session = session
-        return {
+        self._session_t0 = time.perf_counter()
+        self._slo_recorded = False
+        self.server.slo.record_admission(tenant_id)
+        response = {
             "ok": True,
             "session": session.session_id,
             "generation": session.generation,
             "algorithm": session.algorithm,
         }
+        if session.trace_id:
+            response["trace_id"] = session.trace_id
+        return response
 
     def _defer_response(self, obj: dict[str, Any]) -> None:
         """Queue an already-known put response, preserving reply order."""
@@ -572,23 +668,39 @@ class _Connection:
         # delay must be an asyncio.sleep — a session sleeping out its
         # rate limit on a fleet thread would hold pool capacity that
         # every other session's lane tasks need.
+        tenant_id = session.tenant.tenant_id
         try:
             delay = session.admit(size)
-        except (ServiceError, SessionClosed) as e:
-            # Refused (or the session aborted under a queued put);
-            # still answered in submission order.
+        except ServiceError as e:
+            # Refused; still answered in submission order.
+            self.server.slo.record_admission(tenant_id, rejected=True)
             self._defer_response(_error_payload(e))
             return
+        except SessionClosed as e:
+            # The session aborted under a queued put — not an
+            # admission-control refusal, so no SLO rejection.
+            self._defer_response(_error_payload(e))
+            return
+        self.server.slo.record_admission(tenant_id)
         if delay > 0:
             await asyncio.sleep(delay)
+            session.record_wait("wait.rate", delay)
         # Bounded admission: while the session's queue is full this
         # coroutine parks here, the socket goes unread, and the client
         # feels TCP back-pressure.
+        queue_t0 = time.perf_counter()
         await self.slots.acquire()
+        queue_wait = time.perf_counter() - queue_t0
+        if queue_wait >= _WAIT_SPAN_FLOOR:
+            session.record_wait("wait.queue", queue_wait)
         loop = asyncio.get_running_loop()
         result: asyncio.Future[dict[str, Any]] = loop.create_future()
+        submitted = time.perf_counter()
 
         def work() -> dict[str, Any]:
+            lane_wait = time.perf_counter() - submitted
+            if lane_wait >= _WAIT_SPAN_FLOOR:
+                session.record_wait("wait.lane", lane_wait)
             store_id = session.write(path, payload, preadmitted=True)
             return {"ok": True, "store_id": store_id}
 
@@ -612,6 +724,10 @@ class _Connection:
             result.set_result(fut.result())
         else:
             result.set_result(_error_payload(exc))
+            # A failed write aborts the session server-side; that is
+            # the error outcome the SLO engine should see.
+            if self.session is not None and self.session.state != "open":
+                self._record_session_slo(ok=False)
         self._flush_ready()
 
     async def _op_commit(self) -> dict[str, Any]:
@@ -619,7 +735,12 @@ class _Connection:
         if session is None or session.state != "open":
             self.session = None
             return dict(_NO_SESSION)
-        stats = await self._run_in_lane(session.commit)
+        try:
+            stats = await self._run_in_lane(session.commit)
+        except BaseException:
+            self._record_session_slo(ok=False)
+            raise
+        self._record_session_slo(ok=True)
         self.session = None
         return {
             "ok": True,
@@ -633,7 +754,10 @@ class _Connection:
         if session is None or session.state != "open":
             self.session = None
             return dict(_NO_SESSION)
-        report = await self._run_in_lane(session.abort)
+        try:
+            report = await self._run_in_lane(session.abort)
+        finally:
+            self._record_session_slo(ok=False)
         self.session = None
         return {"ok": True, "repairs": report.repairs, "actions": report.actions}
 

@@ -49,7 +49,9 @@ from typing import BinaryIO
 
 from ..core.base import Deduplicator, DedupStats
 from ..core.config import DedupConfig
-from ..obs.telemetry import Telemetry
+from ..obs.sinks import Sink
+from ..obs.telemetry import HeartbeatEvent, Telemetry
+from ..obs.trace import Span
 from ..registry import resolve
 from ..storage import StorageBackend
 from ..storage.chunk_store import DiskChunkStore
@@ -166,6 +168,22 @@ class DedupSession:
         sleeps on a worker thread: it calls :meth:`admit` on the
         event loop and absorbs the delay with ``asyncio.sleep``
         before dispatching the pre-admitted write.
+    trace_sink:
+        Optional span sink (typically a
+        :class:`~repro.obs.sinks.JsonlTraceSink`).  When set, the
+        session opens a root ``session`` span at :meth:`open` and the
+        dedup core's ingest spans nest under it, all stamped with the
+        session's trace context.
+    trace_id / parent_ref:
+        Cross-process trace context received over the wire: the
+        client's trace id (fresh one generated when empty) and the
+        span ref (``"<origin>#<id>"``) of the client's root span,
+        recorded as the root span's ``remote_parent`` so
+        ``merge_traces`` can stitch client and server files.
+    heartbeat / active_sessions:
+        Forwarded into the session's :class:`Telemetry` so heartbeat
+        events carry the tenant id and the server-wide live-session
+        count.
     """
 
     def __init__(
@@ -176,6 +194,11 @@ class DedupSession:
         max_rate_delay: float = 5.0,
         open_wait: float = 300.0,
         sleep: Callable[[float], None] = time.sleep,
+        trace_sink: Sink | None = None,
+        trace_id: str = "",
+        parent_ref: str = "",
+        heartbeat: Callable[[HeartbeatEvent], None] | None = None,
+        active_sessions: Callable[[], int] | None = None,
     ) -> None:
         self.tenant = tenant
         self.algorithm = algorithm
@@ -183,11 +206,18 @@ class DedupSession:
         self.max_rate_delay = max_rate_delay
         self.open_wait = open_wait
         self._sleep = sleep
+        self._trace_sink = trace_sink
+        self._trace_id = trace_id
+        self._parent_ref = parent_ref
+        self._heartbeat = heartbeat
+        self._active_sessions = active_sessions
         self._state = "new"
         self.session_id = ""
         self.generation = -1
         self._dedup: Deduplicator | None = None
         self._telemetry: Telemetry | None = None
+        self._root_span: Span | None = None
+        self._pending_waits: list[tuple[str, float]] = []
         self.stats: DedupStats | None = None
         self.recovery: RecoveryReport | None = None
 
@@ -231,7 +261,14 @@ class DedupSession:
             dedup_cls = resolve(self.algorithm)
             dedup = dedup_cls(self.config, backend=self.tenant.view)
             dedup.warm_start()
-            tel = Telemetry()
+            tel = Telemetry(
+                sinks=(self._trace_sink,) if self._trace_sink is not None else (),
+                heartbeat=self._heartbeat,
+                trace_id=self._trace_id,
+                origin=f"server {self.session_id}",
+                tenant=self.tenant.tenant_id,
+                active_sessions=self._active_sessions,
+            )
             dedup.telemetry = tel
             dedup.ingest_observer = _QuotaObserver(self)
             gens = [
@@ -240,6 +277,20 @@ class DedupSession:
             self.generation = max(gens, default=-1) + 1
             self._dedup = dedup
             self._telemetry = tel
+            if tel.tracing:
+                attrs = {
+                    "tenant": self.tenant.tenant_id,
+                    "session": self.session_id,
+                    "generation": self.generation,
+                }
+                if self._parent_ref:
+                    attrs["remote_parent"] = self._parent_ref
+                root = tel.span("session", **attrs)
+                if isinstance(root, Span):
+                    self._root_span = root.__enter__()
+                for name, seconds in self._pending_waits:
+                    self.record_wait(name, seconds)
+                self._pending_waits.clear()
         except BaseException:
             self.tenant.lock.release()
             raise
@@ -250,6 +301,46 @@ class DedupSession:
     def store_id_for(self, path: str) -> str:
         """The store-side file id this session will write ``path`` as."""
         return f"g{self.generation:06d}/{path}"
+
+    # ---- trace context ---------------------------------------------------
+
+    @property
+    def trace_id(self) -> str:
+        """The session's cross-process trace id ("" when not tracing)."""
+        tel = self._telemetry
+        return tel.trace_id if tel is not None else ""
+
+    def record_wait(self, name: str, seconds: float) -> None:
+        """Attribute a measured wait to this session's trace.
+
+        Thread-safe and stack-free (a closed span parented on the
+        session root), so the server's event loop can report the waits
+        it absorbs on the session's behalf — ``wait.tenant_lock``,
+        ``wait.rate``, ``wait.queue``, ``wait.lane`` — while the lane
+        thread owns the span stack.  Waits measured before :meth:`open`
+        builds the tracer are buffered and flushed once it exists;
+        everything is a no-op when the session has no trace sink.
+        """
+        if seconds <= 0.0:
+            return
+        tel = self._telemetry
+        if tel is None or not tel.tracing:
+            if self._trace_sink is not None:
+                self._pending_waits.append((name, seconds))
+            return
+        root = self._root_span
+        tel.closed_span(name, seconds, parent=root.span_id if root is not None else -1)
+
+    def _finish_trace(self, outcome: str) -> None:
+        """Close the root ``session`` span and flush the trace sink."""
+        root = self._root_span
+        if root is not None:
+            root.set_attr("outcome", outcome)
+            root.__exit__(None, None, None)
+            self._root_span = None
+        tel = self._telemetry
+        if tel is not None and self._trace_sink is not None:
+            tel.close()
 
     def admit(self, declared_bytes: int) -> float:
         """Admission control alone: quota pre-check + rate reservation.
@@ -335,12 +426,18 @@ class DedupSession:
     def commit(self) -> DedupStats:
         """Finalize the run, fold its metrics into the tenant's, unlock."""
         dedup = self._require_open()
+        tel = self._telemetry
         try:
-            stats = dedup.finalize()
+            if tel is not None and tel.tracing:
+                with tel.span("commit"):
+                    stats = dedup.finalize()
+            else:
+                stats = dedup.finalize()
         except BaseException:
             self.abort()
             raise
         self.stats = stats
+        self._finish_trace("committed")
         tel = self._telemetry
         if tel is not None:
             self.tenant.merge_metrics(tel.registry)
@@ -363,6 +460,7 @@ class DedupSession:
             raise SessionClosed(f"cannot abort a session in state {self._state!r}")
         self._state = "aborted"
         self._dedup = None
+        self._finish_trace("aborted")
         try:
             self.recovery = recover(self.tenant.view)
         finally:

@@ -263,6 +263,17 @@ class TenantRegistry:
                 found.add(tenant_id)
         return sorted(found | set(self.registered()))
 
+    def active_sessions(self) -> int:
+        """How many tenants have a session open right now.
+
+        A tenant's session lock is held exactly while a session is
+        open (``DedupSession.open`` takes it, commit/abort release
+        it), so the held-lock count *is* the live session count — the
+        figure stamped on heartbeat events.
+        """
+        with self._lock:
+            return sum(1 for t in self._tenants.values() if t.lock.locked())
+
     def metrics_by_tenant(self) -> list[tuple[str, MetricsRegistry]]:
         """(tenant_id, registry snapshot) pairs for ``/metrics``.
 

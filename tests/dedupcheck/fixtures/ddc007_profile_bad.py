@@ -1,0 +1,16 @@
+"""A profiler that drives the pipeline it is meant to sample."""
+
+from repro.core.base import Deduplicator
+
+
+class WarmupSampler:
+    """Re-runs ingest "to have something to profile"."""
+
+    def __init__(self, dedup: Deduplicator) -> None:
+        self.dedup = dedup
+        self.samples = 0
+
+    def start(self, files) -> None:
+        """Warm the pipeline by running it — a write, not a sample."""
+        self.dedup.process(files)
+        self.samples += 1

@@ -1,0 +1,23 @@
+"""A profiler that only samples interpreter state: stdlib in, text out."""
+
+import sys
+import threading
+
+
+class IdleSampler:
+    """Counts frames per thread without touching the observed program."""
+
+    def __init__(self) -> None:
+        self.samples: dict[int, int] = {}
+        self._lock = threading.Lock()
+
+    def sample_once(self) -> None:
+        """Snapshot every thread's current frame depth."""
+        frames = sys._current_frames()
+        with self._lock:
+            for thread_id, frame in frames.items():
+                depth = 0
+                while frame is not None:
+                    depth += 1
+                    frame = frame.f_back
+                self.samples[thread_id] = depth

@@ -1,0 +1,29 @@
+"""An SLO engine that enforces admission instead of observing it."""
+
+from repro.service.quotas import QuotaLedger, TokenBucket
+
+
+class EnforcingSLOEngine:
+    """Charges ledgers and reserves rate tokens from inside obs."""
+
+    def __init__(self, ledger: QuotaLedger, bucket: TokenBucket) -> None:
+        self.ledger = ledger
+        self.bucket = bucket
+        self.bad = 0
+        self.total = 0
+
+    def record_session(self, tenant: str, nbytes: int, ok: bool) -> None:
+        """Admission control disguised as burn-rate accounting."""
+        self.ledger.check_admit(tenant, nbytes)
+        self.ledger.charge_bytes(tenant, nbytes)
+        self.ledger.charge_file(tenant)
+        self.bucket.reserve(float(nbytes))
+        self.total += 1
+        if not ok:
+            self.bad += 1
+
+    def burn_rate(self, objective: float) -> float:
+        """The only part of this class that belongs in obs."""
+        if self.total == 0:
+            return 0.0
+        return (self.bad / self.total) / (1.0 - objective)

@@ -1,0 +1,27 @@
+"""An SLO engine that only counts outcomes and computes burn rates."""
+
+import threading
+
+
+class CountingSLOEngine:
+    """Pure observation: tallies passed to it, ratios computed from them."""
+
+    def __init__(self, objective: float) -> None:
+        self.objective = objective
+        self.bad = 0
+        self.total = 0
+        self._lock = threading.Lock()
+
+    def record_session(self, ok: bool) -> None:
+        """Count one finished session outcome."""
+        with self._lock:
+            self.total += 1
+            if not ok:
+                self.bad += 1
+
+    def burn_rate(self) -> float:
+        """Error-budget consumption rate over the recorded window."""
+        with self._lock:
+            if self.total == 0:
+                return 0.0
+            return (self.bad / self.total) / (1.0 - self.objective)

@@ -25,6 +25,8 @@ CASES = [
     ("DDC005", "ddc005", "src/repro/storage/newstore.py"),
     ("DDC006", "ddc006", "src/repro/baselines/newalgo.py"),
     ("DDC007", "ddc007", "src/repro/obs/newsink.py"),
+    ("DDC007", "ddc007_slo", "src/repro/obs/slo.py"),
+    ("DDC007", "ddc007_profile", "src/repro/obs/profile.py"),
     ("DDC101", "ddc101", "src/repro/service/newloop.py"),
     ("DDC102", "ddc102", "src/repro/service/newlane.py"),
     ("DDC103", "ddc103", "src/repro/service/newserver.py"),

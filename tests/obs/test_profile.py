@@ -1,0 +1,167 @@
+"""Unit tests for the continuous stack sampler.
+
+``sample_once`` is called directly where possible, so most tests need
+no background sampler thread and no timing assumptions.
+"""
+
+import sys
+import threading
+
+import pytest
+
+from repro.obs import StackSampler
+
+
+def parked_thread(name: str):
+    """A live thread parked on an Event, plus its release function."""
+    release = threading.Event()
+
+    def body():
+        waiting.set()
+        release.wait(30)
+
+    waiting = threading.Event()
+    thread = threading.Thread(target=body, name=name, daemon=True)
+    thread.start()
+    assert waiting.wait(10)
+    return thread, release
+
+
+class TestSampling:
+    def test_sample_once_captures_this_thread(self):
+        sampler = StackSampler()
+        thread, release = parked_thread("worker-1")
+        try:
+            sampler.sample_once()
+        finally:
+            release.set()
+            thread.join(10)
+        text = sampler.collapsed()
+        assert text, "expected at least one stack"
+        # The parked thread's stack ends in Event.wait machinery.
+        assert "threading:wait" in text
+        assert "test_profile:body" in text
+
+    def test_collapsed_format_is_stack_space_count(self):
+        sampler = StackSampler()
+        thread, release = parked_thread("worker-1")
+        try:
+            sampler.sample_once()
+            sampler.sample_once()
+        finally:
+            release.set()
+            thread.join(10)
+        for line in sampler.collapsed().splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert stack and int(count) >= 1
+            for label in stack.split(";"):
+                mod, _, func = label.partition(":")
+                assert mod and func
+
+    def test_repeated_stacks_accumulate(self):
+        sampler = StackSampler()
+        thread, release = parked_thread("worker-1")
+        try:
+            for _ in range(5):
+                sampler.sample_once()
+        finally:
+            release.set()
+            thread.join(10)
+        counts = [
+            int(line.rpartition(" ")[2])
+            for line in sampler.collapsed().splitlines()
+            if "test_profile:body" in line
+        ]
+        assert sum(counts) == 5
+        assert sampler.samples == 5
+
+    def test_thread_prefix_filter(self):
+        sampler = StackSampler(thread_prefixes=("fleet",))
+        fleet, release_fleet = parked_thread("fleet-0")
+        other, release_other = parked_thread("loiterer")
+        try:
+            sampler.sample_once()
+        finally:
+            release_fleet.set()
+            release_other.set()
+            fleet.join(10)
+            other.join(10)
+        text = sampler.collapsed()
+        assert "test_profile:body" in text
+        # Exactly one eligible thread: every stack is the fleet one's.
+        assert all(
+            "test_profile:body" in line for line in text.splitlines()
+        ), text
+
+    def test_max_depth_keeps_the_leaf_frames(self):
+        deep = threading.Event()
+        release = threading.Event()
+
+        def recurse(n):
+            if n == 0:
+                deep.set()
+                release.wait(30)
+                return
+            recurse(n - 1)
+
+        shallow = StackSampler(max_depth=3)
+        thread = threading.Thread(target=recurse, args=(10,), daemon=True)
+        thread.start()
+        try:
+            assert deep.wait(10)
+            shallow.sample_once()
+        finally:
+            release.set()
+            thread.join(10)
+        (line,) = shallow.collapsed().splitlines()
+        stack = line.rpartition(" ")[0].split(";")
+        assert len(stack) == 3
+        # Leaf end (the Event.wait frames) survives; the root frames —
+        # thread bootstrap and most of the recursion — are dropped.
+        assert stack[-1] == "threading:wait"
+        assert "threading:_bootstrap" not in stack
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            StackSampler(interval_s=0.0)
+
+
+class TestLifecycle:
+    def test_context_manager_samples_in_background(self):
+        thread, release = parked_thread("worker-1")
+        try:
+            with StackSampler(interval_s=0.001) as sampler:
+                release_gate = threading.Event()
+                release_gate.wait(0.1)
+        finally:
+            release.set()
+            thread.join(10)
+        assert sampler.samples > 0
+        assert "test_profile:body" in sampler.collapsed()
+
+    def test_start_and_stop_are_idempotent(self):
+        sampler = StackSampler(interval_s=0.001)
+        sampler.start()
+        sampler.start()
+        sampler.stop()
+        sampler.stop()
+
+    def test_write_returns_stack_count(self, tmp_path):
+        sampler = StackSampler()
+        thread, release = parked_thread("worker-1")
+        try:
+            sampler.sample_once()
+        finally:
+            release.set()
+            thread.join(10)
+        out = tmp_path / "profile.collapsed"
+        stacks = sampler.write(out)
+        lines = [ln for ln in out.read_text().splitlines() if ln]
+        assert stacks == len(lines) > 0
+
+    def test_write_empty_profile(self, tmp_path):
+        sampler = StackSampler(thread_prefixes=("nothing-matches",))
+        sampler.sample_once()
+        out = tmp_path / "profile.collapsed"
+        assert sampler.write(out) == 0
+        assert out.read_text() == ""

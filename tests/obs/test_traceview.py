@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.obs import SpanEvent, summarize
+from repro.obs import SpanEvent, merge_traces, summarize
 from repro.obs.traceview import render_table
 
 
@@ -98,3 +98,96 @@ class TestRenderTable:
     def test_empty_summary_renders_header_only(self):
         text = render_table(summarize([]))
         assert text.splitlines()[-1].startswith("(run)")
+
+
+def _rev(name, span_id, parent, duration, origin, trace_id="t1", **attrs):
+    """A span event stamped with an origin + trace id (cross-process)."""
+    return SpanEvent(name, span_id, parent, 0.0, duration, dict(attrs), trace_id, origin)
+
+
+class TestWaitWorkSplit:
+    def test_wait_spans_split_out_of_coverage(self):
+        spans = [
+            _ev("wait.rate", 2, 1, 0.3),
+            _ev("chunk", 3, 1, 0.5),
+            _ev("session", 1, -1, 1.0),
+        ]
+        summary = summarize(spans)
+        assert summary.wait_s == pytest.approx(0.3)
+        assert summary.work_s == pytest.approx(summary.covered_s - 0.3)
+
+    def test_no_wait_spans_means_all_work(self):
+        summary = summarize([_ev("run", 1, -1, 1.0)])
+        assert summary.wait_s == 0.0
+        assert summary.work_s == pytest.approx(summary.covered_s)
+
+    def test_render_table_shows_wait_and_work_rows(self):
+        spans = [
+            _ev("wait.rate", 2, 1, 0.3),
+            _ev("session", 1, -1, 1.0),
+        ]
+        text = render_table(summarize(spans))
+        lines = text.splitlines()
+        assert any(line.startswith("(wait)") for line in lines)
+        assert any(line.startswith("(work)") for line in lines)
+        assert lines[-1].startswith("(run)")
+
+
+class TestMergeTraces:
+    def test_remote_parent_stitches_processes(self):
+        client = [
+            _rev("client.push", 1, -1, 1.0, "client"),
+            _rev("client.send", 2, 1, 0.1, "client"),
+        ]
+        server = [
+            _rev("session", 1, -1, 0.8, "server s1", remote_parent="client#1"),
+            _rev("file", 2, 1, 0.5, "server s1"),
+        ]
+        merged = merge_traces([client, server])
+        assert len(merged) == 4
+        by_name = {ev.name: ev for ev in merged}
+        ids = {ev.span_id for ev in merged}
+        assert len(ids) == 4, "span ids must be rebased into one space"
+        assert by_name["session"].parent == by_name["client.push"].span_id
+        assert by_name["file"].parent == by_name["session"].span_id
+        # The merged tree is summarizable (one root, no dangling refs).
+        summary = summarize(merged)
+        assert summary.run_s == pytest.approx(1.0)
+
+    def test_unresolvable_remote_parent_stays_root(self):
+        server = [
+            _rev("session", 1, -1, 0.8, "server s1", remote_parent="client#99"),
+        ]
+        (merged,) = merge_traces([server])
+        assert merged.parent == -1
+
+    def test_single_file_passthrough_keeps_tree_shape(self):
+        spans = [
+            _rev("run", 1, -1, 1.0, "run"),
+            _rev("file", 2, 1, 0.4, "run"),
+        ]
+        merged = merge_traces([spans])
+        assert {(ev.name, ev.parent != -1) for ev in merged} == {
+            ("run", False),
+            ("file", True),
+        }
+
+    def test_colliding_span_ids_across_files_are_rebased(self):
+        a = [_rev("a", 1, -1, 0.1, "p1")]
+        b = [_rev("b", 1, -1, 0.2, "p2")]
+        merged = merge_traces([a, b])
+        assert len({ev.span_id for ev in merged}) == 2
+
+    def test_duplicate_ids_within_one_file_rejected(self):
+        bad = [_rev("a", 1, -1, 0.1, "p1"), _rev("b", 1, -1, 0.2, "p1")]
+        with pytest.raises(ValueError, match="duplicate span id"):
+            merge_traces([bad])
+
+    def test_dangling_in_file_parent_rejected(self):
+        bad = [_rev("a", 2, 77, 0.1, "p1")]
+        with pytest.raises(ValueError, match="unknown parent"):
+            merge_traces([bad])
+
+    def test_empty_input(self):
+        assert merge_traces([]) == []
+        assert merge_traces([[], []]) == []

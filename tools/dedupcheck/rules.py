@@ -449,6 +449,9 @@ class ObsReadOnly:
 
     #: Methods that advance or mutate pipeline state; calling any of
     #: them on a non-``self`` receiver from inside obs is a write.
+    #: The quota/rate names guard the SLO engine specifically: an SLO
+    #: that *charges* ledgers or *reserves* bucket tokens while
+    #: computing burn rates is admission control, not observation.
     _MUTATING_CALLS = frozenset(
         {
             "process",
@@ -461,6 +464,10 @@ class ObsReadOnly:
             "_count_unique_many",
             "_count_duplicate",
             "_break_dup_run",
+            "charge_bytes",
+            "charge_file",
+            "check_admit",
+            "reserve",
         }
     )
 
