@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..chunking import Chunk, VectorizedChunker
-from ..hashing import Digest, sha1
+from ..hashing import Digest, sha1, sha1_many
 from ..storage import FileManifest, Manifest
 from ..storage.manifest import ENTRY_SIZE, ManifestEntry
 from ..workloads.machine import BackupFile
@@ -85,8 +85,8 @@ class BimodalDeduplicator(Deduplicator):
 
     def _ingest_chunks(self, batch) -> None:
         ctx = self._ctx
-        for chunk in batch:
-            digest = sha1(chunk.data)
+        digests = sha1_many(chunk.data for chunk in batch)
+        for chunk, digest in zip(batch, digests, strict=True):
             self.cpu.hashed += chunk.size
             hit = self._lookup(digest, ctx.manifest, key=digest)
             if hit is not None and hit[0] is ctx.manifest:
@@ -148,10 +148,11 @@ class BimodalDeduplicator(Deduplicator):
         fm: FileManifest,
     ):
         """Re-chunk one transition big chunk and dedup its small chunks."""
-        small_chunks = self.small_chunker.chunk(bytes(big.data))
+        # The big chunk's view is chunked in place — no bytes() copy.
+        small_chunks = self.small_chunker.chunk(big.data)
         self.cpu.chunked += big.size
-        for chunk in small_chunks:
-            digest = sha1(chunk.data)
+        small_digests = sha1_many(chunk.data for chunk in small_chunks)
+        for chunk, digest in zip(small_chunks, small_digests, strict=True):
             self.cpu.hashed += chunk.size
             hit = self._lookup(digest, manifest, key=digest)
             if hit is not None:

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..chunking import VectorizedChunker
-from ..hashing import Digest, sha1
+from ..hashing import Digest, sha1, sha1_many
 from ..storage import FileManifest, Manifest
 from ..storage.manifest import ENTRY_SIZE, ManifestEntry
 from ..workloads.machine import BackupFile
@@ -60,8 +60,8 @@ class CDCDeduplicator(Deduplicator):
     def _ingest_chunks(self, batch) -> None:
         ctx = self._ctx
         manifest, fm = ctx.manifest, ctx.fm
-        for chunk in batch:
-            digest = sha1(chunk.data)
+        digests = sha1_many(chunk.data for chunk in batch)
+        for chunk, digest in zip(batch, digests, strict=True):
             self.cpu.hashed += chunk.size
             hit = self._lookup(digest, manifest)
             if hit is not None:

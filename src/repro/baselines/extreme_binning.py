@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from ..chunking import Chunk, VectorizedChunker
 from ..core.base import Deduplicator
 from ..core.config import DedupConfig
-from ..hashing import Digest, Hasher, sha1
+from ..hashing import Digest, Hasher, sha1, sha1_many
 from ..storage import FileManifest, StorageBackend
 from ..storage.multi_manifest import MultiEntry, MultiManifest, MultiManifestStore
 from ..workloads.machine import BackupFile
@@ -84,8 +84,8 @@ class ExtremeBinningDeduplicator(Deduplicator):
         self._whole = Hasher()
 
     def _ingest_chunks(self, batch: list[Chunk]) -> None:
+        self._digests.extend(sha1_many(chunk.data for chunk in batch))
         for chunk in batch:
-            self._digests.append(sha1(chunk.data))
             self._whole.update(chunk.data)
             self.cpu.hashed += 2 * chunk.size
         self._chunks.extend(batch)

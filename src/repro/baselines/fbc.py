@@ -20,7 +20,7 @@ both passes are charged to the CPU meter.
 from __future__ import annotations
 
 from ..chunking import Chunk
-from ..hashing import sha1
+from ..hashing import sha1_many
 from ..hashing.sketch import CountMinSketch
 from .bimodal import BimodalDeduplicator
 
@@ -50,10 +50,9 @@ class FBCDeduplicator(BimodalDeduplicator):
         self.frequency_rechunks = 0
 
     def _small_digests(self, big: Chunk) -> list[bytes]:
-        data = bytes(big.data)
-        digests = []
-        for chunk in self.small_chunker.chunk(data):
-            digests.append(sha1(chunk.data))
+        digests: list[bytes] = list(
+            sha1_many(chunk.data for chunk in self.small_chunker.chunk(big.data))
+        )
         self.cpu.chunked += big.size
         self.cpu.hashed += big.size
         return digests

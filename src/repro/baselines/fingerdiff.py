@@ -25,7 +25,7 @@ the ablation bench plots it against MHD's bloom+cache budget.
 from __future__ import annotations
 
 from ..chunking import VectorizedChunker
-from ..hashing import Digest, sha1
+from ..hashing import Digest, sha1, sha1_many, sha1_spans
 from ..storage import FileManifest, Manifest
 from ..storage.manifest import ENTRY_SIZE, ManifestEntry
 from ..workloads.machine import BackupFile
@@ -85,15 +85,16 @@ class FingerdiffDeduplicator(Deduplicator):
             self._db[digest] = (self._container_id, offset, size)
             self._fm.append(self._container_id, offset, size)
             total += size
-        # One coalesced manifest entry for the whole run.
-        coalesced = sha1(b"".join(bytes(d) for _, d, _ in pending))
+        # One coalesced manifest entry for the whole run; the spans
+        # are hashed incrementally without a join copy.
+        coalesced = sha1_spans(d for _, d, _ in pending)
         self.cpu.hashed += total
         self._manifest.append(ManifestEntry(coalesced, base, total, is_hook=True))
         pending.clear()
 
     def _ingest_chunks(self, batch) -> None:
-        for chunk in batch:
-            digest = sha1(chunk.data)
+        digests = sha1_many(chunk.data for chunk in batch)
+        for chunk, digest in zip(batch, digests, strict=True):
             self.cpu.hashed += chunk.size
             extent = self._db.get(digest)
             if extent is not None:

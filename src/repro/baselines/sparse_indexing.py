@@ -28,7 +28,7 @@ from __future__ import annotations
 from collections import Counter
 
 from ..chunking import VectorizedChunker
-from ..hashing import Digest, sha1
+from ..hashing import Digest, sha1, sha1_many
 from ..storage import FileManifest
 from ..storage.multi_manifest import MultiEntry, MultiManifest, MultiManifestStore
 from ..workloads.machine import BackupFile
@@ -85,8 +85,8 @@ class SparseIndexingDeduplicator(Deduplicator):
         self._segment, self._seg_bytes = [], 0
 
     def _ingest_chunks(self, batch) -> None:
-        for chunk in batch:
-            digest = sha1(chunk.data)
+        digests = sha1_many(chunk.data for chunk in batch)
+        for chunk, digest in zip(batch, digests, strict=True):
             self.cpu.hashed += chunk.size
             self._segment.append((digest, chunk))
             self._seg_bytes += chunk.size

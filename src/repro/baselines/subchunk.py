@@ -27,7 +27,7 @@ SubChunk's throughput deficit.
 from __future__ import annotations
 
 from ..chunking import VectorizedChunker
-from ..hashing import Digest, sha1
+from ..hashing import Digest, sha1, sha1_many
 from ..storage import DiskModel, FileManifest
 from ..storage.multi_manifest import MultiEntry, MultiManifest, MultiManifestStore
 from ..workloads.machine import BackupFile
@@ -67,8 +67,8 @@ class SubChunkDeduplicator(Deduplicator):
 
     def _ingest_chunks(self, batch) -> None:
         manifest, fm = self._manifest, self._fm
-        for big in batch:
-            big_digest = sha1(big.data)
+        big_digests = sha1_many(big.data for big in batch)
+        for big, big_digest in zip(batch, big_digests, strict=True):
             self.cpu.hashed += big.size
             # Big-chunk duplication query (one metered disk query).
             self.meter.record(DiskModel.HOOK, "query", 0)
@@ -101,14 +101,14 @@ class SubChunkDeduplicator(Deduplicator):
         fm: FileManifest,
     ) -> None:
         """Re-chunk a non-duplicate big chunk; coalesce its new smalls."""
-        small_chunks = self.small_chunker.chunk(bytes(big.data))
+        small_chunks = self.small_chunker.chunk(big.data)
         self.cpu.chunked += big.size
         container_id = sha1(big_digest + self._container_serial.to_bytes(8, "little"))
         self._container_serial += 1
         writer = None
         extents: list[tuple[Digest, int, int]] = []
-        for chunk in small_chunks:
-            digest = sha1(chunk.data)
+        small_digests = sha1_many(chunk.data for chunk in small_chunks)
+        for chunk, digest in zip(small_chunks, small_digests, strict=True):
             self.cpu.hashed += chunk.size
             hit = self._lookup_small(digest, manifest)
             if hit is not None:

@@ -1,0 +1,61 @@
+"""Kernel auto-selection for the chunking hot path.
+
+Every content-defined chunker in this package exists in two forms:
+
+* a **batched** kernel — NumPy array passes over the whole buffer
+  (candidate detection is O(n) elementwise work instead of an O(n)
+  Python-level loop), worth 2–10× and more on the dominant ingest cost
+  (see PAPERS.md: Vectorized Sequence-Based Chunking, arxiv 2505.21194;
+  Accelerating Data Chunking using Vector Instructions, arxiv
+  2508.05797);
+* a **scalar** byte-at-a-time loop — the executable specification the
+  batched kernel must match bit-for-bit (enforced by the equivalence
+  suite in ``tests/chunking/``), the fallback when NumPy is
+  unavailable, and the measured "pre" side of
+  ``benchmarks/bench_throughput.py``.
+
+The batched kernel is selected automatically whenever NumPy imports.
+Setting ``REPRO_SCALAR_CHUNKING=1`` in the environment forces the
+scalar loops process-wide (benchmark/debug knob), and each chunker
+accepts an explicit ``batched=`` override that beats both.
+
+NumPy is currently a hard dependency of the package as a whole (the
+cut-point arrays and the workload generators use it), so in practice
+:data:`HAVE_NUMPY` is true whenever :mod:`repro` imports at all; the
+probe keeps the selection policy explicit, testable, and ready for a
+future numpy-optional install.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["HAVE_NUMPY", "batched_enabled"]
+
+try:  # pragma: no cover - the container always ships numpy
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    HAVE_NUMPY = False
+
+#: Environment knob forcing the scalar loops (bench/debug only).
+_FORCE_SCALAR_ENV = "REPRO_SCALAR_CHUNKING"
+
+
+def batched_enabled(override: bool | None) -> bool:
+    """Resolve a chunker's ``batched=`` constructor argument.
+
+    ``None`` (the default) auto-selects: batched when NumPy is
+    importable and ``REPRO_SCALAR_CHUNKING`` is unset/empty, scalar
+    otherwise.  An explicit ``True`` demands the NumPy kernel and
+    raises if it cannot be honoured; an explicit ``False`` always
+    forces the scalar loop.
+    """
+    if override is not None:
+        if override and not HAVE_NUMPY:
+            raise RuntimeError("batched chunking requires numpy")
+        return override
+    if os.environ.get(_FORCE_SCALAR_ENV, ""):
+        return False
+    return HAVE_NUMPY

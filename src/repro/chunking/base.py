@@ -293,6 +293,13 @@ class Chunker(ABC):
             piece = reader.read(window_bytes)
             if not piece:
                 if len(buf) > hist:
+                    # Sample the high-water mark here too: the carry +
+                    # tail flushed at EOF is buffered memory just like a
+                    # mid-stream window, and a reader that returns short
+                    # reads could otherwise peak in this branch without
+                    # the append-time sample below ever seeing it.
+                    if stats is not None and len(buf) > stats.peak_buffer_bytes:
+                        stats.peak_buffer_bytes = len(buf)
                     cuts = [int(c) for c in self._cut_points_ctx(buf, hist)]
                     tail = _emit_batch(buf, hist, cuts, pos)
                     if stats is not None and stats.size_hist is not None:

@@ -25,7 +25,9 @@ from __future__ import annotations
 import numpy as np
 import numpy.typing as npt
 
+from ._accel import batched_enabled
 from .base import Buffer, Chunker, ChunkerConfig
+from .reference import ReferenceChunker
 from .vectorized import VectorizedChunker
 
 __all__ = ["FastCDCChunker"]
@@ -40,15 +42,27 @@ class FastCDCChunker(Chunker):
         The level ``NC-1``/``NC-2``/``NC-3`` from the FastCDC paper —
         how many bits the cut condition tightens/loosens by around the
         target size.  ``0`` degenerates to plain CDC.
+    batched:
+        Kernel selection for the two underlying candidate scans:
+        ``None`` auto-selects the NumPy :class:`VectorizedChunker` when
+        available, ``False`` forces the scalar
+        :class:`~repro.chunking.reference.ReferenceChunker` spec loop.
+        Both produce identical candidates, so normalized selection is
+        byte-identical either way.
     """
 
     def __init__(
-        self, config: ChunkerConfig | None = None, normalization: int = 2
+        self,
+        config: ChunkerConfig | None = None,
+        normalization: int = 2,
+        *,
+        batched: bool | None = None,
     ) -> None:
         self.config = config or ChunkerConfig()
         if not 0 <= normalization <= 4:
             raise ValueError(f"normalization must be in [0, 4], got {normalization}")
         self.normalization = normalization
+        self.batched = batched_enabled(batched)
         # Two underlying chunkers give us the strict and loose candidate
         # sets from the identical rolling hash (same seed).
         strict_cfg = ChunkerConfig(
@@ -65,8 +79,11 @@ class FastCDCChunker(Chunker):
             window=self.config.window,
             seed=self.config.seed,
         )
-        self._strict = VectorizedChunker(strict_cfg)
-        self._loose = VectorizedChunker(loose_cfg)
+        chunker_cls: type[VectorizedChunker] | type[ReferenceChunker] = (
+            VectorizedChunker if self.batched else ReferenceChunker
+        )
+        self._strict: Chunker = chunker_cls(strict_cfg)
+        self._loose: Chunker = chunker_cls(loose_cfg)
 
     def cut_points(self, data: Buffer) -> npt.NDArray[np.int64]:
         n = len(data)

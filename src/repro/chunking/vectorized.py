@@ -45,12 +45,52 @@ _U64 = (1 << 64) - 1
 
 
 def _modinv_pow2(a: int) -> int:
-    """Inverse of odd ``a`` modulo ``2^64`` via Newton iteration."""
+    """Inverse of odd ``a`` modulo ``2^64`` via Newton iteration.
+
+    Raises :class:`ValueError` for even ``a`` (no inverse exists
+    modulo a power of two) and verifies the result with an explicit
+    check — a bare ``assert`` here would be stripped under
+    ``python -O`` and let a silently-wrong inverse corrupt every cut
+    point downstream.
+    """
+    if a & 1 == 0:
+        raise ValueError(f"multiplier must be odd to be invertible mod 2^64, got {a}")
     x = a  # 3-bit correct seed for odd a
     for _ in range(6):  # doubles correct bits: 3→6→12→24→48→96
         x = (x * (2 - a * x)) & _U64
-    assert (a * x) & _U64 == 1
+    if (a * x) & _U64 != 1:
+        raise ValueError(f"modular inverse verification failed for multiplier {a}")
     return x
+
+
+#: Process-wide power-table cache keyed by the rolling-hash multiplier.
+#: The tables depend only on ``M`` (``Minv`` is derived from it), so
+#: the key is complete: chunkers sharing a multiplier — FastCDC's
+#: strict/loose pair, every default-seed chunker of a fleet — share one
+#: pair of tables, while differently-seeded configs get distinct
+#: entries and can never poison each other's hashes.  Entries only ever
+#: grow and cached arrays are never mutated in place, so concurrent
+#: readers (service fleet threads) always observe a consistent table;
+#: the worst race is two threads computing the same entry and one
+#: overwriting the other with identical values.
+_POWER_TABLES: dict[int, tuple[npt.NDArray[np.uint64], npt.NDArray[np.uint64]]] = {}
+
+
+def _shared_power_tables(
+    mult: np.uint64, minv: np.uint64, m: int
+) -> tuple[npt.NDArray[np.uint64], npt.NDArray[np.uint64]]:
+    """``(Minv^(j+1))_{j<m}`` and ``(M^p)_{p<=m}``, cached per multiplier."""
+    cached = _POWER_TABLES.get(int(mult))
+    if cached is None or len(cached[0]) < m:
+        with np.errstate(over="ignore"):
+            pow_minv = np.full(m, minv, dtype=np.uint64)
+            np.cumprod(pow_minv, out=pow_minv)
+            pow_m = np.full(m + 1, mult, dtype=np.uint64)
+            pow_m[0] = 1
+            np.cumprod(pow_m, out=pow_m)
+        cached = (pow_minv, pow_m)
+        _POWER_TABLES[int(mult)] = cached
+    return cached
 
 
 class VectorizedChunker(Chunker):
@@ -70,9 +110,12 @@ class VectorizedChunker(Chunker):
         self._minv = np.uint64(_modinv_pow2(mult))
         self._final = np.uint64(final)
         self._threshold = np.uint64(min(self.config.hash_threshold, (1 << 64) - 1))
-        # Power tables are identical for every block of the same length,
-        # so compute them lazily once and slice (saves two cumprod
-        # passes per block — the profiled hot spots).
+        # Power tables are identical for every block of the same length
+        # and depend only on the multiplier, so they live in the
+        # process-wide ``_POWER_TABLES`` cache keyed by ``M`` (saves two
+        # cumprod passes per block — the profiled hot spots — and shares
+        # work across same-seed chunkers).  Instance mirrors keep the
+        # arrays alive and let tests observe reuse.
         self._pow_minv: npt.NDArray[np.uint64] | None = None
         self._pow_m: npt.NDArray[np.uint64] | None = None
 
@@ -82,12 +125,7 @@ class VectorizedChunker(Chunker):
         """Cached ``(Minv^(j+1))_{j<m}`` and ``(M^p)_{p<=m}`` tables."""
         pow_minv, pow_m = self._pow_minv, self._pow_m
         if pow_minv is None or pow_m is None or len(pow_minv) < m:
-            with np.errstate(over="ignore"):
-                pow_minv = np.full(m, self._minv, dtype=np.uint64)
-                np.cumprod(pow_minv, out=pow_minv)
-                pow_m = np.full(m + 1, self._mult, dtype=np.uint64)
-                pow_m[0] = 1
-                np.cumprod(pow_m, out=pow_m)
+            pow_minv, pow_m = _shared_power_tables(self._mult, self._minv, m)
             self._pow_minv, self._pow_m = pow_minv, pow_m
         return pow_minv[:m], pow_m[: m + 1]
 
@@ -109,8 +147,11 @@ class VectorizedChunker(Chunker):
                 if p_first > hi:
                     break
                 byte_start = p_first - w
-                block = raw[byte_start:hi].astype(np.uint64)
-                local = self._candidates_block(block)
+                # The uint8 view is passed through as-is: widening to
+                # uint64 happens fused into the first multiply inside
+                # ``_candidates_block``, so the 8× ``astype`` copy that
+                # used to dominate block setup never materialises.
+                local = self._candidates_block(raw[byte_start:hi])
                 if local.size:
                     pieces.append(local + byte_start)
                 lo = hi
@@ -118,21 +159,24 @@ class VectorizedChunker(Chunker):
             return np.empty(0, dtype=np.int64)
         return np.concatenate(pieces)
 
-    def _candidates_block(self, b: npt.NDArray[np.uint64]) -> npt.NDArray[np.int64]:
+    def _candidates_block(self, b: npt.NDArray[np.uint8]) -> npt.NDArray[np.int64]:
         """Candidate positions within one block (local indices).
 
-        ``b`` is a ``uint64`` array of the block's bytes; returns local
-        positions ``p`` (``w <= p <= len(b)``) where the window hash of
-        ``b[p-w:p]`` satisfies the cut condition.
+        ``b`` is the block's raw ``uint8`` byte view (zero-copy slice of
+        the caller's buffer); returns local positions ``p``
+        (``w <= p <= len(b)``) where the window hash of ``b[p-w:p]``
+        satisfies the cut condition.
         """
         m = len(b)
         w = self.config.window
         final, threshold = self._final, self._threshold
         pow_minv, pow_m = self._power_tables(m)
-        # Q(i) = sum_{j<i} b_j * minv^(j+1); Q[0] = 0
+        # Q(i) = sum_{j<i} b_j * minv^(j+1); Q[0] = 0.  The multiply
+        # widens uint8 → uint64 in chunked casting buffers (dtype=...),
+        # so no 8× copy of the input block is ever allocated.
         q = np.empty(m + 1, dtype=np.uint64)
         q[0] = 0
-        np.cumsum(b * pow_minv, out=q[1:])
+        np.cumsum(np.multiply(b, pow_minv, dtype=np.uint64), out=q[1:])
         # H(p) = M^p * (Q(p) - Q(p-w)), p in [w, m]
         h = pow_m[w:] * (q[w:] - q[:-w])
         cond = (h * final) < threshold

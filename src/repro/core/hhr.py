@@ -29,6 +29,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from ..chunking import Buffer
 from ..hashing import sha1
 from ..storage import Manifest, ManifestEntry
 
@@ -109,7 +110,7 @@ class HHRPlan:
 
 
 def match_suffix_chunks(
-    old: bytes, tail_chunks: Sequence[bytes]
+    old: bytes, tail_chunks: Sequence[Buffer]
 ) -> tuple[int, int, int]:
     """Match whole chunks backwards against the *suffix* of ``old``.
 
@@ -136,7 +137,7 @@ def match_suffix_chunks(
 
 
 def match_prefix_chunks(
-    old: bytes, head_chunks: Sequence[bytes]
+    old: bytes, head_chunks: Sequence[Buffer]
 ) -> tuple[int, int, int]:
     """Match whole chunks forwards against the *prefix* of ``old``."""
     pos = 0

@@ -28,7 +28,7 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from ..chunking import Chunk, Chunker, ChunkerConfig, VectorizedChunker
-from ..hashing import Digest, sha1, sha1_spans
+from ..hashing import Digest, sha1, sha1_many, sha1_spans
 from ..obs.metrics import COUNT_BUCKETS
 from ..storage import (
     ContainerWriter,
@@ -196,9 +196,11 @@ class MHDDeduplicator(Deduplicator):
         tel = self._telemetry
         ctx.pending_chunks.extend(batch)
         with tel.span("hash", chunks=len(batch)):
-            for c in batch:
-                ctx.pending_digests.append(sha1(c.data))
-                self.cpu.hashed += c.size
+            # Batched digest call: the chunk views are zero-copy spans
+            # into the stream buffer, hashed without materialising any
+            # per-chunk bytes objects.
+            ctx.pending_digests.extend(sha1_many(c.data for c in batch))
+            self.cpu.hashed += sum(c.size for c in batch)
         with tel.span("index"):
             self._drain(ctx, eof=False)
 
@@ -479,7 +481,9 @@ class MHDDeduplicator(Deduplicator):
         entry = manifest.entries[j]
         old = self.chunks.read(manifest.chunk_id, entry.offset, entry.size)
         self.hhr_reads += 1
-        tail = [bytes(t.view()) for t in ctx.buffer]
+        # Views compare content-equal against bytes slices of `old`,
+        # so no copies are needed for the suffix match.
+        tail = [t.view() for t in ctx.buffer]
         matched, matched_bytes, compared = match_suffix_chunks(old, tail)
         self.cpu.compared += compared
         edge_size = None
@@ -513,12 +517,13 @@ class MHDDeduplicator(Deduplicator):
         entry = manifest.entries[j]
         old = self.chunks.read(manifest.chunk_id, entry.offset, entry.size)
         self.hhr_reads += 1
-        # Only the chunks that can fit in the old extent participate.
-        head: list[bytes] = []
+        # Only the chunks that can fit in the old extent participate;
+        # zero-copy views suffice for the prefix comparison.
+        head: list[memoryview] = []
         total = 0
         k = i
         while k < len(chunks) and total + chunks[k].size <= entry.size:
-            head.append(bytes(chunks[k].data))
+            head.append(chunks[k].data)
             total += chunks[k].size
             k += 1
         matched, matched_bytes, compared = match_prefix_chunks(old, head)

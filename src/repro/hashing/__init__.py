@@ -1,7 +1,18 @@
 """Hashing primitives: SHA-1 content digests and the Bloom filter."""
 
 from .bloom import BloomFilter, optimal_bits, optimal_num_hashes
-from .digest import HASH_SIZE, Digest, Hasher, hex_short, sha1, sha1_spans
+from .digest import (
+    HASH_SIZE,
+    Digest,
+    Hasher,
+    StagedHasher,
+    blake2b20,
+    blake2b20_many,
+    hex_short,
+    sha1,
+    sha1_many,
+    sha1_spans,
+)
 from .sketch import CountMinSketch
 
 __all__ = [
@@ -11,8 +22,12 @@ __all__ = [
     "HASH_SIZE",
     "Digest",
     "Hasher",
+    "StagedHasher",
+    "blake2b20",
+    "blake2b20_many",
     "hex_short",
     "sha1",
+    "sha1_many",
     "sha1_spans",
     "CountMinSketch",
 ]

@@ -71,3 +71,48 @@ def test_memoryview_input():
     data = random_bytes(20_000, seed=8)
     v = VectorizedChunker(cfg)
     assert np.array_equal(v.cut_points(data), v.cut_points(memoryview(data)))
+
+
+def test_modinv_rejects_even_multiplier():
+    from repro.chunking.vectorized import _modinv_pow2
+
+    for even in (0, 2, 0x9E3779B97F4A7C16):
+        with pytest.raises(ValueError, match="odd"):
+            _modinv_pow2(even)
+
+
+def test_modinv_verified_for_odd_multipliers():
+    from repro.chunking.vectorized import _modinv_pow2
+
+    for a in (1, 3, 0x9E3779B97F4A7C15, (1 << 64) - 1):
+        assert (a * _modinv_pow2(a)) & ((1 << 64) - 1) == 1
+
+
+def test_power_table_cache_keyed_by_multiplier():
+    """Two differently-seeded configs in one process must not share
+    power tables — a shared-cache regression would silently corrupt one
+    chunker's hashes with the other's multiplier."""
+    cfg_a = ChunkerConfig(expected_size=256, window=16, seed=0x1111)
+    cfg_b = ChunkerConfig(expected_size=256, window=16, seed=0x2222)
+    data = random_bytes(80_000, seed=7)
+    # Expected cuts from fresh single-config processes (reference spec).
+    expect_a = ReferenceChunker(cfg_a).cut_points(data)
+    expect_b = ReferenceChunker(cfg_b).cut_points(data)
+    va, vb = VectorizedChunker(cfg_a), VectorizedChunker(cfg_b)
+    # Interleave calls so a mis-keyed cache would cross-contaminate.
+    assert np.array_equal(va.cut_points(data), expect_a)
+    assert np.array_equal(vb.cut_points(data), expect_b)
+    assert np.array_equal(va.cut_points(data), expect_a)
+    assert id(va._pow_minv) != id(vb._pow_minv)
+    # Different seeds must really produce different cut decisions for
+    # the contamination check above to have teeth.
+    assert not np.array_equal(expect_a, expect_b)
+
+
+def test_power_table_cache_shared_for_same_multiplier():
+    cfg = ChunkerConfig(expected_size=256, window=16)
+    data = random_bytes(40_000, seed=8)
+    v1, v2 = VectorizedChunker(cfg), VectorizedChunker(cfg)
+    v1.cut_points(data)
+    v2.cut_points(data)
+    assert v1._pow_minv is v2._pow_minv  # one table per multiplier

@@ -156,7 +156,43 @@ def test_peak_buffer_is_bounded_for_64mib_file():
     lookback, lookahead = chunker.stream_params()
     bound = window + chunker.config.max_size + lookahead + lookback
     assert 0 < stats.pipeline.peak_buffer_bytes <= bound
+    # The documented bound is window + max_size + lookahead + lookback
+    # exactly — a peak that only fits a looser bound (e.g. 2× window)
+    # would mean the carry logic regressed, so also pin the peak to at
+    # least one full window (the steady-state minimum for a 64 MiB
+    # stream) to prove the sample is real, not a startup artefact.
+    assert stats.pipeline.peak_buffer_bytes >= window
     # Peak RAM = bloom + manifest cache + stream buffer: a fixed budget,
     # not a function of the 64 MiB input.
     assert stats.peak_ram_bytes < 16 << 20
     assert stats.pipeline.windows >= size // window
+
+
+def test_peak_buffer_sampled_at_eof_flush():
+    """The EOF flush samples the high-water mark too: with a single
+    short read smaller than the stream window, the only chance to
+    observe the peak is the flush branch itself."""
+    import io
+
+    from repro.chunking import ChunkerConfig, StreamStats, VectorizedChunker
+
+    chunker = VectorizedChunker(
+        ChunkerConfig(expected_size=256, min_size=64, max_size=1024, window=16)
+    )
+    data = np.random.default_rng(9).integers(0, 256, 700, dtype=np.uint8).tobytes()
+    stats = StreamStats()
+    # window_bytes far above len(data): the first (short) read is also
+    # the last, holdback exceeds the buffer, and everything flushes in
+    # the EOF branch.
+    chunks = [
+        c
+        for batch in chunker.chunk_stream(
+            io.BytesIO(data), window_bytes=1 << 20, stats=stats
+        )
+        for c in batch
+    ]
+    assert b"".join(bytes(c.data) for c in chunks) == data
+    assert stats.peak_buffer_bytes == len(data)
+    lookback, lookahead = chunker.stream_params()
+    bound = (1 << 20) + chunker.config.max_size + lookahead + lookback
+    assert stats.peak_buffer_bytes <= bound
