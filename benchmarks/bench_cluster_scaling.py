@@ -1,0 +1,180 @@
+"""Cluster scaling — fingerprint-routed shards vs one global node.
+
+The distributed half of the fleet-scaling story: instead of sharding
+by machine (``bench_fleet_scaling``), segments are routed by
+representative fingerprint over the consistent-hash ring, so similar
+segments land on the same shard *regardless of source machine*.  The
+bench sweeps the shard count and reports
+
+* the cross-shard DER loss relative to a single global node,
+* the routing-table RAM the coordinator holds (Table III-style),
+* the makespan/aggregate trade as shards are added, and
+* the measured cost of one rebalance pass (splitting the hottest
+  shard onto a fresh worker).
+"""
+
+import pytest
+
+from conftest import DEVICE, SD_MAIN, write_report
+from repro.analysis import evaluate, format_table
+from repro.cluster import ClusterConfig, ClusterRouter, split_shard
+from repro.core import DedupConfig, MHDDeduplicator
+from repro.storage import MemoryBackend
+from repro.workloads import BackupFile
+
+ECS = 1024
+SHARD_COUNTS = [1, 2, 4, 8]
+
+
+def _cluster_config():
+    return ClusterConfig(dedup=DedupConfig(ecs=ECS, sd=SD_MAIN))
+
+
+def _ingest_all(router, files):
+    for f in files:
+        router.put_file(f)
+
+
+@pytest.fixture(scope="module")
+def results(corpus_files):
+    config = DedupConfig(ecs=ECS, sd=SD_MAIN)
+    single = evaluate(MHDDeduplicator(config), corpus_files, DEVICE)
+
+    sweeps = {}
+    for n in SHARD_COUNTS:
+        router = ClusterRouter(
+            MemoryBackend(), workers=n, config=_cluster_config(), device=DEVICE
+        )
+        _ingest_all(router, corpus_files)
+        fleet = router.finalize()
+        sweeps[n] = {
+            "fleet": fleet,
+            "routing_table_bytes": router.ring.routing_table_bytes(),
+            "ring": router.ring.describe(),
+            "metrics": router.metrics.filtered("cluster.").as_dict(),
+        }
+
+    # One rebalance pass: split the hottest of 2 shards onto a third.
+    router = ClusterRouter(
+        MemoryBackend(), workers=2, config=_cluster_config(), device=DEVICE
+    )
+    _ingest_all(router, corpus_files)
+    rebalance = split_shard(router)
+    # Migration must never cost restorability.
+    probe = corpus_files[0]
+    with probe.open() as r:
+        assert router.restore_file(probe.file_id) == r.read()
+    return single, sweeps, rebalance
+
+
+def test_cluster_scaling(benchmark, results):
+    single, sweeps, rebalance = results
+
+    def build() -> str:
+        rows = [
+            [
+                "global (1 node)",
+                f"{single.data_only_der:.3f}",
+                f"{single.real_der:.3f}",
+                "0.0%",
+                f"{single.dedup_seconds:.2f}s",
+                f"{single.dedup_seconds:.2f}s",
+                "-",
+            ]
+        ]
+        for n in SHARD_COUNTS:
+            fleet = sweeps[n]["fleet"]
+            loss = 1.0 - fleet.data_only_der / single.data_only_der
+            rows.append(
+                [
+                    f"cluster ({n} shards)",
+                    f"{fleet.data_only_der:.3f}",
+                    f"{fleet.real_der:.3f}",
+                    f"{loss:.1%}",
+                    f"{fleet.aggregate_seconds:.2f}s",
+                    f"{fleet.makespan_seconds:.2f}s",
+                    f"{sweeps[n]['routing_table_bytes']}",
+                ]
+            )
+        reb = [
+            [
+                rebalance.hot_node,
+                rebalance.new_node,
+                str(rebalance.segments_moved),
+                f"{rebalance.bytes_moved / 1e6:.2f}MB",
+                str(rebalance.recipes_updated),
+                f"{rebalance.seconds:.2f}s",
+            ]
+        ]
+        return (
+            format_table(
+                ["deployment", "data DER", "real DER", "DER loss",
+                 "node-seconds", "makespan", "table RAM"],
+                rows,
+                title=f"cluster scaling (BF-MHD, ECS={ECS}, SD={SD_MAIN})",
+            )
+            + "\n\n"
+            + format_table(
+                ["hot", "new", "segments", "bytes", "recipes", "cost"],
+                reb,
+                title="rebalance: split hottest shard",
+            )
+        )
+
+    report = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_report(
+        "cluster_scaling",
+        report,
+        runs={"global": single},
+        extra={
+            "shard_counts": SHARD_COUNTS,
+            "der_loss": {
+                str(n): 1.0 - sweeps[n]["fleet"].data_only_der / single.data_only_der
+                for n in SHARD_COUNTS
+            },
+            "clusters": {
+                str(n): {
+                    "data_only_der": sweeps[n]["fleet"].data_only_der,
+                    "real_der": sweeps[n]["fleet"].real_der,
+                    "makespan_seconds": sweeps[n]["fleet"].makespan_seconds,
+                    "aggregate_seconds": sweeps[n]["fleet"].aggregate_seconds,
+                    "speedup": sweeps[n]["fleet"].speedup,
+                    "routing_table_bytes": sweeps[n]["routing_table_bytes"],
+                    "ring": sweeps[n]["ring"],
+                    "metrics": sweeps[n]["metrics"],
+                }
+                for n in SHARD_COUNTS
+            },
+            "rebalance": rebalance.as_dict(),
+        },
+    )
+
+    # Routing loses only cross-shard duplicates, never correctness.
+    for n in SHARD_COUNTS:
+        fleet = sweeps[n]["fleet"]
+        assert fleet.ok
+        assert fleet.data_only_der <= single.data_only_der * 1.001
+    # More shards: shorter makespan, cheaper per-node work.
+    assert sweeps[8]["fleet"].makespan_seconds < sweeps[1]["fleet"].makespan_seconds
+    # Table RAM grows linearly in vnode points — still tiny.
+    assert sweeps[8]["routing_table_bytes"] < 64 * 1024
+
+
+def test_cluster_never_beats_global(results):
+    """Splitting the index can only lose cross-shard duplicates, so the
+    DER loss is non-negative at every shard count.  (It is *not*
+    monotone in the shard count: fingerprint routing can regroup
+    similar segments when arcs shift, recovering some loss.)"""
+    single, sweeps, _ = results
+    for n in SHARD_COUNTS:
+        loss = 1.0 - sweeps[n]["fleet"].data_only_der / single.data_only_der
+        assert loss >= -0.001
+
+
+def test_rebalance_cost_is_bounded(results):
+    """Consistent hashing: one join moves roughly 1/(n+1) of the hot
+    shard's segments, not the whole keyspace."""
+    _single, sweeps, rebalance = results
+    total_segments = sweeps[2]["metrics"]["cluster.route.segments"]
+    assert 0 < rebalance.segments_moved < total_segments
+    assert rebalance.seconds >= 0.0

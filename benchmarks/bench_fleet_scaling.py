@@ -49,7 +49,7 @@ def test_fleet_scaling(benchmark, results):
                 f"{fleet.real_der:.3f}",
                 f"{fleet.aggregate_seconds:.2f}s",
                 f"{fleet.makespan_seconds:.2f}s",
-                f"{fleet.speedup():.2f}x",
+                f"{fleet.speedup:.2f}x",
             ],
         ]
         per_shard = [
@@ -86,7 +86,7 @@ def test_fleet_scaling(benchmark, results):
                 },
                 "makespan_seconds": fleet.makespan_seconds,
                 "aggregate_seconds": fleet.aggregate_seconds,
-                "speedup": fleet.speedup(),
+                "speedup": fleet.speedup,
                 "cpu_hashed": fleet_cpu.hashed,
                 "cpu_chunked": fleet_cpu.chunked,
                 "pipeline_batches": fleet_pipe.batches,
@@ -97,7 +97,7 @@ def test_fleet_scaling(benchmark, results):
     # The trade: faster makespan, lower DER.
     assert fleet.makespan_seconds < global_run.dedup_seconds
     assert fleet.data_only_der <= global_run.data_only_der
-    assert fleet.speedup() > 1.5
+    assert fleet.speedup > 1.5
 
 
 def test_shard_count_matches_machines(results, corpus_files):

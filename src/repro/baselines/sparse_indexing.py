@@ -30,16 +30,31 @@ from collections import Counter
 from ..chunking import VectorizedChunker
 from ..hashing import Digest, sha1, sha1_many
 from ..storage import FileManifest
+from ..storage.disk_model import DiskModel
 from ..storage.multi_manifest import MultiEntry, MultiManifest, MultiManifestStore
 from ..workloads.machine import BackupFile
 from ..core.base import Deduplicator
 from ..core.manifest_cache import ManifestCache
 
-__all__ = ["SparseIndexingDeduplicator"]
+__all__ = ["SparseIndexingDeduplicator", "rank_champions"]
 
 #: Paper settings: champions per segment, manifests per hook.
 MAX_CHAMPIONS = 10
 MAX_MANIFESTS_PER_HOOK = 5
+
+
+def rank_champions(votes: Counter, limit: int = MAX_CHAMPIONS) -> list:
+    """Rank vote winners deterministically: most votes first, ties pinned.
+
+    ``Counter.most_common`` breaks ties by insertion order, which here
+    depends on hook/segment arrival order — unstable across warm
+    restarts and unusable as a routing key.  Ties are pinned with an
+    explicit ``(-votes, key)`` sort so equal-vote candidates always
+    rank in ascending key order, independent of how the counter was
+    populated.  Keys only need to be orderable (digests, node names).
+    """
+    ranked = sorted(votes.items(), key=lambda kv: (-kv[1], kv[0]))
+    return [key for key, _count in ranked[:limit]]
 
 
 class SparseIndexingDeduplicator(Deduplicator):
@@ -152,10 +167,28 @@ class SparseIndexingDeduplicator(Deduplicator):
         for h in hooks:
             for mid in self._sparse.get(h, ()):
                 votes[mid] += 1
-        champions: list[MultiManifest] = []
-        for mid, _count in votes.most_common(MAX_CHAMPIONS):
-            champions.append(self.cache.load(mid))
-        return champions
+        return [self.cache.load(mid) for mid in rank_champions(votes)]
 
     def _flush(self) -> None:
         self.cache.flush()
+
+    # -- restart ---------------------------------------------------------
+
+    def warm_start(self) -> int:
+        """Rebuild the RAM sparse index from the persisted hook files.
+
+        Hooks are write-once on disk, so each rebuilt entry holds the
+        *first* manifest that registered the hook (the live LRU keeps up
+        to :data:`MAX_MANIFESTS_PER_HOOK`).  The rebuild iterates hooks
+        in sorted digest order so two processes warm-starting from the
+        same store produce byte-identical indexes regardless of backend
+        enumeration order.
+        """
+        count = super().warm_start()
+        for raw in sorted(self.backend.keys(DiskModel.HOOK)):
+            hook = Digest(raw)
+            mid = self.hooks.get(hook)
+            ids = self._sparse.setdefault(hook, [])
+            if mid not in ids:
+                ids.append(mid)
+        return count

@@ -1,0 +1,61 @@
+"""Fingerprint-routed deduplication cluster.
+
+The "one system, N workers" layer over the single-process pipeline:
+stateless :class:`~repro.cluster.worker.ShardWorker`\\ s own manifest
+shards on a shared backend, a
+:class:`~repro.cluster.router.ClusterRouter` routes incoming segments
+by representative fingerprint over a consistent-hash
+:class:`~repro.cluster.ring.HashRing`, and
+:func:`~repro.cluster.rebalance.split_shard` grows the fleet by
+splitting the hottest shard with measured cost.
+
+See DESIGN.md §8 for the architecture (ring, routing key, rebalance,
+failure model) and ``benchmarks/bench_cluster_scaling.py`` for the
+cross-shard DER / makespan / RAM trade measurements.
+"""
+
+from .fingerprint import (
+    FINGERPRINT_MODES,
+    hooks_of,
+    representative,
+    route_segment,
+    routing_key,
+)
+from .rebalance import RebalanceReport, hottest_shard, split_shard
+from .ring import DEFAULT_VNODES, HashRing
+from .router import (
+    META_NAMESPACE,
+    RECIPE_NAMESPACE,
+    WAL_NAMESPACE,
+    ClusterConfig,
+    ClusterError,
+    ClusterRecipe,
+    ClusterRouter,
+    SegmentPlacement,
+)
+from .worker import SHARD_PREFIX, ShardWorker, shard_prefix, validate_worker_name
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "FINGERPRINT_MODES",
+    "META_NAMESPACE",
+    "RECIPE_NAMESPACE",
+    "SHARD_PREFIX",
+    "WAL_NAMESPACE",
+    "ClusterConfig",
+    "ClusterError",
+    "ClusterRecipe",
+    "ClusterRouter",
+    "HashRing",
+    "RebalanceReport",
+    "SegmentPlacement",
+    "ShardWorker",
+    "hooks_of",
+    "hottest_shard",
+    "representative",
+    "route_segment",
+    "routing_key",
+    "shard_prefix",
+    "split_shard",
+    "validate_worker_name",
+]

@@ -1,0 +1,503 @@
+"""The cluster coordinator: fingerprint-routed segment dispatch.
+
+``ClusterRouter`` turns N :class:`~repro.cluster.worker.ShardWorker`\\ s
+into one deduplicating system:
+
+1. incoming files are chunked and hashed once at the edge, grouped
+   into segments of ``DedupConfig.segment_bytes`` (the paper's
+   ``ECS·SD·5`` setting);
+2. each segment is routed by representative fingerprint over the
+   consistent-hash ring (:mod:`repro.cluster.fingerprint`) and queued
+   on its worker's dispatch batch;
+3. a **write-ahead journal** entry (namespace ``cluster.wal`` on the
+   shared backend) records the segment's bytes and destination before
+   dispatch, and is deleted only after the worker acknowledges the
+   ingest.  A worker dying mid-segment therefore loses nothing: the
+   shard is quarantine-repaired by
+   :func:`repro.storage.recover.recover`, the worker is respawned over
+   the surviving objects, and the unacknowledged journal entries are
+   replayed;
+4. a **cluster recipe** (namespace ``cluster.recipe``) maps each file
+   to its ordered segment placements; restore concatenates per-worker
+   segment restores.  The recipe also pins each segment's canonical
+   :func:`~repro.cluster.fingerprint.routing_key` so the rebalancer
+   can re-evaluate placement after ring changes without re-reading
+   data.
+
+Workers re-chunk and re-hash the segment bytes they receive — the
+routing tax of a shared-nothing design; the fleet-level cost shows up
+in :meth:`ClusterRouter.finalize`'s :class:`~repro.parallel.FleetResult`
+(the per-shard fleet substrate reused as-is).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from ..analysis.timing import DeviceModel
+from ..chunking import StreamStats, VectorizedChunker
+from ..core.config import DedupConfig
+from ..hashing import Digest, sha1, sha1_many
+from ..obs import MetricsRegistry
+from ..parallel import FleetResult, ShardResult
+from ..registry import capabilities
+from ..storage import StorageBackend
+from ..storage.verify import IntegrityReport
+from ..workloads.machine import BackupFile
+from .fingerprint import route_segment, routing_key
+from .ring import DEFAULT_VNODES, HashRing
+from .worker import ShardWorker
+
+__all__ = [
+    "META_NAMESPACE",
+    "RECIPE_NAMESPACE",
+    "WAL_NAMESPACE",
+    "ClusterConfig",
+    "ClusterError",
+    "ClusterRecipe",
+    "ClusterRouter",
+    "SegmentPlacement",
+]
+
+#: Shared-backend namespaces owned by the coordinator (never prefixed
+#: under a shard, so worker recovery sweeps cannot touch them).
+WAL_NAMESPACE = "cluster.wal"
+RECIPE_NAMESPACE = "cluster.recipe"
+META_NAMESPACE = "cluster.meta"
+
+_MEMBERS_KEY = sha1(b"cluster|members")
+
+
+class ClusterError(RuntimeError):
+    """A cluster-level failure (unroutable segment, worker crash loop)."""
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Coordinator settings."""
+
+    #: Algorithm every worker runs (any registry name).
+    algo: str = "bf-mhd"
+    dedup: DedupConfig = field(default_factory=DedupConfig)
+    #: Virtual nodes per worker on the ring.
+    vnodes: int = DEFAULT_VNODES
+    #: Segment size in bytes; 0 uses ``dedup.segment_bytes`` (ECS·SD·5).
+    segment_bytes: int = 0
+    #: Segments queued per worker before the batch is dispatched.
+    batch_segments: int = 8
+    #: Routing-key mode: ``auto`` | ``hook-votes`` | ``min-digest``.
+    #: ``auto`` picks hook votes when the algorithm persists hooks
+    #: (registry capability), else the min-digest representative.
+    fingerprint: str = "auto"
+    #: Consecutive crashes tolerated per worker before giving up.
+    max_respawns: int = 3
+    #: Attach metrics-only telemetry to each worker.
+    collect_metrics: bool = False
+
+    def effective_segment_bytes(self) -> int:
+        """The configured segment size, defaulting to ``dedup.segment_bytes``."""
+        return self.segment_bytes or self.dedup.segment_bytes
+
+    def fingerprint_mode(self) -> str:
+        """Resolve ``auto`` to a concrete routing-key mode by capability."""
+        if self.fingerprint != "auto":
+            return self.fingerprint
+        return "hook-votes" if "hooks" in capabilities(self.algo) else "min-digest"
+
+
+@dataclass(frozen=True)
+class SegmentPlacement:
+    """One segment of a file: where it lives and how it routes."""
+
+    node: str
+    segment_id: str
+    size: int
+    #: Canonical routing key (:func:`repro.cluster.fingerprint.routing_key`);
+    #: the rebalancer re-routes this digest after ring changes.
+    fingerprint: Digest
+
+
+@dataclass(frozen=True)
+class ClusterRecipe:
+    """A file's ordered segment placements (the cluster restore map)."""
+
+    file_id: str
+    segments: tuple[SegmentPlacement, ...]
+
+    @property
+    def size(self) -> int:
+        """Total file size (the sum of its segment sizes)."""
+        return sum(s.size for s in self.segments)
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical JSON form stored on the backend."""
+        payload = {
+            "file": self.file_id,
+            "segments": [
+                [p.node, p.segment_id, p.size, p.fingerprint.hex()]
+                for p in self.segments
+            ],
+        }
+        return json.dumps(payload, sort_keys=True).encode()
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> ClusterRecipe:
+        """Parse a recipe previously written by :meth:`to_bytes`."""
+        payload = json.loads(raw.decode())
+        segments = tuple(
+            SegmentPlacement(node, seg_id, int(size), Digest(bytes.fromhex(fp)))
+            for node, seg_id, size, fp in payload["segments"]
+        )
+        return cls(file_id=payload["file"], segments=segments)
+
+    @staticmethod
+    def key_for(file_id: str) -> Digest:
+        """The backend key a file's recipe is stored under."""
+        return sha1(b"recipe|" + file_id.encode())
+
+
+@dataclass
+class _PendingSegment:
+    """A routed segment waiting in its worker's dispatch batch.
+
+    ``attempts`` counts crashed ingests; each retry runs under an
+    attempt-suffixed segment id (``<id>~rN``) because the crashed
+    attempt may have durably written containers derived from the
+    original id.  ``final_id`` is the id that actually landed — the one
+    the recipe records.
+    """
+
+    segment_id: str
+    data: bytes
+    fingerprint: Digest
+    wal_key: Digest
+    node: str
+    attempts: int = 0
+    final_id: str | None = None
+
+    def next_id(self) -> str:
+        return (
+            self.segment_id
+            if self.attempts == 0
+            else f"{self.segment_id}~r{self.attempts}"
+        )
+
+
+def _encode_wal(node: str, segment_id: str, data: bytes) -> bytes:
+    header = json.dumps({"node": node, "segment": segment_id}, sort_keys=True).encode()
+    return header + b"\0" + data
+
+
+def _decode_wal(raw: bytes) -> tuple[str, str, bytes]:
+    cut = raw.index(b"\0")
+    header = json.loads(raw[:cut].decode())
+    return str(header["node"]), str(header["segment"]), raw[cut + 1 :]
+
+
+class ClusterRouter:
+    """Coordinator over a ring of shard workers on one shared backend."""
+
+    def __init__(
+        self,
+        backend: StorageBackend,
+        workers: int | Sequence[str] = 4,
+        config: ClusterConfig | None = None,
+        device: DeviceModel | None = None,
+        view_factory: Callable[[str, StorageBackend], StorageBackend] | None = None,
+    ) -> None:
+        self.backend = backend
+        self.config = config or ClusterConfig()
+        self.device = device or DeviceModel()
+        #: Test seam: wraps a worker's shard view (fault injection).
+        self._view_factory = view_factory
+        self.metrics = MetricsRegistry()
+        self._mode = self.config.fingerprint_mode()
+        self._chunker = VectorizedChunker(self.config.dedup.small_chunker_config())
+        self._pending: dict[str, list[_PendingSegment]] = {}
+        self._crashes: dict[str, int] = {}
+        self._finalized = False
+
+        persisted = self._load_members()
+        if persisted is not None:
+            names = persisted  # warm restart: membership is durable state
+        elif isinstance(workers, int):
+            if workers < 1:
+                raise ValueError(f"workers must be >= 1, got {workers}")
+            names = [f"worker-{i:02d}" for i in range(workers)]
+        else:
+            names = list(workers)
+        if not names:
+            raise ValueError("cluster needs at least one worker")
+        self.ring = HashRing(names, vnodes=self.config.vnodes)
+        self.workers: dict[str, ShardWorker] = {}
+        for name in names:
+            self.workers[name] = self._make_worker(name)
+        if persisted is not None:
+            # Warm restart: the previous coordinator may have died with
+            # shards mid-write — quarantine-repair each one before the
+            # RAM indexes are rebuilt over it (recover is a no-op on a
+            # clean shard).
+            for w in self.workers.values():
+                w.recover()
+                w.warm_start()
+        self._save_members()
+        self._update_ring_metrics()
+
+    # -- membership ------------------------------------------------------
+
+    def _make_worker(self, name: str) -> ShardWorker:
+        view = self._view_factory(name, self.backend) if self._view_factory else None
+        return ShardWorker(
+            name,
+            self.backend,
+            algo=self.config.algo,
+            config=self.config.dedup,
+            collect_metrics=self.config.collect_metrics,
+            view=view,
+        )
+
+    def _load_members(self) -> list[str] | None:
+        if not self.backend.exists(META_NAMESPACE, _MEMBERS_KEY):
+            return None
+        names = json.loads(self.backend.get(META_NAMESPACE, _MEMBERS_KEY).decode())
+        return [str(n) for n in names]
+
+    def _save_members(self) -> None:
+        raw = json.dumps(sorted(self.workers), sort_keys=True).encode()
+        self.backend.put(META_NAMESPACE, _MEMBERS_KEY, raw)
+
+    def add_worker(self, name: str) -> ShardWorker:
+        """Join a new worker (an empty shard) to the ring."""
+        if name in self.workers:
+            raise ValueError(f"worker {name!r} already in the cluster")
+        worker = self._make_worker(name)
+        self.workers[name] = worker
+        self.ring.add_node(name)
+        self._save_members()
+        self._update_ring_metrics()
+        return worker
+
+    # -- ingest ----------------------------------------------------------
+
+    def put_file(self, file: BackupFile) -> ClusterRecipe:
+        """Route one file's segments to the fleet; returns its recipe.
+
+        The recipe is persisted only after every segment of the file is
+        acknowledged, so a recipe's existence implies the file is fully
+        restorable.
+        """
+        if self._finalized:
+            raise ClusterError("cluster already finalized")
+        segments: list[_PendingSegment] = []
+        seg_parts: list[bytes] = []
+        seg_digests: list[Digest] = []
+        seg_size = 0
+        seg_limit = self.config.effective_segment_bytes()
+        stream = StreamStats()
+
+        def cut_segment() -> None:
+            nonlocal seg_parts, seg_digests, seg_size
+            segments.append(
+                self._route(file.file_id, len(segments), b"".join(seg_parts), seg_digests)
+            )
+            seg_parts, seg_digests, seg_size = [], [], 0
+
+        with file.open() as reader:
+            for batch in self._chunker.chunk_stream(reader, stats=stream):
+                digests = sha1_many(chunk.data for chunk in batch)
+                for chunk, digest in zip(batch, digests, strict=True):
+                    # Copy out of the chunker's carry buffer: the view
+                    # is reused by the next window, the segment is not.
+                    seg_parts.append(chunk.data.tobytes())
+                    seg_digests.append(digest)
+                    seg_size += chunk.size
+                    if seg_size >= seg_limit:
+                        cut_segment()
+        if seg_parts:
+            cut_segment()
+        self.flush()
+        placements: list[SegmentPlacement] = []
+        for seg in segments:
+            if seg.final_id is None:  # flush() acks every queued segment
+                raise ClusterError(f"segment {seg.segment_id!r} was never dispatched")
+            placements.append(
+                SegmentPlacement(seg.node, seg.final_id, len(seg.data), seg.fingerprint)
+            )
+        recipe = ClusterRecipe(file_id=file.file_id, segments=tuple(placements))
+        self.backend.put(RECIPE_NAMESPACE, recipe.key_for(file.file_id), recipe.to_bytes())
+        self.metrics.counter("cluster.files").inc()
+        return recipe
+
+    def _route(
+        self, file_id: str, index: int, data: bytes, digests: list[Digest]
+    ) -> _PendingSegment:
+        segment_id = f"{file_id}#seg{index:05d}"
+        node = route_segment(self.ring, digests, self.config.dedup.sd, self._mode)
+        fingerprint = routing_key(digests, self.config.dedup.sd)
+        wal_key = sha1(b"wal|" + segment_id.encode())
+        self.backend.put(WAL_NAMESPACE, wal_key, _encode_wal(node, segment_id, data))
+        seg = _PendingSegment(segment_id, data, fingerprint, wal_key, node)
+        queue = self._pending.setdefault(node, [])
+        queue.append(seg)
+        self.metrics.counter("cluster.route.segments").inc()
+        self.metrics.counter(f"cluster.route.segments.{node}").inc()
+        self.metrics.counter(f"cluster.route.bytes.{node}").inc(len(data))
+        if len(queue) >= self.config.batch_segments:
+            self._dispatch(node)
+        return seg
+
+    def flush(self) -> None:
+        """Dispatch every queued batch (put_file calls this per file)."""
+        for node in sorted(self._pending):
+            self._dispatch(node)
+
+    def _dispatch(self, node: str) -> None:
+        for seg in self._pending.pop(node, []):
+            self._ingest_acked(seg)
+
+    def _ingest_acked(self, seg: _PendingSegment) -> None:
+        """Ingest one segment, respawning the worker on a crash.
+
+        The journal entry is deleted only on acknowledgment.  A retry
+        re-ingests the coordinator's copy of the bytes — the same bytes
+        a cold-restart replay would read back from the journal — under
+        an attempt-suffixed segment id, because the crashed attempt may
+        have durably written containers derived from the original id
+        (container ids are content- and id-addressed, never reopenable).
+        A crash that landed *after* the segment became durable is
+        detected and acknowledged rather than retried.
+        """
+        while True:
+            worker = self.workers[seg.node]
+            tried = seg.next_id()
+            try:
+                worker.ingest_segment(tried, seg.data)
+            except Exception as exc:  # noqa: BLE001 - worker failure isolation: any death must not sink the cluster
+                self._on_worker_crash(seg.node, exc)
+                if self.workers[seg.node].has_segment(tried):
+                    # The worker died between its last durable write and
+                    # the ack: the segment survived quarantine intact.
+                    pass
+                else:
+                    seg.attempts += 1
+                    continue
+            seg.final_id = tried
+            self.backend.delete(WAL_NAMESPACE, seg.wal_key)
+            self.metrics.counter("cluster.segments.acked").inc()
+            return
+
+    def _on_worker_crash(self, node: str, exc: BaseException) -> None:
+        crashes = self._crashes.get(node, 0) + 1
+        self._crashes[node] = crashes
+        self.metrics.counter("cluster.worker.crashes").inc()
+        if crashes > self.config.max_respawns:
+            raise ClusterError(
+                f"worker {node!r} crashed {crashes} times; giving up"
+            ) from exc
+        # Quarantine-repair the shard, then warm-start a replacement
+        # over the surviving objects (worker.respawn does both).
+        self.workers[node] = self.workers[node].respawn()
+        self.metrics.counter("cluster.worker.respawns").inc()
+
+    def replay_wal(self) -> int:
+        """Re-ingest journal entries no worker ever acknowledged.
+
+        The cold-restart half of crash recovery: a coordinator that
+        finds journal entries on startup re-dispatches them (the shard
+        quarantine sweep has already run via worker warm restart).
+        Entries whose segment already landed durably (the crash hit
+        between the last write and the ack) are simply acknowledged;
+        the rest are re-ingested under a ``~replay`` id so they cannot
+        collide with containers of the interrupted attempt.  Idempotent
+        — an empty journal is a no-op.
+        """
+        replayed = 0
+        for key in sorted(self.backend.keys(WAL_NAMESPACE)):
+            node, segment_id, data = _decode_wal(self.backend.get(WAL_NAMESPACE, key))
+            if node not in self.workers:
+                # Its owner left the ring: re-route by content.
+                node = self.ring.route(sha1(data))
+            worker = self.workers[node]
+            if not worker.has_segment(segment_id):
+                worker.ingest_segment(f"{segment_id}~replay", data)
+            self.backend.delete(WAL_NAMESPACE, key)
+            replayed += 1
+        if replayed:
+            self.metrics.counter("cluster.wal.replayed").inc(replayed)
+        return replayed
+
+    # -- restore ---------------------------------------------------------
+
+    def recipe_ids(self) -> list[str]:
+        """File ids of every persisted cluster recipe."""
+        ids: list[str] = []
+        for key in self.backend.keys(RECIPE_NAMESPACE):
+            ids.append(ClusterRecipe.from_bytes(self.backend.get(RECIPE_NAMESPACE, key)).file_id)
+        return sorted(ids)
+
+    def get_recipe(self, file_id: str) -> ClusterRecipe:
+        """The persisted recipe of ``file_id`` (``KeyError`` if absent)."""
+        key = ClusterRecipe.key_for(file_id)
+        if not self.backend.exists(RECIPE_NAMESPACE, key):
+            raise KeyError(f"no cluster recipe for {file_id!r}")
+        return ClusterRecipe.from_bytes(self.backend.get(RECIPE_NAMESPACE, key))
+
+    def put_recipe(self, recipe: ClusterRecipe) -> None:
+        """Persist an updated recipe (rebalance bookkeeping)."""
+        self.backend.put(RECIPE_NAMESPACE, recipe.key_for(recipe.file_id), recipe.to_bytes())
+
+    def restore_file(self, file_id: str) -> bytes:
+        """Reassemble a file from its per-worker segment restores."""
+        recipe = self.get_recipe(file_id)
+        return b"".join(
+            self.workers[p.node].restore_segment(p.segment_id) for p in recipe.segments
+        )
+
+    # -- lifecycle -------------------------------------------------------
+
+    def finalize(self) -> FleetResult:
+        """Flush and finalize every worker; the fleet-level aggregate.
+
+        Reuses :class:`repro.parallel.FleetResult` verbatim — the
+        cluster *is* the per-shard fleet with routing in front — so
+        every existing aggregate (makespan vs aggregate seconds, DER,
+        CPU, pipeline) applies unchanged.
+        """
+        self.flush()
+        if self._finalized:
+            raise ClusterError("cluster already finalized")
+        self._finalized = True
+        shards: list[ShardResult] = []
+        for name in sorted(self.workers):
+            worker = self.workers[name]
+            stats = worker.finalize()
+            shards.append(
+                ShardResult(
+                    shard=name,
+                    stats=stats,
+                    dedup_seconds=self.device.dedup_time(stats),
+                    metrics=worker.metrics_registry(),
+                )
+            )
+        return FleetResult(shards=tuple(shards))
+
+    def fsck(self, check_entry_hashes: bool = False) -> dict[str, IntegrityReport]:
+        """Per-shard integrity reports (all must be ``ok``)."""
+        return {
+            name: self.workers[name].fsck(check_entry_hashes)
+            for name in sorted(self.workers)
+        }
+
+    # -- metrics ---------------------------------------------------------
+
+    def _update_ring_metrics(self) -> None:
+        self.metrics.gauge("cluster.ring.nodes").set(len(self.ring))
+        self.metrics.gauge("cluster.ring.routing_table_bytes").set(
+            self.ring.routing_table_bytes()
+        )
+        for node, share in sorted(self.ring.ownership().items()):
+            self.metrics.gauge(f"cluster.ring.ownership_ppm.{node}").set(
+                int(share * 1_000_000)
+            )

@@ -306,6 +306,26 @@ class MetricsRegistry:
                 assert isinstance(mine, Histogram) and isinstance(m, Histogram)
                 mine.merge(m)
 
+    def filtered(self, prefix: str) -> MetricsRegistry:
+        """A new registry holding copies of metrics named ``prefix``*.
+
+        The copies are independent (the same deep-copy semantics as
+        :meth:`merge` into an empty registry), so subsystem views —
+        e.g. the cluster's ``cluster.`` slice of a fleet registry — can
+        be exported or merged onward without aliasing the source.
+        """
+        out = MetricsRegistry()
+        for name, m in self._metrics.items():
+            if not name.startswith(prefix):
+                continue
+            if isinstance(m, Counter):
+                out.counter(name).inc(m.value)
+            elif isinstance(m, Gauge):
+                out.gauge(name).set(m.value)
+            else:
+                out.histogram(name, m.bounds).merge(m)
+        return out
+
     def as_dict(self) -> dict[str, Any]:
         """JSON-serialisable snapshot of every metric."""
         out: dict[str, Any] = {}

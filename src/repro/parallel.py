@@ -24,9 +24,11 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import threading
+import warnings
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
 from collections.abc import Callable, Iterable
 from typing import Any
 
@@ -40,6 +42,7 @@ __all__ = [
     "FleetExecutor",
     "FleetResult",
     "SerialLane",
+    "ShardFailure",
     "ShardResult",
     "dedup_sharded",
     "shard_by_machine",
@@ -196,10 +199,48 @@ class ShardResult:
 
 
 @dataclass(frozen=True)
+class ShardFailure:
+    """One shard that produced no result.
+
+    ``kind`` is ``"error"`` when the worker raised (the exception text
+    is preserved) or ``"lost"`` when the worker died without reporting
+    back at all — an OOM-kill or hard crash; a pool respawns the worker
+    but the task's result never arrives, so loss is detected by the
+    per-shard timeout.
+    """
+
+    shard: str
+    error: str
+    kind: str = "error"
+
+
+class _SpeedupValue(float):
+    """Float that tolerates the legacy ``fleet.speedup()`` call form."""
+
+    def __call__(self) -> float:
+        warnings.warn(
+            "FleetResult.speedup is now a property; drop the ()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return float(self)
+
+
+@dataclass(frozen=True)
 class FleetResult:
-    """Aggregate over all shards."""
+    """Aggregate over all shards.
+
+    Aggregates cover the *surviving* shards; shards that failed are
+    listed on :attr:`failures` and contribute nothing to the sums.
+    """
 
     shards: tuple[ShardResult, ...]
+    failures: tuple[ShardFailure, ...] = field(default=())
+
+    @property
+    def ok(self) -> bool:
+        """True when every shard produced a result."""
+        return not self.failures
 
     @property
     def input_bytes(self) -> int:
@@ -236,9 +277,16 @@ class FleetResult:
         """Total node-seconds spent (the cost, not the latency)."""
         return sum(s.dedup_seconds for s in self.shards)
 
+    @property
     def speedup(self) -> float:
-        """Aggregate work / makespan — the scale-out win."""
-        return self.aggregate_seconds / max(1e-12, self.makespan_seconds)
+        """Aggregate work / makespan — the scale-out win.
+
+        A property like every other aggregate (callers that forgot the
+        ``()`` used to get a truthy bound method silently).  The value
+        still answers the legacy call form with a
+        :class:`DeprecationWarning`.
+        """
+        return _SpeedupValue(self.aggregate_seconds / max(1e-12, self.makespan_seconds))
 
     @property
     def cpu(self) -> CpuWork:
@@ -317,6 +365,7 @@ def dedup_sharded(
     shard_fn: Callable[[Iterable[BackupFile]], dict[str, list[BackupFile]]] = shard_by_machine,
     collect_metrics: bool = False,
     executor: str = "process",
+    shard_timeout: float | None = None,
 ) -> FleetResult:
     """Deduplicate a corpus sharded across worker processes.
 
@@ -337,6 +386,17 @@ def dedup_sharded(
         slower for pure CPU work (the GIL), but shards share the
         parent's memory, which is what the service's in-process
         execution substrate needs and what debuggers prefer.
+    shard_timeout:
+        Seconds to wait for each shard's result before declaring the
+        worker lost (``kind="lost"`` on :attr:`FleetResult.failures`).
+        ``None`` waits forever — a SIGKILLed pool worker's task simply
+        never reports back, so deployments that must survive OOM kills
+        should set a bound.
+
+    Shard results are collected per shard: one worker raising (or dying)
+    costs only that shard, every surviving :class:`ShardResult` is
+    returned and the casualty is reported on
+    :attr:`FleetResult.failures`.
     """
     from .registry import resolve
 
@@ -354,13 +414,50 @@ def dedup_sharded(
         raise ValueError(f"executor must be 'process' or 'thread', got {executor!r}")
     if workers is None:
         workers = min(len(jobs), mp.cpu_count())
+    results: list[ShardResult] = []
+    failures: list[ShardFailure] = []
+
+    def record_failure(shard: str, exc: BaseException) -> None:
+        failures.append(ShardFailure(shard, f"{type(exc).__name__}: {exc}"))
+
     if workers <= 1 or len(jobs) == 1:
-        results = [_run_shard(job) for job in jobs]
+        for job in jobs:
+            try:
+                results.append(_run_shard(job))
+            except Exception as e:  # noqa: BLE001 - shard isolation: one shard's crash must not sink the fleet
+                record_failure(job[0], e)
     elif executor == "thread":
         with FleetExecutor(workers=min(workers, len(jobs))) as fleet:
-            futures = [fleet.submit(lambda j=job: _run_shard(j)) for job in jobs]
-            results = [f.result() for f in futures]
+            futures = [(job[0], fleet.submit(lambda j=job: _run_shard(j))) for job in jobs]
+            for shard, fut in futures:
+                try:
+                    results.append(fut.result(timeout=shard_timeout))
+                except FutureTimeout:
+                    failures.append(
+                        ShardFailure(shard, f"no result within {shard_timeout}s", kind="lost")
+                    )
+                except Exception as e:  # noqa: BLE001 - shard isolation (see above)
+                    record_failure(shard, e)
     else:
+        # apply_async, not map(): map() is all-or-nothing — one dead
+        # worker (OOM-kill) used to discard every completed shard.
+        # Per-shard results stream back independently instead.
         with mp.Pool(processes=min(workers, len(jobs))) as pool:
-            results = pool.map(_run_shard, jobs)
-    return FleetResult(shards=tuple(results))
+            pending = [(job[0], pool.apply_async(_run_shard, (job,))) for job in jobs]
+            pool.close()
+            for shard, handle in pending:
+                try:
+                    results.append(handle.get(shard_timeout))
+                except mp.TimeoutError:
+                    # A killed worker's task vanishes: the pool respawns
+                    # the process but this handle never completes.
+                    failures.append(
+                        ShardFailure(
+                            shard,
+                            f"no result within {shard_timeout}s (worker lost)",
+                            kind="lost",
+                        )
+                    )
+                except Exception as e:  # noqa: BLE001 - shard isolation (see above)
+                    record_failure(shard, e)
+    return FleetResult(shards=tuple(results), failures=tuple(failures))

@@ -14,9 +14,30 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
-__all__ = ["available", "describe", "entries", "resolve"]
+__all__ = ["available", "capabilities", "describe", "entries", "resolve"]
 
 _REGISTRY: dict[str, Callable] = {}
+
+#: Structural traits per algorithm, used by callers that adapt to the
+#: algorithm's index shape rather than its name — e.g. the cluster
+#: router picks its fingerprint mode from these:
+#:
+#: ``hooks``            persists sampled hook files (warm_start can
+#:                      rebuild a RAM index from them);
+#: ``segments``         groups the stream into multi-chunk segments;
+#: ``representative``   routes whole files by a min-digest
+#:                      representative (Extreme Binning).
+_CAPABILITIES: dict[str, frozenset[str]] = {
+    "bf-mhd": frozenset({"hooks"}),
+    "si-mhd": frozenset({"hooks"}),
+    "cdc": frozenset({"hooks"}),
+    "bimodal": frozenset({"hooks"}),
+    "subchunk": frozenset({"hooks"}),
+    "sparse-indexing": frozenset({"hooks", "segments"}),
+    "fingerdiff": frozenset({"hooks"}),
+    "fbc": frozenset(),
+    "extreme-binning": frozenset({"representative"}),
+}
 
 #: One-line description per algorithm (``repro list`` output); kept
 #: here rather than on the classes so the list prints without
@@ -78,6 +99,13 @@ def describe(name: str) -> str:
 def entries() -> list[tuple[str, str]]:
     """``(name, one-line description)`` for every algorithm, in order."""
     return [(name, describe(name)) for name in available()]
+
+
+def capabilities(name: str) -> frozenset[str]:
+    """Structural traits of a registered algorithm (see ``_CAPABILITIES``)."""
+    if name not in available():
+        raise ValueError(f"unknown algorithm {name!r}")
+    return _CAPABILITIES.get(name, frozenset())
 
 
 def resolve(name: str) -> Callable:

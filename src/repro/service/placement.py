@@ -1,0 +1,48 @@
+"""Tenant placement: mapping tenants onto cluster ring partitions.
+
+The service's tenants (namespace-prefixed views of one backend, see
+:mod:`repro.service.tenancy`) and the cluster's workers (shard views
+routed by fingerprint, see :mod:`repro.cluster`) meet here: each tenant
+is pinned to the ring node that owns its id's hash position, so a
+tenant's sessions always land on the same worker (index locality, warm
+caches) while tenants as a whole spread ~uniformly over the fleet.
+
+Placement is *stable under growth* the same way segment routing is:
+adding a worker reassigns only the tenants whose hash position falls on
+the new node's arcs, everyone else stays put — the property that makes
+draining/splitting a worker an O(moved-tenants) operation, not a
+reshuffle.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..cluster.ring import HashRing
+from .tenancy import TenantRegistry, validate_tenant_id
+
+__all__ = ["partitions", "placement_of", "tenant_node"]
+
+#: Domain-separation tag so tenant keys can never collide with segment
+#: fingerprints on the same ring.
+_TENANT_TAG = "tenant|"
+
+
+def tenant_node(ring: HashRing, tenant_id: str) -> str:
+    """The ring node owning a tenant (deterministic, restart-stable)."""
+    return ring.route_label(_TENANT_TAG + validate_tenant_id(tenant_id))
+
+
+def partitions(ring: HashRing, tenant_ids: Iterable[str]) -> dict[str, list[str]]:
+    """Node → sorted tenants, covering every node (empty list if none)."""
+    out: dict[str, list[str]] = {node: [] for node in ring.nodes}
+    for tid in tenant_ids:
+        out[tenant_node(ring, tid)].append(tid)
+    for bucket in out.values():
+        bucket.sort()
+    return out
+
+
+def placement_of(ring: HashRing, registry: TenantRegistry) -> dict[str, list[str]]:
+    """Partition a registry's discovered tenants over the ring."""
+    return partitions(ring, registry.discover())

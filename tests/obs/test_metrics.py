@@ -205,3 +205,30 @@ def test_merge_deep_copies_missing_metrics():
     a.merge(b)
     a.counter("only.b").inc(10)
     assert b.counter("only.b").value == 2
+
+
+class TestFiltered:
+    def test_prefix_selection(self):
+        reg = MetricsRegistry()
+        reg.counter("cluster.route.segments").inc(7)
+        reg.gauge("cluster.ring.nodes").set(3)
+        reg.histogram("disk.chunk.sizes", SIZE_BUCKETS).observe(128.0)
+        view = reg.filtered("cluster.")
+        assert view.names() == ("cluster.ring.nodes", "cluster.route.segments")
+        assert view.counter("cluster.route.segments").value == 7
+        assert view.gauge("cluster.ring.nodes").value == 3
+
+    def test_copies_are_independent(self):
+        reg = MetricsRegistry()
+        reg.counter("cluster.files").inc(1)
+        reg.histogram("cluster.seg.sizes", COUNT_BUCKETS).observe(2.0)
+        view = reg.filtered("cluster.")
+        view.counter("cluster.files").inc(100)
+        view.histogram("cluster.seg.sizes", COUNT_BUCKETS).observe(4.0)
+        assert reg.counter("cluster.files").value == 1
+        assert reg.histogram("cluster.seg.sizes", COUNT_BUCKETS).total == 1
+
+    def test_empty_match(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b").inc()
+        assert len(reg.filtered("zz.")) == 0

@@ -1,0 +1,69 @@
+"""Tenant placement on the cluster ring: stability and coverage."""
+
+import pytest
+
+from repro.cluster import HashRing
+from repro.service import TenantRegistry, partitions, placement_of, tenant_node
+from repro.storage import MemoryBackend
+
+TENANTS = [f"tenant-{i:02d}" for i in range(24)]
+
+
+class TestTenantNode:
+    def test_deterministic_across_rings(self):
+        a = HashRing(["w0", "w1", "w2"])
+        b = HashRing(["w2", "w1", "w0"])
+        for tid in TENANTS:
+            assert tenant_node(a, tid) == tenant_node(b, tid)
+
+    def test_validates_tenant_id(self):
+        ring = HashRing(["w0"])
+        with pytest.raises(ValueError):
+            tenant_node(ring, "Not Valid!")
+
+    def test_domain_separated_from_raw_labels(self):
+        """Tenant keys are tagged so they can't collide with segment
+        fingerprints routed on the same ring."""
+        ring = HashRing(["w0", "w1", "w2", "w3", "w4"])
+        same = [tid for tid in TENANTS if tenant_node(ring, tid) == ring.route_label(tid)]
+        assert len(same) < len(TENANTS)  # tagging actually changes positions
+
+
+class TestPartitions:
+    def test_covers_every_node(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        parts = partitions(ring, TENANTS)
+        assert set(parts) == {"w0", "w1", "w2"}
+        placed = [t for bucket in parts.values() for t in bucket]
+        assert sorted(placed) == sorted(TENANTS)
+        for bucket in parts.values():
+            assert bucket == sorted(bucket)
+
+    def test_empty_tenants_still_lists_nodes(self):
+        ring = HashRing(["w0", "w1"])
+        assert partitions(ring, []) == {"w0": [], "w1": []}
+
+    def test_stable_under_growth(self):
+        """Joining a worker only reassigns tenants onto the joiner —
+        no tenant moves between two surviving workers."""
+        ring = HashRing(["w0", "w1", "w2"])
+        before = {tid: tenant_node(ring, tid) for tid in TENANTS}
+        ring.add_node("w3")
+        for tid in TENANTS:
+            after = tenant_node(ring, tid)
+            if after != before[tid]:
+                assert after == "w3"
+
+
+class TestPlacementOf:
+    def test_places_discovered_tenants(self):
+        backend = MemoryBackend()
+        reg = TenantRegistry(backend)
+        for tid in ["alice", "bob", "carol"]:
+            reg.register(tid)
+        ring = HashRing(["w0", "w1"])
+        parts = placement_of(ring, reg)
+        placed = sorted(t for bucket in parts.values() for t in bucket)
+        assert placed == ["alice", "bob", "carol"]
+        # Matches the pure function over the same ids.
+        assert parts == partitions(ring, ["alice", "bob", "carol"])

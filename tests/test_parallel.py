@@ -1,12 +1,20 @@
 """Tests for sharded multi-process deduplication and the thread fleet."""
 
+import os
+import signal
 import threading
 import time
 
 import pytest
 
 from repro.core import DedupConfig, MHDDeduplicator
-from repro.parallel import FleetExecutor, SerialLane, dedup_sharded, shard_by_machine
+from repro.parallel import (
+    FleetExecutor,
+    FleetResult,
+    SerialLane,
+    dedup_sharded,
+    shard_by_machine,
+)
 from repro.workloads import BackupFile, tiny_corpus
 
 CFG = DedupConfig(ecs=1024, sd=8, bloom_bytes=1 << 18)
@@ -62,7 +70,7 @@ def test_aggregate_identities(files):
     assert fleet.input_bytes == sum(f.size for f in files)
     assert fleet.data_only_der >= fleet.real_der >= 1.0
     assert fleet.makespan_seconds <= fleet.aggregate_seconds
-    assert fleet.speedup() >= 1.0
+    assert fleet.speedup >= 1.0
 
 
 def test_sharding_misses_cross_shard_duplicates(files):
@@ -96,7 +104,7 @@ def test_single_machine_corpus():
 def test_single_shard_speedup_is_one():
     files = [BackupFile("pc00/gen000/x", b"a" * 50_000)]
     fleet = dedup_sharded(files, config=CFG, workers=1)
-    assert fleet.speedup() == pytest.approx(1.0)
+    assert fleet.speedup == pytest.approx(1.0)
 
 
 def test_device_model_passed_through(files):
@@ -261,3 +269,143 @@ def test_fleet_metrics_cross_process(files):
     seq = dedup_sharded(files, config=CFG, workers=1, collect_metrics=True)
     par = dedup_sharded(files, config=CFG, workers=3, collect_metrics=True)
     assert seq.metrics().as_dict() == par.metrics().as_dict()
+
+
+# -- failure capture and per-shard result streaming ------------------------
+
+
+class KamikazeDedup(MHDDeduplicator):
+    """Test algorithm: SIGKILLs its own process on the pc01 shard."""
+
+    name = "kamikaze"
+
+    def ingest(self, file):
+        if "pc01" in file.file_id:
+            os.kill(os.getpid(), signal.SIGKILL)
+        super().ingest(file)
+
+
+def _gen0(files):
+    return [f for f in files if "/gen000/" in f.file_id]
+
+
+def test_kill_one_worker_keeps_surviving_shards(files, monkeypatch):
+    """An OOM-killed worker costs its shard, not the fleet (the old
+    ``pool.map`` path discarded every completed result)."""
+    import multiprocessing as mp
+
+    if mp.get_start_method() != "fork":
+        pytest.skip("kamikaze registration reaches workers via fork only")
+    from repro import registry
+
+    registry.available()  # populate before patching
+    monkeypatch.setitem(registry._REGISTRY, "kamikaze", KamikazeDedup)
+    fleet = dedup_sharded(
+        _gen0(files), algo="kamikaze", config=CFG, workers=3, shard_timeout=5.0
+    )
+    assert not fleet.ok
+    assert {s.shard for s in fleet.shards} == {"pc00", "pc02"}
+    assert [f.shard for f in fleet.failures] == ["pc01"]
+    assert fleet.failures[0].kind == "lost"
+    # Survivors' aggregates still work.
+    assert fleet.input_bytes == sum(
+        f.size for f in _gen0(files) if "pc01" not in f.file_id
+    )
+
+
+def _broken_reader():
+    raise OSError("disk on fire")
+
+
+def test_worker_exception_reported_not_raised(files):
+    """A shard whose source raises is reported on failures; the other
+    shards' results survive, in every executor."""
+    bad = BackupFile("pc99/gen000/bad", source=_broken_reader, size_hint=10)
+    corpus = _gen0(files) + [bad]
+    for kwargs in (
+        {"workers": 1},
+        {"workers": 3, "executor": "thread"},
+        {"workers": 3, "executor": "process"},
+    ):
+        fleet = dedup_sharded(corpus, config=CFG, **kwargs)
+        assert not fleet.ok
+        assert {s.shard for s in fleet.shards} == {"pc00", "pc01", "pc02"}
+        assert [f.shard for f in fleet.failures] == ["pc99"]
+        assert fleet.failures[0].kind == "error"
+        assert "disk on fire" in fleet.failures[0].error
+
+
+def test_no_failures_on_happy_path(files):
+    fleet = dedup_sharded(_gen0(files), config=CFG, workers=1)
+    assert fleet.ok
+    assert fleet.failures == ()
+
+
+# -- speedup property + deprecated callable shim ---------------------------
+
+
+def test_speedup_is_a_property(files):
+    fleet = dedup_sharded(_gen0(files), config=CFG, workers=1)
+    assert isinstance(fleet.speedup, float)
+    assert fleet.speedup >= 1.0
+
+
+def test_speedup_legacy_call_form_warns():
+    files = [BackupFile("pc00/gen000/x", b"a" * 50_000)]
+    fleet = dedup_sharded(files, config=CFG, workers=1)
+    with pytest.deprecated_call():
+        value = fleet.speedup()
+    assert value == pytest.approx(float(fleet.speedup))
+
+
+# -- edge cases ------------------------------------------------------------
+
+
+def test_empty_shard_map(files):
+    fleet = dedup_sharded(files[:5], config=CFG, workers=1, shard_fn=lambda fs: {})
+    assert fleet.shards == ()
+    assert fleet.ok
+    assert fleet.input_bytes == 0
+    assert fleet.makespan_seconds == 0.0
+
+
+def test_all_executors_produce_identical_stats(files):
+    """workers=1, thread pool and process pool are semantically equal."""
+    corpus = _gen0(files)
+    serial = dedup_sharded(corpus, config=CFG, workers=1)
+    thread = dedup_sharded(corpus, config=CFG, workers=3, executor="thread")
+    process = dedup_sharded(corpus, config=CFG, workers=3, executor="process")
+    for fleet in (thread, process):
+        assert len(fleet.shards) == len(serial.shards)
+        for a, b in zip(serial.shards, fleet.shards):
+            assert a.shard == b.shard
+            assert a.stats.stored_chunk_bytes == b.stats.stored_chunk_bytes
+            assert a.stats.unique_chunks == b.stats.unique_chunks
+            assert a.stats.metadata_bytes == b.stats.metadata_bytes
+            assert a.stats.io.ops == b.stats.io.ops
+
+
+def test_zero_byte_corpus_ders_are_finite():
+    corpus = [
+        BackupFile("pc00/gen000/empty", b""),
+        BackupFile("pc01/gen000/empty", b""),
+    ]
+    fleet = dedup_sharded(corpus, config=CFG, workers=1)
+    assert fleet.input_bytes == 0
+    assert fleet.data_only_der == 0.0
+    assert fleet.real_der == 0.0
+    assert fleet.ok
+
+
+def test_metrics_degrade_with_partial_collection(files):
+    """metrics() over a mixed fleet merges only the shards that
+    collected, and never explodes on the ones that did not."""
+    corpus = _gen0(files)
+    with_metrics = dedup_sharded(corpus, config=CFG, workers=1, collect_metrics=True)
+    without = dedup_sharded(corpus, config=CFG, workers=1, collect_metrics=False)
+    mixed = FleetResult(shards=(with_metrics.shards[0],) + without.shards[1:])
+    merged = mixed.metrics()
+    assert merged.counter("ingest.files").value == with_metrics.shards[0].metrics.counter(
+        "ingest.files"
+    ).value
+    assert without.shards[1].metrics is None

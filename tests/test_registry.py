@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.registry import available, resolve
+from repro.registry import available, capabilities, resolve
 
 
 def test_all_nine_algorithms_registered():
@@ -41,3 +41,19 @@ def test_consumers_share_the_registry():
     parser = cli.build_parser()
     args = parser.parse_args(["run", "--algo", "extreme-binning"])
     assert args.algo == "extreme-binning"
+
+
+def test_capabilities_cover_every_algorithm():
+    """Every registered name answers; hook-bearing designs say so."""
+    for name in available():
+        caps = capabilities(name)
+        assert isinstance(caps, frozenset)
+    assert "hooks" in capabilities("bf-mhd")
+    assert capabilities("sparse-indexing") >= {"hooks", "segments"}
+    assert capabilities("extreme-binning") == {"representative"}
+    assert capabilities("fbc") == frozenset()
+
+
+def test_capabilities_unknown_name_rejected():
+    with pytest.raises(ValueError, match="unknown"):
+        capabilities("no-such-algo")

@@ -136,3 +136,80 @@ class TestMain:
         for path in files:
             payload = load_bench(path)
             assert collect_metrics(payload), f"{path.name} carries no throughput metrics"
+
+
+def envelope(bench_name="x", scale="tiny", extra=None):
+    payload = {"bench": bench_name, "scale": scale, "git_sha": "deadbeef"}
+    if extra is not None:
+        payload["extra"] = extra
+    return payload
+
+
+class TestValidate:
+    def test_valid_envelope_passes(self, tmp_path, capsys):
+        write(tmp_path / "res", "BENCH_x.json", envelope())
+        assert main(["--validate", "--results", str(tmp_path / "res")]) == 0
+        assert "ok BENCH_x.json" in capsys.readouterr().out
+
+    def test_missing_envelope_key_fails(self, tmp_path, capsys):
+        bad = envelope()
+        del bad["git_sha"]
+        write(tmp_path / "res", "BENCH_x.json", bad)
+        assert main(["--validate", "--results", str(tmp_path / "res")]) == 1
+        assert "git_sha" in capsys.readouterr().out
+
+    def test_registered_bench_requires_extra_series(self, tmp_path, capsys):
+        write(
+            tmp_path / "res",
+            "BENCH_cluster_scaling.json",
+            envelope("cluster_scaling", extra={"shard_counts": [1, 2]}),
+        )
+        assert main(["--validate", "--results", str(tmp_path / "res")]) == 1
+        out = capsys.readouterr().out
+        assert "der_loss" in out and "rebalance" in out
+
+    def test_registered_bench_full_payload_passes(self, tmp_path, capsys):
+        extra = {
+            "shard_counts": [1, 2],
+            "der_loss": {"1": 0.0, "2": 0.1},
+            "clusters": {},
+            "rebalance": {
+                "segments_moved": 3,
+                "bytes_moved": 100,
+                "recipes_updated": 2,
+                "seconds": 0.5,
+                "residual_hot_bytes": 50,
+            },
+        }
+        write(
+            tmp_path / "res",
+            "BENCH_cluster_scaling.json",
+            envelope("cluster_scaling", extra=extra),
+        )
+        assert main(["--validate", "--results", str(tmp_path / "res")]) == 0
+
+    def test_incomplete_rebalance_record_fails(self, tmp_path, capsys):
+        extra = {
+            "shard_counts": [1],
+            "der_loss": {},
+            "clusters": {},
+            "rebalance": {"segments_moved": 3},
+        }
+        write(
+            tmp_path / "res",
+            "BENCH_cluster_scaling.json",
+            envelope("cluster_scaling", extra=extra),
+        )
+        assert main(["--validate", "--results", str(tmp_path / "res")]) == 1
+        assert "bytes_moved" in capsys.readouterr().out
+
+    def test_empty_results_dir_fails(self, tmp_path):
+        (tmp_path / "res").mkdir()
+        assert main(["--validate", "--results", str(tmp_path / "res")]) == 1
+
+    def test_unreadable_json_fails(self, tmp_path, capsys):
+        d = tmp_path / "res"
+        d.mkdir()
+        (d / "BENCH_broken.json").write_text("{not json")
+        assert main(["--validate", "--results", str(d)]) == 1
+        assert "INVALID" in capsys.readouterr().out

@@ -17,11 +17,20 @@ Comparisons are only made between runs at the same corpus ``scale``
 bench present on only one side is reported but never fails the gate —
 adding a new bench must not break CI.
 
+``--validate`` runs a schema check instead of the regression gate:
+every ``BENCH_*.json`` under the results directory must be a JSON
+object carrying the ``bench``/``scale``/``git_sha`` envelope that
+``write_report`` emits, and benches with a registered payload schema
+(see ``REQUIRED_EXTRA``) must carry their bench-specific series.  CI
+runs this as a *blocking* step — a bench that silently stopped
+emitting its numbers is a broken bench.
+
 Usage::
 
     python tools/bench_regress.py                       # gate
     python tools/bench_regress.py --threshold 0.3       # looser gate
     python tools/bench_regress.py --update-baseline     # bless current
+    python tools/bench_regress.py --validate            # schema check
 
 Wall-clock numbers move with machine load, so CI runs this as a
 non-blocking step; the committed baseline exists to make *large*
@@ -86,6 +95,78 @@ def compare_file(current: dict, baseline: dict, threshold: float) -> list[str]:
     return regressions
 
 
+#: Envelope keys ``write_report`` stamps on every BENCH payload.
+REQUIRED_TOP = ("bench", "scale", "git_sha")
+
+#: Bench name -> keys its ``extra`` payload must carry.  Registered
+#: benches fail validation when a key disappears; unregistered benches
+#: only need the envelope.
+REQUIRED_EXTRA: dict[str, tuple[str, ...]] = {
+    "cluster_scaling": (
+        "shard_counts",
+        "der_loss",
+        "clusters",
+        "rebalance",
+    ),
+}
+
+#: Keys every ``rebalance`` record must report (the measured cost the
+#: cluster bench exists to publish).
+REQUIRED_REBALANCE = (
+    "segments_moved",
+    "bytes_moved",
+    "recipes_updated",
+    "seconds",
+    "residual_hot_bytes",
+)
+
+
+def validate_file(path: Path) -> list[str]:
+    """Schema problems in one BENCH file (empty = valid)."""
+    try:
+        payload = load_bench(path)
+    except (OSError, ValueError) as e:
+        return [f"unreadable: {e}"]
+    problems = [f"missing key {key!r}" for key in REQUIRED_TOP if key not in payload]
+    bench = payload.get("bench")
+    required = REQUIRED_EXTRA.get(bench, ())
+    if required:
+        extra = payload.get("extra")
+        if not isinstance(extra, dict):
+            problems.append("missing 'extra' payload")
+        else:
+            problems += [
+                f"extra missing key {key!r}" for key in required if key not in extra
+            ]
+            rebalance = extra.get("rebalance")
+            if bench == "cluster_scaling" and isinstance(rebalance, dict):
+                problems += [
+                    f"rebalance missing key {key!r}"
+                    for key in REQUIRED_REBALANCE
+                    if key not in rebalance
+                ]
+    return problems
+
+
+def validate(results: Path) -> int:
+    files = sorted(results.glob("BENCH_*.json"))
+    if not files:
+        print(f"no BENCH_*.json under {results}; nothing to validate", file=sys.stderr)
+        return 1
+    failed = 0
+    for path in files:
+        problems = validate_file(path)
+        if problems:
+            failed += 1
+            print(f"INVALID {path.name}:")
+            for p in problems:
+                print(f"  {p}")
+        else:
+            print(f"ok {path.name}")
+    print(f"{len(files)} bench file(s) validated, {failed} invalid")
+    return 1 if failed else 0
+
+
 def update_baseline(results: Path, baseline: Path) -> int:
     baseline.mkdir(parents=True, exist_ok=True)
     copied = 0
@@ -115,8 +196,15 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="copy the current results over the baseline and exit",
     )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="schema-check the BENCH_*.json files instead of gating",
+    )
     args = parser.parse_args(argv)
 
+    if args.validate:
+        return validate(args.results)
     if args.update_baseline:
         return update_baseline(args.results, args.baseline)
 
